@@ -1,0 +1,700 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§IV), plus the ablations from DESIGN.md §3. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// E1 (Table I):  BenchmarkTableI_*        — load-test latency/throughput
+// E2 (§IV-A):    BenchmarkJSONShare       — JSON share of request handling
+// E3 (§IV-A):    BenchmarkGzip*           — gzip throughput effect
+// E4 (§IV):      BenchmarkRenderState     — schematic render cost
+// A1:            BenchmarkWidthSweep*     — issue-width sweep
+// A2:            BenchmarkCachePolicies*  — replacement policy ablation
+// A3:            BenchmarkPredictors*     — predictor type ablation
+// A4:            BenchmarkBackwardStep*   — backward-simulation cost
+package riscvsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"riscvsim/internal/cache"
+	"riscvsim/internal/loadgen"
+	"riscvsim/internal/predictor"
+	"riscvsim/internal/render"
+	"riscvsim/internal/server"
+	"riscvsim/sim"
+)
+
+// ---------------------------------------------------------------------------
+// E1 — Table I: load-test latency and throughput
+// ---------------------------------------------------------------------------
+
+// benchTimeScale compresses the paper's 1 s think time / 4 s ramp-up so a
+// full scenario fits in a bench iteration; latencies of individual
+// requests are unaffected by the scale (only pacing shrinks).
+const benchTimeScale = 0.004
+
+func benchTableI(b *testing.B, users int, docker bool) {
+	srv := server.New(server.DefaultOptions())
+	var handler http.Handler = srv.Handler()
+	if docker {
+		handler = loadgen.DefaultDockerShim(handler)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	var last *loadgen.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := loadgen.Run(ts.URL, loadgen.PaperScenario(users, benchTimeScale))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.Median.Microseconds())/1000, "median-ms")
+	b.ReportMetric(float64(last.P90.Microseconds())/1000, "p90-ms")
+	b.ReportMetric(last.Throughput, "trans/s")
+}
+
+func BenchmarkTableI_Direct30(b *testing.B)  { benchTableI(b, 30, false) }
+func BenchmarkTableI_Direct100(b *testing.B) { benchTableI(b, 100, false) }
+func BenchmarkTableI_Docker30(b *testing.B)  { benchTableI(b, 30, true) }
+func BenchmarkTableI_Docker100(b *testing.B) { benchTableI(b, 100, true) }
+
+// TestTableIShape asserts the paper's qualitative findings: the server
+// handles the small scenario without errors, the Docker deployment is
+// slower, and heavy load degrades latency.
+func TestTableIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	direct := httptest.NewServer(server.New(server.DefaultOptions()).Handler())
+	defer direct.Close()
+	docker := httptest.NewServer(loadgen.DefaultDockerShim(server.New(server.DefaultOptions()).Handler()))
+	defer docker.Close()
+
+	d30, err := loadgen.Run(direct.URL, loadgen.PaperScenario(30, benchTimeScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d100, err := loadgen.Run(direct.URL, loadgen.PaperScenario(100, benchTimeScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k30, err := loadgen.Run(docker.URL, loadgen.PaperScenario(30, benchTimeScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k100, err := loadgen.Run(docker.URL, loadgen.PaperScenario(100, benchTimeScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paper: "During the test, there were no application crashes or
+	// query failures."
+	for _, r := range []*loadgen.Result{d30, d100, k30, k100} {
+		if r.Errors != 0 {
+			t.Errorf("query failures: %+v", r)
+		}
+	}
+	// Paper: "Docker has a noticeable impact on application performance."
+	if k30.Median <= d30.Median {
+		t.Errorf("Docker median (%v) should exceed Direct (%v) at 30 users", k30.Median, d30.Median)
+	}
+	if k100.P90 <= d100.P90 {
+		t.Errorf("Docker p90 (%v) should exceed Direct (%v) at 100 users", k100.P90, d100.P90)
+	}
+	// Paper: "A larger number of users significantly affects latency."
+	if d100.P90 <= d30.P90 {
+		t.Errorf("p90 at 100 users (%v) should exceed p90 at 30 users (%v)", d100.P90, d30.P90)
+	}
+	t.Logf("Direct  30: %s", d30)
+	t.Logf("Direct 100: %s", d100)
+	t.Logf("Docker  30: %s", k30)
+	t.Logf("Docker 100: %s", k100)
+}
+
+// ---------------------------------------------------------------------------
+// E2 — JSON share of request handling (§IV-A: "about 60%")
+// ---------------------------------------------------------------------------
+
+// driveJSONWorkload sends interactive step requests with full state
+// payloads — the web client's request pattern.
+func driveJSONWorkload(tb testing.TB, ts *httptest.Server, n int) {
+	body, _ := json.Marshal(&server.SimulateRequest{
+		Code:         loadgen.ProgramB,
+		Steps:        40,
+		IncludeState: true,
+		IncludeLog:   true,
+	})
+	for i := 0; i < n; i++ {
+		resp, err := http.Post(ts.URL+"/simulate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+func BenchmarkJSONShare(b *testing.B) {
+	srv := server.New(server.DefaultOptions())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.ResetMetrics()
+	b.ResetTimer()
+	driveJSONWorkload(b, ts, b.N)
+	b.StopTimer()
+	m := srv.Metrics()
+	b.ReportMetric(100*m.JSONShare, "json-share-%")
+	b.ReportMetric(float64(m.SimNanos)/float64(m.TotalNanos)*100, "sim-share-%")
+}
+
+// TestJSONShareDominates checks the paper's profiling conclusion (§IV-A):
+// working with the JSON format consumes more request-handling time than
+// the simulation itself, so "further performance gains from optimizing
+// the simulation are diminishing". The paper measures ~60% JSON share on
+// its Java stack; Go's encoder is faster, so the absolute share is lower
+// here, but the JSON-vs-simulation ordering — the actionable finding —
+// reproduces (see EXPERIMENTS.md E2).
+func TestJSONShareDominates(t *testing.T) {
+	srv := server.New(server.DefaultOptions())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.ResetMetrics()
+	driveJSONWorkload(t, ts, 50)
+	m := srv.Metrics()
+	t.Logf("JSON share = %.1f%% (paper: ~60%%), sim share = %.1f%%",
+		100*m.JSONShare, 100*float64(m.SimNanos)/float64(m.TotalNanos))
+	if m.JSONNanos <= m.SimNanos {
+		t.Errorf("JSON time (%d ns) should exceed simulation time (%d ns) on interactive requests",
+			m.JSONNanos, m.SimNanos)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3 — gzip effect (§IV-A: "+40% throughput")
+// ---------------------------------------------------------------------------
+
+func benchGzip(b *testing.B, gz bool) {
+	srv := server.New(server.Options{DisableGzip: !gz})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	sc := loadgen.Scenario{
+		Users: 16, StepsPerUser: 6, StepSize: 2,
+		RampUp: 4 * time.Millisecond, ThinkTime: time.Millisecond,
+		Gzip: gz, Programs: []string{loadgen.ProgramA, loadgen.ProgramB},
+	}
+	var last *loadgen.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := loadgen.Run(ts.URL, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(last.Throughput, "trans/s")
+	b.ReportMetric(float64(last.Median.Microseconds())/1000, "median-ms")
+}
+
+func BenchmarkGzipOn(b *testing.B)  { benchGzip(b, true) }
+func BenchmarkGzipOff(b *testing.B) { benchGzip(b, false) }
+
+// TestGzipCompressionRatio verifies the mechanism behind the paper's
+// +40% throughput: state responses compress dramatically, so gzip trades
+// cheap CPU for a large wire-size reduction (the win is proportionally
+// larger over a real network than on loopback).
+func TestGzipCompressionRatio(t *testing.T) {
+	srv := server.New(server.DefaultOptions())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(&server.SimulateRequest{
+		Code: loadgen.ProgramB, Steps: 40, IncludeState: true,
+	})
+
+	measure := func(acceptGzip bool) int {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/simulate", bytes.NewReader(body))
+		if acceptGzip {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		tr := &http.Transport{DisableCompression: true}
+		resp, err := tr.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.Len()
+	}
+
+	plain := measure(false)
+	compressed := measure(true)
+	ratio := float64(plain) / float64(compressed)
+	t.Logf("state response: %d B plain, %d B gzip (%.1fx)", plain, compressed, ratio)
+	if ratio < 2 {
+		t.Errorf("gzip ratio %.2fx, expected at least 2x on JSON state", ratio)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4 — render cost (§IV: "rendering typically takes around 80 ms")
+// ---------------------------------------------------------------------------
+
+func BenchmarkRenderState(b *testing.B) {
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), loadgen.ProgramB, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.StepN(60)
+	st := m.State(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render.Schematic(st)
+	}
+}
+
+// BenchmarkStateSnapshot measures building the state document itself (the
+// server-side half of a GUI refresh).
+func BenchmarkStateSnapshot(b *testing.B) {
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), loadgen.ProgramB, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.StepN(60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.State(false)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Core speed: simulated cycles per second (the CLI's batch-mode currency)
+// ---------------------------------------------------------------------------
+
+func BenchmarkSimulationRun(b *testing.B) {
+	src := `
+li t0, 0
+li t1, 1
+li t2, 10000
+loop:
+  add t0, t0, t1
+  addi t1, t1, 1
+  bne t1, t2, loop
+`
+	b.ReportAllocs()
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.NewFromAsm(sim.DefaultConfig(), src, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = m.Run(10_000_000)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// ---------------------------------------------------------------------------
+// A1 — issue-width sweep (dot product)
+// ---------------------------------------------------------------------------
+
+const dotProduct = `
+main:
+  la t0, a
+  la t1, b
+  li t2, 0
+  li t3, 64
+  fmv.w.x ft0, x0
+loop:
+  slli t4, t2, 2
+  add t5, t0, t4
+  flw ft1, 0(t5)
+  add t6, t1, t4
+  flw ft2, 0(t6)
+  fmadd.s ft0, ft1, ft2, ft0
+  addi t2, t2, 1
+  blt t2, t3, loop
+  fcvt.w.s a0, ft0
+  ret
+.data
+.align 4
+a: .zero 256
+b: .zero 256
+`
+
+func benchWidth(b *testing.B, width int) {
+	cfg, err := sim.WidthConfig(width)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r *sim.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.NewFromAsm(cfg, dotProduct, "main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(1_000_000)
+		r = m.Report()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(r.Cycles), "sim-cycles")
+	b.ReportMetric(r.IPC, "IPC")
+}
+
+func BenchmarkWidthSweep1(b *testing.B) { benchWidth(b, 1) }
+func BenchmarkWidthSweep2(b *testing.B) { benchWidth(b, 2) }
+func BenchmarkWidthSweep4(b *testing.B) { benchWidth(b, 4) }
+func BenchmarkWidthSweep8(b *testing.B) { benchWidth(b, 8) }
+
+// TestWidthSweepShape: wider processors must not be slower on an
+// ILP-bearing kernel, and 4-wide must beat scalar outright.
+func TestWidthSweepShape(t *testing.T) {
+	cycles := map[int]uint64{}
+	for _, w := range []int{1, 2, 4} {
+		cfg, err := sim.WidthConfig(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.NewFromAsm(cfg, dotProduct, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(1_000_000)
+		cycles[w] = m.Cycle()
+	}
+	t.Logf("dot product cycles: 1-wide=%d 2-wide=%d 4-wide=%d", cycles[1], cycles[2], cycles[4])
+	if cycles[4] >= cycles[1] {
+		t.Errorf("4-wide (%d) should beat scalar (%d)", cycles[4], cycles[1])
+	}
+	if cycles[2] > cycles[1] {
+		t.Errorf("2-wide (%d) should not lose to scalar (%d)", cycles[2], cycles[1])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A2 — cache policy/associativity ablation
+// ---------------------------------------------------------------------------
+
+const stridedWalk = `
+main:
+  li s0, 0
+  li s1, 4
+  li a0, 0
+pass:
+  la t0, arr
+  li t1, 0
+  li t2, 8
+touch:
+  lw t3, 0(t0)
+  add a0, a0, t3
+  addi t0, t0, 1024
+  addi t1, t1, 1
+  blt t1, t2, touch
+  addi s0, s0, 1
+  blt s0, s1, pass
+  ret
+.data
+.align 6
+arr: .zero 8192
+`
+
+func benchCache(b *testing.B, assoc int, pol cache.ReplacementPolicy) {
+	cfg := sim.DefaultConfig()
+	cfg.Cache.Lines = 16
+	cfg.Cache.Associativity = assoc
+	cfg.Cache.Replacement = pol
+	var r *sim.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.NewFromAsm(cfg, stridedWalk, "main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(1_000_000)
+		r = m.Report()
+	}
+	b.StopTimer()
+	b.ReportMetric(100*r.CacheHitRate, "hit-%")
+	b.ReportMetric(float64(r.Cycles), "sim-cycles")
+}
+
+func BenchmarkCachePoliciesDM(b *testing.B)       { benchCache(b, 1, cache.LRU) }
+func BenchmarkCachePolicies4WayLRU(b *testing.B)  { benchCache(b, 4, cache.LRU) }
+func BenchmarkCachePolicies8WayLRU(b *testing.B)  { benchCache(b, 8, cache.LRU) }
+func BenchmarkCachePolicies4WayFIFO(b *testing.B) { benchCache(b, 4, cache.FIFO) }
+func BenchmarkCachePolicies4WayRand(b *testing.B) { benchCache(b, 4, cache.Random) }
+
+// ---------------------------------------------------------------------------
+// A3 — predictor ablation
+// ---------------------------------------------------------------------------
+
+// branchy alternates a data-dependent branch T,N,T,N — trivial for a
+// history predictor, pathological for one- and two-bit counters.
+const branchy = `
+main:
+  li t0, 0
+  li t1, 0
+  li t2, 400
+loop:
+  andi t3, t1, 1
+  beqz t3, even
+  addi t0, t0, 2
+  j next
+even:
+  addi t0, t0, 1
+next:
+  addi t1, t1, 1
+  bne t1, t2, loop
+  mv a0, t0
+  ret
+`
+
+func benchPredictor(b *testing.B, kind predictor.Type, defState, histBits int) {
+	cfg := sim.DefaultConfig()
+	cfg.Predictor.Kind = kind
+	cfg.Predictor.DefaultState = defState
+	cfg.Predictor.HistoryBits = histBits
+	var r *sim.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.NewFromAsm(cfg, branchy, "main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(1_000_000)
+		r = m.Report()
+	}
+	b.StopTimer()
+	b.ReportMetric(100*r.PredAccuracy, "accuracy-%")
+	b.ReportMetric(float64(r.Cycles), "sim-cycles")
+	b.ReportMetric(float64(r.ROBFlushes), "flushes")
+}
+
+func BenchmarkPredictorsZeroBit(b *testing.B) { benchPredictor(b, predictor.ZeroBit, 1, 0) }
+func BenchmarkPredictorsOneBit(b *testing.B)  { benchPredictor(b, predictor.OneBit, 0, 0) }
+func BenchmarkPredictorsTwoBit(b *testing.B)  { benchPredictor(b, predictor.TwoBit, 2, 0) }
+func BenchmarkPredictorsGshare(b *testing.B)  { benchPredictor(b, predictor.TwoBit, 2, 8) }
+
+// TestPredictorShape compares predictor types on a biased nested loop
+// (inner loop taken 7 of 8 times): a two-bit counter mispredicts once per
+// inner-loop exit where a one-bit counter mispredicts twice, and both beat
+// a static not-taken predictor. (A pure alternating pattern does not
+// discriminate gshare here because the predictor trains at commit, so
+// fetch sees stale history under deep speculation — same as the paper's
+// design.)
+func TestPredictorShape(t *testing.T) {
+	const nested = `
+main:
+  li s0, 0            # outer
+  li s1, 50
+outer:
+  li t1, 0            # inner
+  li t2, 8
+inner:
+  addi t1, t1, 1
+  blt t1, t2, inner
+  addi s0, s0, 1
+  blt s0, s1, outer
+  ret
+`
+	run := func(kind predictor.Type, defState int) float64 {
+		cfg := sim.DefaultConfig()
+		cfg.Predictor.Kind = kind
+		cfg.Predictor.DefaultState = defState
+		cfg.Predictor.HistoryBits = 0
+		m, err := sim.NewFromAsm(cfg, nested, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(1_000_000)
+		return m.Report().PredAccuracy
+	}
+	zero := run(predictor.ZeroBit, 0) // always not-taken
+	one := run(predictor.OneBit, 0)
+	two := run(predictor.TwoBit, 2)
+	t.Logf("accuracy: zero-bit=%.3f one-bit=%.3f two-bit=%.3f", zero, one, two)
+	if two <= one {
+		t.Errorf("two-bit (%.3f) should beat one-bit (%.3f) on a biased loop", two, one)
+	}
+	if one <= zero {
+		t.Errorf("one-bit (%.3f) should beat static not-taken (%.3f)", one, zero)
+	}
+	if two < 0.8 {
+		t.Errorf("two-bit accuracy %.3f, expected > 0.8 on loop branches", two)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A4 — backward-simulation cost (re-run of t−1 cycles, §III-B)
+// ---------------------------------------------------------------------------
+
+func benchBackward(b *testing.B, at uint64) {
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), loadgen.ProgramA, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.StepN(at)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// StepBack replaces the machine; re-advance to keep t constant.
+		if err := m.StepBack(); err != nil {
+			b.Fatal(err)
+		}
+		m.StepN(1)
+	}
+}
+
+func BenchmarkBackwardStepAt100(b *testing.B) { benchBackward(b, 100) }
+func BenchmarkBackwardStepAt500(b *testing.B) { benchBackward(b, 500) }
+
+// TestBackwardCostGrowsLinearly documents the paper's design trade-off:
+// backward simulation re-runs from cycle zero, so stepping back at a later
+// cycle costs more. A long-running program makes the replay cost dominate
+// the constant machine-construction cost; the minimum of several runs
+// suppresses scheduler noise.
+func TestBackwardCostGrowsLinearly(t *testing.T) {
+	const longLoop = `
+li t0, 0
+li t1, 1
+li t2, 20000
+loop:
+  add t0, t0, t1
+  addi t1, t1, 1
+  bne t1, t2, loop
+`
+	cost := func(at uint64) time.Duration {
+		best := time.Duration(0)
+		for trial := 0; trial < 5; trial++ {
+			m, err := sim.NewFromAsm(sim.DefaultConfig(), longLoop, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.StepN(at)
+			start := time.Now()
+			for i := 0; i < 5; i++ {
+				if err := m.StepBack(); err != nil {
+					t.Fatal(err)
+				}
+				m.StepN(1)
+			}
+			d := time.Since(start)
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	cost(100) // warmup
+	early, late := cost(100), cost(20000)
+	t.Logf("5 back-steps at t=100: %v; at t=20000: %v", early, late)
+	if late < early {
+		t.Errorf("backward stepping at t=20000 (%v) should cost more than at t=100 (%v)", late, early)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A5 — pipelined functional units (the paper's future-work feature, §V)
+// ---------------------------------------------------------------------------
+
+// fpILPKernel has four independent FP accumulator chains, so a pipelined
+// FP unit (1 issue/cycle) beats a non-pipelined one (1 op per latency);
+// the plain dotProduct kernel would not benefit — its single accumulator
+// chain is latency-bound, which is itself a teachable result.
+const fpILPKernel = `
+main:
+  la t0, a
+  li t2, 0
+  li t3, 64
+  fmv.w.x ft0, x0
+  fmv.w.x ft4, x0
+  fmv.w.x ft5, x0
+  fmv.w.x ft6, x0
+loop:
+  slli t4, t2, 2
+  add t5, t0, t4
+  flw ft1, 0(t5)
+  fadd.s ft0, ft0, ft1
+  flw ft2, 4(t5)
+  fadd.s ft4, ft4, ft2
+  flw ft3, 8(t5)
+  fadd.s ft5, ft5, ft3
+  flw ft7, 12(t5)
+  fadd.s ft6, ft6, ft7
+  addi t2, t2, 4
+  blt t2, t3, loop
+  fadd.s ft0, ft0, ft4
+  fadd.s ft5, ft5, ft6
+  fadd.s ft0, ft0, ft5
+  fcvt.w.s a0, ft0
+  ret
+.data
+.align 4
+a: .zero 256
+`
+
+func benchPipelined(b *testing.B, pipelined bool) {
+	cfg := sim.DefaultConfig()
+	if pipelined {
+		for i := range cfg.Units {
+			cfg.Units[i].Pipelined = true
+		}
+	}
+	var r *sim.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.NewFromAsm(cfg, fpILPKernel, "main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(1_000_000)
+		r = m.Report()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(r.Cycles), "sim-cycles")
+	b.ReportMetric(r.IPC, "IPC")
+}
+
+func BenchmarkFUsNonPipelined(b *testing.B) { benchPipelined(b, false) }
+func BenchmarkFUsPipelined(b *testing.B)    { benchPipelined(b, true) }
+
+// TestPipelinedFUsShape: lifting the paper's no-internal-pipelining
+// limitation must speed up an FP-heavy kernel and leave results unchanged.
+func TestPipelinedFUsShape(t *testing.T) {
+	run := func(pipelined bool) (uint64, int32) {
+		cfg := sim.DefaultConfig()
+		if pipelined {
+			for i := range cfg.Units {
+				cfg.Units[i].Pipelined = true
+			}
+		}
+		m, err := sim.NewFromAsm(cfg, fpILPKernel, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(1_000_000)
+		v, _ := m.IntReg("a0")
+		return m.Cycle(), v
+	}
+	plainCycles, plainResult := run(false)
+	pipedCycles, pipedResult := run(true)
+	t.Logf("4-chain FP kernel: non-pipelined %d cycles, pipelined %d cycles", plainCycles, pipedCycles)
+	if pipedResult != plainResult {
+		t.Errorf("pipelining changed the result: %d != %d", pipedResult, plainResult)
+	}
+	if pipedCycles >= plainCycles {
+		t.Errorf("pipelined FUs (%d cycles) should beat non-pipelined (%d) on an FP kernel",
+			pipedCycles, plainCycles)
+	}
+}

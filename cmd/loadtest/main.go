@@ -1,0 +1,99 @@
+// Command loadtest reproduces the paper's Table I end-to-end: it launches
+// (or targets) a simulation server and drives the paper's load scenarios —
+// {Direct, Docker} × {30, 100} users, each performing 40 interactive
+// simulation steps with a 4 s ramp-up and 1 s think time, gzip enabled —
+// reporting median latency, 90th-percentile latency and throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"riscvsim/internal/loadgen"
+	"riscvsim/internal/server"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "", "target server URL (empty = spawn in-process servers)")
+		users     = flag.String("users", "30,100", "comma-separated user counts")
+		timeScale = flag.Float64("time-scale", 1.0, "scale factor for ramp-up and think time (1.0 = the paper's real-time pacing)")
+		noDocker  = flag.Bool("skip-docker", false, "skip the Docker-shim scenarios")
+	)
+	flag.Parse()
+
+	var counts []int
+	for _, f := range splitInts(*users) {
+		counts = append(counts, f)
+	}
+	if len(counts) == 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: no user counts")
+		os.Exit(2)
+	}
+
+	fmt.Println("Table I reproduction — measured latency and throughput")
+	fmt.Printf("workload: 40 interactive steps/user, ramp-up %v, think time %v, gzip on\n\n",
+		time.Duration(float64(4*time.Second)**timeScale),
+		time.Duration(float64(time.Second)**timeScale))
+
+	runRow := func(mode string, base string, n int) {
+		sc := loadgen.PaperScenario(n, *timeScale)
+		res, err := loadgen.Run(base, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %s %d users: %v\n", mode, n, err)
+			return
+		}
+		res.Mode = mode
+		fmt.Println(res.String())
+	}
+
+	if *url != "" {
+		for _, n := range counts {
+			runRow("Remote", *url, n)
+		}
+		return
+	}
+
+	// Direct rows.
+	direct := server.New(server.DefaultOptions())
+	tsDirect := httptest.NewServer(direct.Handler())
+	for _, n := range counts {
+		runRow("Direct", tsDirect.URL, n)
+	}
+	tsDirect.Close()
+
+	if *noDocker {
+		return
+	}
+	// Docker rows via the containerization shim (DESIGN.md §1).
+	dockerized := server.New(server.DefaultOptions())
+	shim := loadgen.DefaultDockerShim(dockerized.Handler())
+	tsDocker := httptest.NewServer(shim)
+	for _, n := range counts {
+		runRow("Docker", tsDocker.URL, n)
+	}
+	tsDocker.Close()
+}
+
+func splitInts(s string) []int {
+	var out []int
+	cur := 0
+	has := false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if has {
+				out = append(out, cur)
+			}
+			cur, has = 0, false
+			continue
+		}
+		if s[i] >= '0' && s[i] <= '9' {
+			cur = cur*10 + int(s[i]-'0')
+			has = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+// Command riscvsim is the simulator's command-line interface (paper §II-E):
+// it executes large programs written in C or assembly and collects runtime
+// statistics. The two mandatory inputs are the source file and the
+// architecture description in JSON; optional flags select the entry point,
+// memory fills, dump ranges, verbosity and output format (text or JSON).
+//
+// By default the CLI runs the simulation in-process. With --host/--port it
+// connects to a simulation server instead, exactly like the paper's CLI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"riscvsim/internal/client"
+	"riscvsim/internal/server"
+	"riscvsim/sim"
+)
+
+func main() {
+	var (
+		archPath = flag.String("arch", "", "architecture description JSON file (default: built-in 2-wide preset)")
+		preset   = flag.String("preset", "", "named preset: default, scalar, wide4")
+		entry    = flag.String("entry", "", "entry label (default: first instruction, or main for C)")
+		language = flag.String("lang", "", "source language: asm or c (default: by file extension)")
+		optimize = flag.Int("O", 2, "C optimization level 0..3")
+		steps    = flag.Uint64("steps", 0, "cycle limit (0 = run to completion)")
+		format   = flag.String("format", "text", "output format: text or json")
+		verbose  = flag.Int("v", 1, "verbosity: 0 stats only, 1 +summary, 2 +debug log, 3 +state")
+		dump     = flag.String("dump", "", "memory dump range after the run: label or addr:len")
+		cost     = flag.Bool("cost", false, "print the chip-area and power estimate after the run")
+		memFill  = flag.String("fill", "", "memory fills label=v1,v2,... (semicolon separated)")
+		host     = flag.String("host", "", "server host (empty = in-process simulation)")
+		port     = flag.Int("port", 8042, "server port")
+		gzipOn   = flag.Bool("gzip", true, "use gzip when talking to a server")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: riscvsim [flags] program.{s,c}\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	srcPath := flag.Arg(0)
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		fatal("reading program: %v", err)
+	}
+
+	lang := *language
+	if lang == "" {
+		if strings.HasSuffix(srcPath, ".c") {
+			lang = "c"
+		} else {
+			lang = "asm"
+		}
+	}
+
+	fills, err := parseFills(*memFill)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	req := &server.SimulateRequest{
+		Code:         string(src),
+		Language:     lang,
+		Optimize:     *optimize,
+		Entry:        *entry,
+		Preset:       *preset,
+		Steps:        *steps,
+		MemFills:     fills,
+		IncludeState: *verbose >= 3,
+		IncludeLog:   *verbose >= 2,
+	}
+	if *archPath != "" {
+		arch, err := os.ReadFile(*archPath)
+		if err != nil {
+			fatal("reading architecture: %v", err)
+		}
+		raw := json.RawMessage(arch)
+		req.Config = &raw
+	}
+
+	var resp *server.SimulateResponse
+	if *host != "" {
+		c := client.New(*host, *port, *gzipOn)
+		resp, err = c.Simulate(req)
+		if err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		resp, err = runLocal(req)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	switch *format {
+	case "json":
+		out, err := json.MarshalIndent(resp, "", "  ")
+		if err != nil {
+			fatal("encoding output: %v", err)
+		}
+		fmt.Println(string(out))
+	default:
+		if *verbose >= 1 {
+			fmt.Printf("halted=%v (%s) after %d cycles\n", resp.Halted, resp.HaltReason, resp.Cycles)
+		}
+		fmt.Println(resp.Stats.FormatText())
+		if *verbose >= 2 {
+			for _, e := range resp.Log {
+				fmt.Printf("[cycle %6d] %s\n", e.Cycle, e.Msg)
+			}
+		}
+	}
+
+	if *dump != "" && *host == "" {
+		// Dumps need the in-process machine; re-run to fetch memory.
+		if err := printDump(req, *dump); err != nil {
+			fatal("dump: %v", err)
+		}
+	}
+
+	if *cost {
+		cfg := sim.DefaultConfig()
+		if *preset != "" {
+			if p, ok := sim.Presets()[*preset]; ok {
+				cfg = p
+			}
+		}
+		if req.Config != nil {
+			if c, err := sim.ImportConfig(*req.Config); err == nil {
+				cfg = c
+			}
+		}
+		fmt.Println()
+		fmt.Println(sim.EstimateCostFor(cfg, resp.Stats).FormatText())
+	}
+}
+
+// runLocal executes the request in-process through the same code path the
+// server uses (via a loopback client), so behaviours match exactly.
+func runLocal(req *server.SimulateRequest) (*server.SimulateResponse, error) {
+	c, closeFn := client.Local(server.DefaultOptions())
+	defer closeFn()
+	return c.Simulate(req)
+}
+
+func parseFills(spec string) ([]server.MemFill, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var fills []server.MemFill
+	for _, part := range strings.Split(spec, ";") {
+		eq := strings.IndexByte(part, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("bad fill %q (want label=v1,v2,...)", part)
+		}
+		f := server.MemFill{Label: part[:eq]}
+		for _, vs := range strings.Split(part[eq+1:], ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(vs), 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad fill value %q: %v", vs, err)
+			}
+			f.Values = append(f.Values, v)
+		}
+		fills = append(fills, f)
+	}
+	return fills, nil
+}
+
+// printDump re-runs the program in-process and prints a memory range.
+func printDump(req *server.SimulateRequest, spec string) error {
+	cfg := sim.DefaultConfig()
+	if req.Preset != "" {
+		if p, ok := sim.Presets()[req.Preset]; ok {
+			cfg = p
+		}
+	}
+	if req.Config != nil {
+		c, err := sim.ImportConfig(*req.Config)
+		if err != nil {
+			return err
+		}
+		cfg = c
+	}
+	var m *sim.Machine
+	var err error
+	if strings.EqualFold(req.Language, "c") {
+		m, err = sim.NewFromC(cfg, req.Code, req.Optimize)
+	} else {
+		m, err = sim.NewFromAsm(cfg, req.Code, req.Entry)
+	}
+	if err != nil {
+		return err
+	}
+	m.Run(50_000_000)
+
+	addr, length := 0, 64
+	if i := strings.IndexByte(spec, ':'); i > 0 {
+		a, err1 := strconv.Atoi(spec[:i])
+		l, err2 := strconv.Atoi(spec[i+1:])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad dump range %q", spec)
+		}
+		addr, length = a, l
+	} else {
+		a, size, ok := m.LookupLabel(spec)
+		if !ok {
+			return fmt.Errorf("no allocation labelled %q", spec)
+		}
+		addr, length = a, size
+	}
+	dump, err := m.HexDump(addr, length)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nMemory dump %s:\n%s", spec, dump)
+	return nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "riscvsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Command simserver runs the simulation server: the paper's `simserver`
+// container, serving the JSON API that both the web client and the CLI
+// consume (§III-D). TLS termination belongs to a front proxy (the paper
+// uses nginx), so this binary speaks plain HTTP.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"riscvsim/internal/loadgen"
+	"riscvsim/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8042", "listen address")
+		maxSessions = flag.Int("max-sessions", 256, "interactive session cap")
+		noGzip      = flag.Bool("no-gzip", false, "disable response compression")
+		dockerShim  = flag.Bool("docker-shim", false, "simulate containerized deployment overhead (Table I 'Docker' rows)")
+		proxyDelay  = flag.Duration("shim-delay", 2*time.Millisecond, "docker shim per-request overhead")
+		parallelism = flag.Int("shim-parallelism", 0, "docker shim concurrency cap (0 = NumCPU/2)")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		MaxSessions: *maxSessions,
+		DisableGzip: *noGzip,
+	})
+	var handler http.Handler = srv.Handler()
+	if *dockerShim {
+		shim := &loadgen.DockerShim{ProxyDelay: *proxyDelay, Parallelism: *parallelism}
+		handler = shim.Wrap(handler)
+		fmt.Printf("docker shim enabled: delay=%v parallelism=%d\n", *proxyDelay, *parallelism)
+	}
+
+	fmt.Printf("simulation server listening on %s (gzip=%v)\n", *addr, !*noGzip)
+	s := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(s.ListenAndServe())
+}

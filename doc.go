@@ -1,0 +1,13 @@
+// Package riscvsim is a Go reproduction of "Web-Based Simulator of
+// Superscalar RISC-V Processors" (Jaros, Majer, Horky, Vavra; SC 2024,
+// arXiv:2411.07721): a configurable superscalar out-of-order RV32IM(F)
+// processor simulator with register renaming, reorder buffer, issue
+// windows, load/store buffers, an L1 cache, branch prediction, a built-in
+// C compiler, an HTTP JSON simulation server, a CLI, and the paper's full
+// evaluation harness.
+//
+// The public API lives in riscvsim/sim; see README.md for a tour and
+// DESIGN.md for the system inventory. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation
+// (EXPERIMENTS.md records paper-vs-measured results).
+package riscvsim

@@ -1,0 +1,65 @@
+// Debugger: the paper's future-work development features (§V) — set a
+// breakpoint inside a loop, watch a memory cell, step past triggers, and
+// finish with the chip-area/power estimate for the architecture.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riscvsim/sim"
+)
+
+const program = `
+main:
+  la s0, counter
+  li t0, 0
+  li t1, 5
+loop:
+  addi t0, t0, 1      # pc=3: breakpoint here
+  sw t0, 0(s0)        # watched store
+  bne t0, t1, loop
+  lw a0, 0(s0)
+  ret
+.data
+counter: .word 0
+`
+
+func main() {
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), program, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Breakpoint on the increment (commit-ordered, like a debugger).
+	if err := m.AddBreakpoint(3); err != nil {
+		log.Fatal(err)
+	}
+	hits := 0
+	for m.RunToBreak(1_000_000) {
+		t0, _ := m.IntReg("t0")
+		fmt.Printf("breakpoint hit %d at cycle %4d: %s (t0=%d)\n",
+			hits+1, m.Cycle(), m.PauseReason(), t0)
+		hits++
+		if hits == 3 {
+			fmt.Println("removing breakpoint, adding a watch on `counter`...")
+			m.RemoveBreakpoint(3)
+			addr, size, _ := m.LookupLabel("counter")
+			if err := m.AddWatch(addr, size); err != nil {
+				log.Fatal(err)
+			}
+		}
+		m.Resume()
+	}
+	if m.Paused() {
+		fmt.Printf("paused: %s\n", m.PauseReason())
+		m.Resume()
+		m.Run(1_000_000)
+	}
+
+	v, _ := m.IntReg("a0")
+	fmt.Printf("\nfinal counter = %d (expected 5) after %d cycles\n\n", v, m.Cycle())
+
+	// The cost model (future-work: chip area and power estimation).
+	fmt.Println(m.EstimateCost().FormatText())
+}

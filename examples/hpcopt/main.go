@@ -1,0 +1,155 @@
+// HPC optimization study: the paper's motivating use case (§I-B) — given
+// an algorithm, how do code shape and processor width interact? Runs a
+// dot-product kernel in three variants (naive, unrolled x4, fma) across
+// processor widths 1/2/4/8 and prints the cycles/IPC matrix, making the
+// width-vs-ILP crossover visible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riscvsim/sim"
+)
+
+// naive: one multiply-accumulate per iteration, serial dependence on the
+// accumulator.
+const naive = `
+main:
+  la t0, a
+  la t1, b
+  li t2, 0            # i
+  li t3, 64           # n
+  fmv.w.x ft0, x0     # sum = 0
+loop:
+  slli t4, t2, 2
+  add t5, t0, t4
+  flw ft1, 0(t5)
+  add t6, t1, t4
+  flw ft2, 0(t6)
+  fmul.s ft3, ft1, ft2
+  fadd.s ft0, ft0, ft3
+  addi t2, t2, 1
+  blt t2, t3, loop
+  fcvt.w.s a0, ft0
+  ret
+.data
+.align 4
+a: .zero 256
+b: .zero 256
+`
+
+// unrolled: four partial sums break the accumulator dependence chain.
+const unrolled = `
+main:
+  la t0, a
+  la t1, b
+  li t2, 0
+  li t3, 64
+  fmv.w.x ft0, x0     # sum0
+  fmv.w.x ft4, x0     # sum1
+  fmv.w.x ft5, x0     # sum2
+  fmv.w.x ft6, x0     # sum3
+loop:
+  slli t4, t2, 2
+  add t5, t0, t4
+  add t6, t1, t4
+  flw ft1, 0(t5)
+  flw ft2, 0(t6)
+  fmul.s ft3, ft1, ft2
+  fadd.s ft0, ft0, ft3
+  flw ft1, 4(t5)
+  flw ft2, 4(t6)
+  fmul.s ft3, ft1, ft2
+  fadd.s ft4, ft4, ft3
+  flw ft1, 8(t5)
+  flw ft2, 8(t6)
+  fmul.s ft3, ft1, ft2
+  fadd.s ft5, ft5, ft3
+  flw ft1, 12(t5)
+  flw ft2, 12(t6)
+  fmul.s ft3, ft1, ft2
+  fadd.s ft6, ft6, ft3
+  addi t2, t2, 4
+  blt t2, t3, loop
+  fadd.s ft0, ft0, ft4
+  fadd.s ft5, ft5, ft6
+  fadd.s ft0, ft0, ft5
+  fcvt.w.s a0, ft0
+  ret
+.data
+.align 4
+a: .zero 256
+b: .zero 256
+`
+
+// fma: fused multiply-add halves the arithmetic instruction count.
+const fma = `
+main:
+  la t0, a
+  la t1, b
+  li t2, 0
+  li t3, 64
+  fmv.w.x ft0, x0
+  fmv.w.x ft4, x0
+loop:
+  slli t4, t2, 2
+  add t5, t0, t4
+  add t6, t1, t4
+  flw ft1, 0(t5)
+  flw ft2, 0(t6)
+  fmadd.s ft0, ft1, ft2, ft0
+  flw ft1, 4(t5)
+  flw ft2, 4(t6)
+  fmadd.s ft4, ft1, ft2, ft4
+  addi t2, t2, 2
+  blt t2, t3, loop
+  fadd.s ft0, ft0, ft4
+  fcvt.w.s a0, ft0
+  ret
+.data
+.align 4
+a: .zero 256
+b: .zero 256
+`
+
+func main() {
+	variants := []struct {
+		name string
+		src  string
+	}{
+		{"naive", naive},
+		{"unroll4", unrolled},
+		{"fma", fma},
+	}
+	widths := []int{1, 2, 4, 8}
+
+	fmt.Println("dot-product (n=64): cycles [IPC] by processor width")
+	fmt.Printf("%-10s", "variant")
+	for _, w := range widths {
+		fmt.Printf("%16s", fmt.Sprintf("%d-wide", w))
+	}
+	fmt.Println()
+
+	for _, v := range variants {
+		fmt.Printf("%-10s", v.name)
+		for _, w := range widths {
+			cfg, err := sim.WidthConfig(w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m, err := sim.NewFromAsm(cfg, v.src, "main")
+			if err != nil {
+				log.Fatal(err)
+			}
+			m.Run(1_000_000)
+			r := m.Report()
+			fmt.Printf("%16s", fmt.Sprintf("%d [%.2f]", r.Cycles, r.IPC))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nreading: wider cores shorten every variant, but the single")
+	fmt.Println("non-pipelined FP unit (the paper's stated limitation, §III-A)")
+	fmt.Println("caps FP throughput — fma wins by halving FP-unit occupancy,")
+	fmt.Println("and unrolling mainly helps the narrow cores' fetch bandwidth.")
+}

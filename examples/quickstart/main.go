@@ -1,0 +1,41 @@
+// Quickstart: assemble a small program, run it to completion on the
+// default 2-wide superscalar core, and print the runtime statistics —
+// the 30-second tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riscvsim/sim"
+)
+
+const program = `
+# Sum the integers 1..100 into t0.
+main:
+  li t0, 0          # sum
+  li t1, 1          # i
+  li t2, 101        # limit
+loop:
+  add t0, t0, t1
+  addi t1, t1, 1
+  bne t1, t2, loop
+  mv a0, t0         # result in a0
+  ret
+`
+
+func main() {
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), program, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m.Run(1_000_000)
+
+	result, err := m.IntReg("a0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sum(1..100) = %d (expected 5050)\n\n", result)
+	fmt.Println(m.Report().FormatText())
+}

@@ -1,0 +1,126 @@
+package asm
+
+import "strings"
+
+// uselessDirectives are assembler-output directives that carry no meaning
+// for the simulator and only reduce readability; the compiler-output
+// filter strips them (paper §III-C: "the compiler output is passed through
+// a filter that removes unnecessary directives, labels, and data").
+var uselessDirectives = map[string]bool{
+	".file": true, ".ident": true, ".option": true, ".attribute": true,
+	".globl": true, ".global": true, ".type": true, ".size": true,
+	".local": true, ".weak": true, ".addrsig": true, ".addrsig_sym": true,
+	".cfi_startproc": true, ".cfi_endproc": true, ".cfi_offset": true,
+	".cfi_def_cfa_offset": true, ".cfi_restore": true, ".cfi_def_cfa": true,
+}
+
+// FilterCompilerOutput removes directives, labels and sections that are
+// redundant for the simulator from compiler-generated assembly, keeping
+// instructions, memory definitions and referenced labels.
+func FilterCompilerOutput(src string) string {
+	lines := strings.Split(src, "\n")
+
+	// First sweep: find referenced symbols (anything that appears outside
+	// a label definition).
+	referenced := map[string]bool{}
+	for _, line := range lines {
+		code := stripComment(line)
+		trimmed := strings.TrimSpace(code)
+		if trimmed == "" {
+			continue
+		}
+		// Drop a leading "label:" definition, then collect identifiers.
+		if i := strings.Index(trimmed, ":"); i >= 0 && isLabelDef(trimmed[:i]) {
+			trimmed = trimmed[i+1:]
+		}
+		// Skip the mnemonic/directive itself; operand symbols (including
+		// dot-prefixed local labels like .L1) count as references.
+		trimmed = strings.TrimSpace(trimmed)
+		if sp := strings.IndexAny(trimmed, " \t"); sp > 0 {
+			trimmed = trimmed[sp:]
+		} else {
+			trimmed = ""
+		}
+		for _, word := range splitSymbols(trimmed) {
+			referenced[word] = true
+		}
+	}
+
+	var out []string
+	for _, line := range lines {
+		code := stripComment(line)
+		trimmed := strings.TrimSpace(code)
+		if trimmed == "" {
+			continue
+		}
+		// Label-only line: keep only if referenced.
+		if i := strings.Index(trimmed, ":"); i >= 0 && isLabelDef(trimmed[:i]) {
+			label := strings.TrimSpace(trimmed[:i])
+			rest := strings.TrimSpace(trimmed[i+1:])
+			if rest == "" {
+				if referenced[label] {
+					out = append(out, label+":")
+				}
+				continue
+			}
+			if referenced[label] {
+				out = append(out, label+":")
+			}
+			trimmed = rest
+		}
+		if strings.HasPrefix(trimmed, ".") {
+			dir := trimmed
+			if sp := strings.IndexAny(dir, " \t"); sp > 0 {
+				dir = dir[:sp]
+			}
+			if uselessDirectives[strings.ToLower(dir)] {
+				continue
+			}
+		}
+		out = append(out, "\t"+trimmed)
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+func isLabelDef(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// splitSymbols extracts identifier-like words (including dot-prefixed
+// local labels) from an instruction's operand text.
+func splitSymbols(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		if isIdentStart(s[i]) {
+			j := i
+			for j < len(s) && isIdentChar(s[j]) {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+			continue
+		}
+		i++
+	}
+	return out
+}

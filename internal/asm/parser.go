@@ -1,0 +1,727 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"riscvsim/internal/isa"
+	"riscvsim/internal/memory"
+)
+
+func float32bits(f float32) uint32 { return math.Float32bits(f) }
+func float64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// section tracks whether statements assemble into code or data.
+type section uint8
+
+const (
+	secText section = iota
+	secData
+)
+
+// parser holds the first-pass state.
+type parser struct {
+	set  *isa.Set
+	regs *isa.RegisterFile
+	toks []Token
+	pos  int
+	errs ErrorList
+
+	prog    *Program
+	sect    section
+	pending []string // labels awaiting their statement
+	curLine int
+}
+
+// Parse runs the assembler's first pass: tokenization and processing of
+// instructions and memory directives (paper §III-C). The returned program
+// still needs Load to allocate memory and resolve label expressions.
+func Parse(src string, set *isa.Set, regs *isa.RegisterFile) (*Program, error) {
+	toks, lexErrs := Lex(src)
+	p := &parser{
+		set:  set,
+		regs: regs,
+		toks: toks,
+		errs: lexErrs,
+		prog: &Program{
+			Symbols:    make(SymbolTable),
+			codeLabels: make(map[string]int),
+		},
+	}
+	for p.pos < len(p.toks) {
+		p.parseLine()
+	}
+	// Code labels are known after the first pass.
+	for name, idx := range p.prog.codeLabels {
+		p.prog.Symbols[name] = int64(idx)
+	}
+	return p.prog, p.errs.Err()
+}
+
+// Assemble is the full pipeline: parse, allocate, resolve and write the
+// data image into memory.
+func Assemble(src string, set *isa.Set, regs *isa.RegisterFile, mem *memory.Main) (*Program, error) {
+	prog, err := Parse(src, set, regs)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Load(mem); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *parser) errf(tok Token, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Line: tok.Line, Col: tok.Col, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	} else {
+		p.pos = len(p.toks)
+	}
+	return t
+}
+
+// skipLine advances past the next newline (error recovery).
+func (p *parser) skipLine() {
+	for p.pos < len(p.toks) {
+		if p.next().Kind == TokNewline {
+			return
+		}
+	}
+}
+
+// lineTokens collects the tokens up to the newline, consuming it.
+func (p *parser) lineTokens() []Token {
+	start := p.pos
+	for p.pos < len(p.toks) && p.toks[p.pos].Kind != TokNewline {
+		p.pos++
+	}
+	line := p.toks[start:p.pos]
+	if p.pos < len(p.toks) {
+		p.pos++ // newline
+	}
+	return line
+}
+
+func (p *parser) parseLine() {
+	// Labels: ident ':' (possibly several on one line). GAS-style local
+	// labels (.L1) lex as directive tokens but define labels all the same.
+	for p.pos+1 < len(p.toks) &&
+		(p.toks[p.pos].Kind == TokIdent || p.toks[p.pos].Kind == TokDir) &&
+		p.toks[p.pos+1].Kind == TokColon {
+		label := p.toks[p.pos].Text
+		if _, dup := p.prog.Symbols[label]; dup {
+			p.errf(p.toks[p.pos], "duplicate label %q", label)
+		} else if _, dup := p.prog.codeLabels[label]; dup {
+			p.errf(p.toks[p.pos], "duplicate label %q", label)
+		} else {
+			p.pending = append(p.pending, label)
+		}
+		p.pos += 2
+	}
+	t := p.peek()
+	switch t.Kind {
+	case TokNewline:
+		p.pos++
+	case TokDir:
+		p.parseDirective()
+	case TokIdent:
+		p.parseInstruction()
+	default:
+		p.errf(t, "expected instruction, directive or label, got %q", t.Text)
+		p.skipLine()
+	}
+}
+
+// attachCodeLabels binds pending labels to the next instruction index.
+func (p *parser) attachCodeLabels() {
+	for _, l := range p.pending {
+		p.prog.codeLabels[l] = len(p.prog.Instructions)
+	}
+	p.pending = p.pending[:0]
+}
+
+// dataItemFor returns a data item for the current directive, consuming
+// pending labels.
+func (p *parser) dataItemFor(line int) *DataItem {
+	item := &DataItem{Labels: append([]string(nil), p.pending...), Align: 1, Line: line}
+	p.pending = p.pending[:0]
+	p.prog.Data = append(p.prog.Data, item)
+	return item
+}
+
+// splitOperands splits the remainder of the line into comma-separated
+// operand token groups (respecting parentheses).
+func splitOperands(line []Token) [][]Token {
+	var groups [][]Token
+	depth := 0
+	cur := []Token{}
+	for _, t := range line {
+		switch t.Kind {
+		case TokLParen:
+			depth++
+			cur = append(cur, t)
+		case TokRParen:
+			depth--
+			cur = append(cur, t)
+		case TokComma:
+			if depth == 0 {
+				groups = append(groups, cur)
+				cur = []Token{}
+				continue
+			}
+			cur = append(cur, t)
+		default:
+			cur = append(cur, t)
+		}
+	}
+	if len(cur) > 0 || len(groups) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+func groupText(g []Token) string {
+	var sb strings.Builder
+	for i, t := range g {
+		if i > 0 && needSpace(g[i-1], t) {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(t.Text)
+	}
+	return sb.String()
+}
+
+func needSpace(a, b Token) bool {
+	return (a.Kind == TokIdent || a.Kind == TokNumber) &&
+		(b.Kind == TokIdent || b.Kind == TokNumber)
+}
+
+// ---------------------------------------------------------------------------
+// Directives
+// ---------------------------------------------------------------------------
+
+func (p *parser) parseDirective() {
+	dir := p.next()
+	line := p.lineTokens()
+	name := strings.ToLower(dir.Text)
+	switch name {
+	case ".text":
+		p.sect = secText
+	case ".data", ".bss", ".rodata":
+		p.sect = secData
+	case ".section":
+		// `.section .rodata` etc. — data unless it names .text.
+		if len(line) > 0 && strings.Contains(line[0].Text, "text") {
+			p.sect = secText
+		} else {
+			p.sect = secData
+		}
+	case ".byte":
+		p.dataElems(dir, line, 1)
+	case ".hword", ".half", ".short", ".2byte":
+		p.dataElems(dir, line, 2)
+	case ".word", ".long", ".4byte":
+		p.dataElems(dir, line, 4)
+	case ".dword", ".quad", ".8byte":
+		p.dataElems(dir, line, 8)
+	case ".float":
+		p.floatElems(dir, line, 4)
+	case ".double":
+		p.floatElems(dir, line, 8)
+	case ".ascii":
+		p.stringData(dir, line, false)
+	case ".asciiz", ".string":
+		p.stringData(dir, line, true)
+	case ".zero", ".skip", ".space":
+		p.skipData(dir, line)
+	case ".align", ".p2align":
+		// Power-of-two exponent (paper Listing 2: ".align 4" gives
+		// 16-byte alignment).
+		if len(line) < 1 || line[0].Kind != TokNumber {
+			p.errf(dir, "%s expects a numeric power-of-two exponent", name)
+			return
+		}
+		n, err := parseIntLiteral(line[0].Text)
+		if err != nil || n < 0 || n > 16 {
+			p.errf(dir, "bad alignment exponent %q", line[0].Text)
+			return
+		}
+		item := p.dataItemFor(dir.Line)
+		item.Align = 1 << n
+	case ".balign":
+		if len(line) < 1 || line[0].Kind != TokNumber {
+			p.errf(dir, ".balign expects a byte count")
+			return
+		}
+		n, err := parseIntLiteral(line[0].Text)
+		if err != nil || n <= 0 || n > 65536 || n&(n-1) != 0 {
+			p.errf(dir, "bad alignment %q", line[0].Text)
+			return
+		}
+		item := p.dataItemFor(dir.Line)
+		item.Align = int(n)
+	case ".equ", ".set":
+		groups := splitOperands(line)
+		if len(groups) != 2 || len(groups[0]) != 1 || groups[0][0].Kind != TokIdent {
+			p.errf(dir, "%s expects `name, expression`", name)
+			return
+		}
+		v, err := evalOperand(groups[1], p.prog.Symbols)
+		if err != nil {
+			p.errf(dir, "%s: %v", name, err)
+			return
+		}
+		p.prog.Symbols[groups[0][0].Text] = v
+	case ".globl", ".global", ".type", ".size", ".file", ".ident",
+		".option", ".attribute", ".local", ".weak", ".comm", ".addrsig",
+		".addrsig_sym", ".cfi_startproc", ".cfi_endproc", ".cfi_offset",
+		".cfi_def_cfa_offset", ".cfi_restore", ".cfi_def_cfa":
+		// Linkage and debug directives carry no meaning for the
+		// simulator; the output filter also strips them (paper §III-C).
+	default:
+		p.errf(dir, "unsupported directive %q", dir.Text)
+	}
+}
+
+// dataElems parses `.word 1, 2, label+4` style directives.
+func (p *parser) dataElems(dir Token, line []Token, size int) {
+	item := p.dataItemFor(dir.Line)
+	if item.Align < size {
+		item.Align = size
+	}
+	groups := splitOperands(line)
+	if len(groups) == 0 {
+		p.errf(dir, "%s expects at least one value", dir.Text)
+		return
+	}
+	for _, g := range groups {
+		if len(g) == 0 {
+			p.errf(dir, "empty element in %s", dir.Text)
+			continue
+		}
+		// Try immediate evaluation; defer to pass 2 when it uses labels.
+		if v, err := evalOperand(g, p.prog.Symbols); err == nil {
+			item.Elems = append(item.Elems, DataElem{Size: size, Val: v})
+		} else {
+			item.Elems = append(item.Elems, DataElem{
+				Size: size,
+				expr: &operandExpr{toks: append([]Token(nil), g...), text: groupText(g)},
+			})
+		}
+	}
+}
+
+func (p *parser) floatElems(dir Token, line []Token, size int) {
+	item := p.dataItemFor(dir.Line)
+	if item.Align < size {
+		item.Align = size
+	}
+	groups := splitOperands(line)
+	for _, g := range groups {
+		neg := false
+		i := 0
+		if len(g) > 0 && (g[0].Kind == TokMinus || g[0].Kind == TokPlus) {
+			neg = g[0].Kind == TokMinus
+			i = 1
+		}
+		if len(g) != i+1 || g[i].Kind != TokNumber {
+			p.errf(dir, "bad floating-point literal in %s", dir.Text)
+			continue
+		}
+		f, err := parseFloatLiteral(g[i].Text)
+		if err != nil {
+			p.errf(dir, "bad floating-point literal %q", g[i].Text)
+			continue
+		}
+		if neg {
+			f = -f
+		}
+		item.Elems = append(item.Elems, DataElem{Size: size, Float: true, FVal: f})
+	}
+}
+
+func (p *parser) stringData(dir Token, line []Token, zeroTerm bool) {
+	item := p.dataItemFor(dir.Line)
+	if len(line) != 1 || line[0].Kind != TokString {
+		p.errf(dir, "%s expects one string literal", dir.Text)
+		return
+	}
+	for _, b := range []byte(line[0].Text) {
+		item.Elems = append(item.Elems, DataElem{Size: 1, Val: int64(b)})
+	}
+	if zeroTerm {
+		item.Elems = append(item.Elems, DataElem{Size: 1, Val: 0})
+	}
+}
+
+func (p *parser) skipData(dir Token, line []Token) {
+	groups := splitOperands(line)
+	if len(groups) < 1 {
+		p.errf(dir, "%s expects a byte count", dir.Text)
+		return
+	}
+	n, err := evalOperand(groups[0], p.prog.Symbols)
+	if err != nil || n < 0 {
+		p.errf(dir, "bad byte count in %s", dir.Text)
+		return
+	}
+	item := p.dataItemFor(dir.Line)
+	item.Skip = int(n)
+}
+
+// ---------------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------------
+
+func (p *parser) parseInstruction() {
+	mn := p.next()
+	line := p.lineTokens()
+	groups := splitOperands(line)
+	p.expand(mn, groups, 0)
+}
+
+// expand resolves pseudo-instructions (possibly recursively) and assembles
+// the final instruction. depth guards against cyclic pseudo definitions in
+// user-loaded ISAs.
+func (p *parser) expand(mn Token, groups [][]Token, depth int) {
+	if depth > 4 {
+		p.errf(mn, "pseudo-instruction expansion too deep for %q", mn.Text)
+		return
+	}
+	name := strings.ToLower(mn.Text)
+
+	if ps, ok := p.set.Pseudo(name); ok {
+		if len(groups) != ps.Operands {
+			p.errf(mn, "%s expects %d operands, got %d", name, ps.Operands, len(groups))
+			return
+		}
+		for _, tmpl := range ps.Expansion {
+			newMn := Token{Kind: TokIdent, Text: tmpl[0], Line: mn.Line, Col: mn.Col}
+			var newGroups [][]Token
+			for _, opTmpl := range tmpl[1:] {
+				if strings.HasPrefix(opTmpl, "$") {
+					idx := int(opTmpl[1] - '0')
+					if idx < 0 || idx >= len(groups) {
+						p.errf(mn, "bad operand substitution %q in pseudo %s", opTmpl, name)
+						return
+					}
+					newGroups = append(newGroups, groups[idx])
+				} else {
+					kind := TokIdent
+					if opTmpl[0] == '-' || (opTmpl[0] >= '0' && opTmpl[0] <= '9') {
+						kind = TokNumber
+					}
+					newGroups = append(newGroups, []Token{{Kind: kind, Text: opTmpl, Line: mn.Line, Col: mn.Col}})
+				}
+			}
+			p.expand(newMn, newGroups, depth+1)
+		}
+		return
+	}
+
+	desc, ok := p.set.Lookup(name)
+	if !ok {
+		p.errf(mn, "unknown instruction %q", mn.Text)
+		return
+	}
+	p.assemble(mn, desc, groups)
+}
+
+// assemble binds operand groups to the descriptor's arguments according to
+// its assembly format and appends the instruction to the code segment.
+func (p *parser) assemble(mn Token, desc *isa.Desc, groups [][]Token) {
+	p.attachCodeLabels()
+	in := &Instruction{
+		Desc:  desc,
+		Index: len(p.prog.Instructions),
+		Line:  mn.Line,
+	}
+
+	bindReg := func(argName string, g []Token) bool {
+		arg := desc.Arg(argName)
+		if arg == nil {
+			p.errf(mn, "internal: %s has no argument %q", desc.Name, argName)
+			return false
+		}
+		if len(g) != 1 || g[0].Kind != TokIdent {
+			p.errf(mn, "%s: operand %q must be a register", desc.Name, groupText(g))
+			return false
+		}
+		rd, ok := p.regs.Lookup(g[0].Text)
+		if !ok {
+			p.errf(g[0], "unknown register %q", g[0].Text)
+			return false
+		}
+		wantClass := isa.RegInt
+		if arg.Kind == isa.ArgRegFloat {
+			wantClass = isa.RegFloat
+		}
+		if rd.Class != wantClass {
+			p.errf(g[0], "%s: register %q has the wrong class for %s", desc.Name, g[0].Text, argName)
+			return false
+		}
+		in.Ops = append(in.Ops, Operand{Arg: arg, Reg: rd.Index, Text: g[0].Text})
+		return true
+	}
+
+	bindImm := func(argName string, g []Token) bool {
+		arg := desc.Arg(argName)
+		if arg == nil {
+			p.errf(mn, "internal: %s has no argument %q", desc.Name, argName)
+			return false
+		}
+		op := Operand{Arg: arg, Text: groupText(g)}
+		if v, err := evalOperand(g, p.prog.Symbols); err == nil && !usesFutureSymbols(g, p.prog.Symbols) {
+			op.Val = v
+		} else {
+			op.expr = &operandExpr{toks: append([]Token(nil), g...), text: groupText(g)}
+		}
+		in.Ops = append(in.Ops, op)
+		return true
+	}
+
+	// splitAddress decomposes `imm(reg)`, `(reg)` or `imm` into its parts.
+	splitAddress := func(g []Token) (immToks []Token, regTok *Token, ok bool) {
+		// Find a trailing "( ident )".
+		if len(g) >= 3 && g[len(g)-1].Kind == TokRParen &&
+			g[len(g)-2].Kind == TokIdent && g[len(g)-3].Kind == TokLParen {
+			return g[:len(g)-3], &g[len(g)-2], true
+		}
+		return g, nil, true
+	}
+
+	wrong := func(want string) {
+		p.errf(mn, "%s expects operands `%s`", desc.Name, want)
+	}
+
+	switch desc.Format {
+	case isa.FmtNone:
+		if len(groups) != 0 {
+			wrong("(none)")
+			return
+		}
+	case isa.FmtR:
+		if len(groups) != 3 {
+			wrong("rd, rs1, rs2")
+			return
+		}
+		if !bindReg("rd", groups[0]) || !bindReg("rs1", groups[1]) || !bindReg("rs2", groups[2]) {
+			return
+		}
+	case isa.FmtR2:
+		if len(groups) != 2 {
+			wrong("rd, rs1")
+			return
+		}
+		if !bindReg("rd", groups[0]) || !bindReg("rs1", groups[1]) {
+			return
+		}
+	case isa.FmtR4:
+		if len(groups) != 4 {
+			wrong("rd, rs1, rs2, rs3")
+			return
+		}
+		if !bindReg("rd", groups[0]) || !bindReg("rs1", groups[1]) ||
+			!bindReg("rs2", groups[2]) || !bindReg("rs3", groups[3]) {
+			return
+		}
+	case isa.FmtI:
+		// jalr accepts `rd, rs1, imm`, `rd, imm(rs1)`, `rd, rs1` and `rs1`.
+		if desc.Name == "jalr" {
+			if !p.bindJalr(mn, desc, in, groups) {
+				return
+			}
+			break
+		}
+		if len(groups) != 3 {
+			wrong("rd, rs1, imm")
+			return
+		}
+		if !bindReg("rd", groups[0]) || !bindReg("rs1", groups[1]) || !bindImm("imm", groups[2]) {
+			return
+		}
+	case isa.FmtU:
+		if len(groups) != 2 {
+			wrong("rd, imm")
+			return
+		}
+		if !bindReg("rd", groups[0]) || !bindImm("imm", groups[1]) {
+			return
+		}
+	case isa.FmtLoad, isa.FmtStore:
+		regArg := "rd"
+		if desc.Format == isa.FmtStore {
+			regArg = "rs2"
+		}
+		if len(groups) != 2 && len(groups) != 3 {
+			wrong(regArg + ", imm(rs1)")
+			return
+		}
+		if !bindReg(regArg, groups[0]) {
+			return
+		}
+		immToks, regTok, _ := splitAddress(groups[1])
+		// 3-operand GAS form `lw rd, sym, tmp` — the temp register is
+		// advisory and ignored.
+		if regTok == nil {
+			if len(immToks) == 0 {
+				wrong(regArg + ", imm(rs1)")
+				return
+			}
+			// Bare symbol: base x0, absolute address immediate.
+			if !bindImm("imm", immToks) {
+				return
+			}
+			in.Ops = append(in.Ops, Operand{Arg: desc.Arg("rs1"), Reg: 0, Text: "x0"})
+		} else {
+			if len(immToks) == 0 {
+				immToks = []Token{{Kind: TokNumber, Text: "0", Line: mn.Line, Col: mn.Col}}
+			}
+			if !bindImm("imm", immToks) {
+				return
+			}
+			if !bindReg("rs1", []Token{*regTok}) {
+				return
+			}
+		}
+	case isa.FmtBranch:
+		if len(groups) != 3 {
+			wrong("rs1, rs2, label")
+			return
+		}
+		if !bindReg("rs1", groups[0]) || !bindReg("rs2", groups[1]) || !bindImm("imm", groups[2]) {
+			return
+		}
+	case isa.FmtJ:
+		switch len(groups) {
+		case 1:
+			// `jal label` implies rd = ra.
+			in.Ops = append(in.Ops, Operand{Arg: desc.Arg("rd"), Reg: isa.RegRA, Text: "ra"})
+			if !bindImm("imm", groups[0]) {
+				return
+			}
+		case 2:
+			if !bindReg("rd", groups[0]) || !bindImm("imm", groups[1]) {
+				return
+			}
+		default:
+			wrong("rd, label")
+			return
+		}
+	}
+	p.prog.Instructions = append(p.prog.Instructions, in)
+}
+
+// bindJalr handles jalr's flexible source forms.
+func (p *parser) bindJalr(mn Token, desc *isa.Desc, in *Instruction, groups [][]Token) bool {
+	bindRegTok := func(argName string, t Token) bool {
+		rd, ok := p.regs.Lookup(t.Text)
+		if !ok || rd.Class != isa.RegInt {
+			p.errf(t, "jalr: %q is not an integer register", t.Text)
+			return false
+		}
+		in.Ops = append(in.Ops, Operand{Arg: desc.Arg(argName), Reg: rd.Index, Text: t.Text})
+		return true
+	}
+	immZero := Operand{Arg: desc.Arg("imm"), Val: 0, Text: "0"}
+
+	switch len(groups) {
+	case 1: // jalr rs1  (rd = ra)
+		in.Ops = append(in.Ops, Operand{Arg: desc.Arg("rd"), Reg: isa.RegRA, Text: "ra"})
+		if len(groups[0]) != 1 {
+			p.errf(mn, "jalr expects a register")
+			return false
+		}
+		if !bindRegTok("rs1", groups[0][0]) {
+			return false
+		}
+		in.Ops = append(in.Ops, immZero)
+	case 2: // jalr rd, rs1  or  jalr rd, imm(rs1)
+		if len(groups[0]) != 1 {
+			p.errf(mn, "jalr expects a destination register")
+			return false
+		}
+		if !bindRegTok("rd", groups[0][0]) {
+			return false
+		}
+		g := groups[1]
+		if len(g) >= 3 && g[len(g)-1].Kind == TokRParen && g[len(g)-2].Kind == TokIdent && g[len(g)-3].Kind == TokLParen {
+			if !bindRegTok("rs1", g[len(g)-2]) {
+				return false
+			}
+			immToks := g[:len(g)-3]
+			if len(immToks) == 0 {
+				in.Ops = append(in.Ops, immZero)
+			} else {
+				v, err := evalOperand(immToks, p.prog.Symbols)
+				if err != nil {
+					in.Ops = append(in.Ops, Operand{Arg: desc.Arg("imm"),
+						expr: &operandExpr{toks: append([]Token(nil), immToks...), text: groupText(immToks)},
+						Text: groupText(immToks)})
+				} else {
+					in.Ops = append(in.Ops, Operand{Arg: desc.Arg("imm"), Val: v, Text: groupText(immToks)})
+				}
+			}
+		} else if len(g) == 1 && g[0].Kind == TokIdent {
+			if !bindRegTok("rs1", g[0]) {
+				return false
+			}
+			in.Ops = append(in.Ops, immZero)
+		} else {
+			p.errf(mn, "jalr: bad source operand %q", groupText(g))
+			return false
+		}
+	case 3: // jalr rd, rs1, imm
+		if len(groups[0]) != 1 || len(groups[1]) != 1 {
+			p.errf(mn, "jalr expects registers")
+			return false
+		}
+		if !bindRegTok("rd", groups[0][0]) || !bindRegTok("rs1", groups[1][0]) {
+			return false
+		}
+		v, err := evalOperand(groups[2], p.prog.Symbols)
+		if err != nil {
+			in.Ops = append(in.Ops, Operand{Arg: desc.Arg("imm"),
+				expr: &operandExpr{toks: append([]Token(nil), groups[2]...), text: groupText(groups[2])},
+				Text: groupText(groups[2])})
+		} else {
+			in.Ops = append(in.Ops, Operand{Arg: desc.Arg("imm"), Val: v, Text: groupText(groups[2])})
+		}
+	default:
+		p.errf(mn, "jalr expects 1-3 operands, got %d", len(groups))
+		return false
+	}
+	return true
+}
+
+// usesFutureSymbols reports whether the expression references identifiers
+// not yet in the symbol table — those must wait for the second pass even
+// though evaluation with the current table happened to succeed (it could
+// only succeed spuriously, so any identifier forces deferral).
+func usesFutureSymbols(g []Token, syms SymbolTable) bool {
+	for i := 0; i < len(g); i++ {
+		t := g[i]
+		if t.Kind == TokIdent || t.Kind == TokDir {
+			if t.Text == "hi" || t.Text == "lo" {
+				if i > 0 && g[i-1].Kind == TokPercent {
+					continue
+				}
+			}
+			if _, ok := syms[t.Text]; !ok {
+				return true
+			}
+			// Even known symbols may move (data labels get their
+			// final address at allocation), so defer all of them.
+			return true
+		}
+	}
+	return false
+}

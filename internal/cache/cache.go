@@ -1,0 +1,470 @@
+// Package cache implements the simulator's L1 data cache, configurable in
+// capacity, line size, associativity, replacement policy (LRU, FIFO or
+// Random) and store behaviour (write-back or write-through), with separate
+// access and line-replacement delays — the full option set of the paper's
+// Cache settings tab (§II-C).
+//
+// The cache sits between the processor's memory-access unit and main
+// memory, servicing the same transactional interface (memory.Port).
+package cache
+
+import (
+	"fmt"
+
+	"riscvsim/internal/fault"
+	"riscvsim/internal/memory"
+)
+
+// ReplacementPolicy selects the victim line within a set.
+type ReplacementPolicy uint8
+
+// Replacement policies offered by the paper's settings window.
+const (
+	LRU ReplacementPolicy = iota
+	FIFO
+	Random
+)
+
+var policyNames = [...]string{"LRU", "FIFO", "Random"}
+
+// String returns the display name of the policy.
+func (p ReplacementPolicy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy is the inverse of String.
+func ParsePolicy(s string) (ReplacementPolicy, error) {
+	for i, n := range policyNames {
+		if n == s {
+			return ReplacementPolicy(i), nil
+		}
+	}
+	return LRU, fmt.Errorf("cache: unknown replacement policy %q", s)
+}
+
+// WritePolicy selects the store behaviour.
+type WritePolicy uint8
+
+// Store behaviours offered by the paper's settings window.
+const (
+	// WriteBack buffers stores in the cache (write-allocate) and writes
+	// dirty lines to memory only on eviction or flush.
+	WriteBack WritePolicy = iota
+	// WriteThrough forwards every store to memory immediately
+	// (no-write-allocate on miss).
+	WriteThrough
+)
+
+var writePolicyNames = [...]string{"write-back", "write-through"}
+
+// String returns the display name of the policy.
+func (p WritePolicy) String() string {
+	if int(p) < len(writePolicyNames) {
+		return writePolicyNames[p]
+	}
+	return fmt.Sprintf("writePolicy(%d)", uint8(p))
+}
+
+// ParseWritePolicy is the inverse of String.
+func ParseWritePolicy(s string) (WritePolicy, error) {
+	for i, n := range writePolicyNames {
+		if n == s {
+			return WritePolicy(i), nil
+		}
+	}
+	return WriteBack, fmt.Errorf("cache: unknown write policy %q", s)
+}
+
+// Config holds the Cache tab parameters (paper §II-C).
+type Config struct {
+	// Enabled turns the L1 cache on; when false the processor talks to
+	// memory directly.
+	Enabled bool
+	// Lines is the total number of cache lines.
+	Lines int
+	// LineSize is the line size in bytes (a power of two).
+	LineSize int
+	// Associativity is the number of ways per set; Lines must be a
+	// multiple of it. 1 = direct-mapped; Lines = fully associative.
+	Associativity int
+	// Replacement selects the victim policy.
+	Replacement ReplacementPolicy
+	// Write selects write-back or write-through behaviour.
+	Write WritePolicy
+	// AccessDelay is the hit latency in cycles.
+	AccessDelay int
+	// ReplacementDelay is the extra latency for a line replacement.
+	ReplacementDelay int
+}
+
+// DefaultConfig returns the cache configuration used by the preset
+// architectures: 16 KiB, 4-way, 64 B lines, LRU write-back.
+func DefaultConfig() Config {
+	return Config{
+		Enabled:          true,
+		Lines:            256,
+		LineSize:         64,
+		Associativity:    4,
+		Replacement:      LRU,
+		Write:            WriteBack,
+		AccessDelay:      1,
+		ReplacementDelay: 10,
+	}
+}
+
+// Validate checks geometric consistency.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.Lines <= 0 {
+		return fmt.Errorf("cache: Lines must be positive, got %d", c.Lines)
+	}
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: LineSize must be a positive power of two, got %d", c.LineSize)
+	}
+	if c.Associativity <= 0 || c.Lines%c.Associativity != 0 {
+		return fmt.Errorf("cache: Associativity %d must divide Lines %d", c.Associativity, c.Lines)
+	}
+	if c.AccessDelay < 0 || c.ReplacementDelay < 0 {
+		return fmt.Errorf("cache: delays must be non-negative")
+	}
+	return nil
+}
+
+// line is one cache line with its buffered data. Write-back caches hold
+// data newer than memory in dirty lines.
+type line struct {
+	valid    bool
+	dirty    bool
+	tag      int
+	lastUse  uint64 // LRU timestamp
+	loadedAt uint64 // FIFO timestamp
+	data     []byte
+}
+
+// Stats are the cache statistics the runtime-statistics window reports
+// (paper §II-D: accesses, hit and miss ratios, bytes written).
+type Stats struct {
+	Accesses     uint64 `json:"accesses"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Evictions    uint64 `json:"evictions"`
+	Writebacks   uint64 `json:"writebacks"`
+	BytesWritten uint64 `json:"bytesWritten"`
+}
+
+// HitRate returns hits/accesses in [0,1].
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is the L1 cache. It implements memory.Port.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	numSets int
+	backing *memory.Main
+	tick    uint64 // monotonic use counter for LRU/FIFO ordering
+	rng     uint64 // xorshift state for Random replacement (deterministic)
+	stats   Stats
+}
+
+// New builds a cache over the given backing memory. The configuration must
+// be valid (see Config.Validate).
+func New(cfg Config, backing *memory.Main) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg, backing: backing, rng: 0x9E3779B97F4A7C15}
+	if cfg.Enabled {
+		c.numSets = cfg.Lines / cfg.Associativity
+		c.sets = make([][]line, c.numSets)
+		for i := range c.sets {
+			ways := make([]line, cfg.Associativity)
+			for w := range ways {
+				ways[w].data = make([]byte, cfg.LineSize)
+			}
+			c.sets[i] = ways
+		}
+	}
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the collected statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// setIndexAndTag splits an address into its set index and tag.
+func (c *Cache) setIndexAndTag(addr int) (int, int) {
+	block := addr / c.cfg.LineSize
+	return block % c.numSets, block / c.numSets
+}
+
+// findWay returns the way holding tag in set si, or -1.
+func (c *Cache) findWay(si, tag int) int {
+	for w := range c.sets[si] {
+		if c.sets[si][w].valid && c.sets[si][w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victimWay selects the way to replace in set si according to the policy.
+func (c *Cache) victimWay(si int) int {
+	ways := c.sets[si]
+	// Prefer an invalid way.
+	for w := range ways {
+		if !ways[w].valid {
+			return w
+		}
+	}
+	switch c.cfg.Replacement {
+	case FIFO:
+		oldest, at := 0, ways[0].loadedAt
+		for w := 1; w < len(ways); w++ {
+			if ways[w].loadedAt < at {
+				oldest, at = w, ways[w].loadedAt
+			}
+		}
+		return oldest
+	case Random:
+		// xorshift64* — deterministic so that backward simulation
+		// (a re-run of the same cycle count) reproduces identical
+		// cache states.
+		c.rng ^= c.rng >> 12
+		c.rng ^= c.rng << 25
+		c.rng ^= c.rng >> 27
+		return int((c.rng * 0x2545F4914F6CDD1D) >> 33 % uint64(len(ways)))
+	default: // LRU
+		oldest, at := 0, ways[0].lastUse
+		for w := 1; w < len(ways); w++ {
+			if ways[w].lastUse < at {
+				oldest, at = w, ways[w].lastUse
+			}
+		}
+		return oldest
+	}
+}
+
+// fill loads the line containing addr into set si, evicting a victim. It
+// returns the way index and the number of extra memory latency cycles the
+// fill cost (victim write-back + line fetch).
+func (c *Cache) fill(si, tag int, now uint64) (int, uint64, *fault.Exception) {
+	w := c.victimWay(si)
+	ln := &c.sets[si][w]
+	var penalty uint64
+	if ln.valid {
+		c.stats.Evictions++
+		if ln.dirty {
+			if exc := c.writebackLine(si, ln); exc != nil {
+				return 0, 0, exc
+			}
+			penalty += uint64(c.backing.Config().StoreLatency)
+		}
+	}
+	addr := c.lineAddr(si, tag)
+	data, exc := c.backing.ReadBytes(addr, c.cfg.LineSize)
+	if exc != nil {
+		return 0, 0, exc
+	}
+	copy(ln.data, data)
+	ln.valid = true
+	ln.dirty = false
+	ln.tag = tag
+	ln.loadedAt = now
+	penalty += uint64(c.backing.Config().LoadLatency)
+	return w, penalty, nil
+}
+
+// lineAddr reconstructs the base address of a line from set index and tag.
+func (c *Cache) lineAddr(si, tag int) int {
+	return (tag*c.numSets + si) * c.cfg.LineSize
+}
+
+func (c *Cache) writebackLine(si int, ln *line) *fault.Exception {
+	addr := c.lineAddr(si, ln.tag)
+	if exc := c.backing.WriteBytes(addr, ln.data); exc != nil {
+		return exc
+	}
+	c.stats.Writebacks++
+	c.stats.BytesWritten += uint64(len(ln.data))
+	return nil
+}
+
+// Access implements memory.Port. A transaction that spans two cache lines
+// is serviced as two sequential line accesses.
+func (c *Cache) Access(tx *memory.Transaction, now uint64) (uint64, *fault.Exception) {
+	if !c.cfg.Enabled {
+		return c.backing.Access(tx, now)
+	}
+	if tx.Addr < 0 || tx.Size <= 0 || tx.Addr+tx.Size > c.backing.Size() {
+		return now, fault.New(fault.InvalidMemoryAccess,
+			"access of %d bytes at address %d outside memory of %d bytes",
+			tx.Size, tx.Addr, c.backing.Size())
+	}
+	tx.IssuedAt = now
+	finish := now + uint64(c.cfg.AccessDelay)
+	hit := true
+
+	firstLine := tx.Addr / c.cfg.LineSize
+	lastLine := (tx.Addr + tx.Size - 1) / c.cfg.LineSize
+	for block := firstLine; block <= lastLine; block++ {
+		si, tag := block%c.numSets, block/c.numSets
+		c.stats.Accesses++
+		w := c.findWay(si, tag)
+		if w < 0 {
+			hit = false
+			c.stats.Misses++
+			if tx.IsStore && c.cfg.Write == WriteThrough {
+				// No-write-allocate: the store goes straight to
+				// memory below.
+				finish = max64(finish, now+uint64(c.cfg.AccessDelay)+uint64(c.backing.Config().StoreLatency))
+				continue
+			}
+			var penalty uint64
+			var exc *fault.Exception
+			w, penalty, exc = c.fill(si, tag, now)
+			if exc != nil {
+				return now, exc
+			}
+			finish = max64(finish, now+uint64(c.cfg.AccessDelay)+uint64(c.cfg.ReplacementDelay)+penalty)
+		} else {
+			c.stats.Hits++
+		}
+		if w >= 0 {
+			c.tick++
+			c.sets[si][w].lastUse = c.tick
+			c.copyData(tx, si, w, block)
+		}
+	}
+
+	if tx.IsStore && c.cfg.Write == WriteThrough {
+		// Forward the store to memory (the authoritative copy).
+		shadow := *tx
+		if _, exc := c.backing.Access(&shadow, now); exc != nil {
+			return now, exc
+		}
+		c.stats.BytesWritten += uint64(tx.Size)
+		finish = max64(finish, shadow.FinishAt)
+	}
+	tx.HitCache = hit
+	tx.FinishAt = finish
+	return finish, nil
+}
+
+// copyData moves the bytes of tx that fall within line block between the
+// transaction payload and the line buffer.
+func (c *Cache) copyData(tx *memory.Transaction, si, w, block int) {
+	ln := &c.sets[si][w]
+	lineBase := block * c.cfg.LineSize
+	for i := 0; i < tx.Size; i++ {
+		a := tx.Addr + i
+		if a/c.cfg.LineSize != block {
+			continue
+		}
+		off := a - lineBase
+		if tx.IsStore {
+			ln.data[off] = byte(tx.Data >> (8 * i))
+			if c.cfg.Write == WriteBack {
+				ln.dirty = true
+			}
+		} else {
+			tx.Data &^= uint64(0xFF) << (8 * i)
+			tx.Data |= uint64(ln.data[off]) << (8 * i)
+		}
+	}
+}
+
+// FlushAll writes every dirty line back to memory (paper §III-A:
+// "transactions ... support cache line flushing"). It returns the cycle at
+// which the flush completes.
+func (c *Cache) FlushAll(now uint64) uint64 {
+	if !c.cfg.Enabled {
+		return now
+	}
+	finish := now
+	for si := range c.sets {
+		for w := range c.sets[si] {
+			ln := &c.sets[si][w]
+			if ln.valid && ln.dirty {
+				if exc := c.writebackLine(si, ln); exc != nil {
+					continue // flush is best-effort at simulation end
+				}
+				ln.dirty = false
+				finish += uint64(c.backing.Config().StoreLatency)
+			}
+		}
+	}
+	return finish
+}
+
+// LineView describes one line for the GUI's cache pane (Fig. 12 shows the
+// cache organized into lines).
+type LineView struct {
+	Set   int    `json:"set"`
+	Way   int    `json:"way"`
+	Valid bool   `json:"valid"`
+	Dirty bool   `json:"dirty"`
+	Tag   int    `json:"tag"`
+	Addr  int    `json:"addr"`
+	Data  []byte `json:"data,omitempty"`
+}
+
+// Lines returns a snapshot of all cache lines for display.
+func (c *Cache) Lines() []LineView {
+	if !c.cfg.Enabled {
+		return nil
+	}
+	out := make([]LineView, 0, c.cfg.Lines)
+	for si := range c.sets {
+		for w := range c.sets[si] {
+			ln := &c.sets[si][w]
+			lv := LineView{Set: si, Way: w, Valid: ln.valid, Dirty: ln.dirty}
+			if ln.valid {
+				lv.Tag = ln.tag
+				lv.Addr = c.lineAddr(si, ln.tag)
+				lv.Data = append([]byte(nil), ln.data...)
+			}
+			out = append(out, lv)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the cache over a new backing memory (for simulation
+// snapshots).
+func (c *Cache) Clone(backing *memory.Main) *Cache {
+	nc := &Cache{
+		cfg: c.cfg, numSets: c.numSets, backing: backing,
+		tick: c.tick, rng: c.rng, stats: c.stats,
+	}
+	if c.cfg.Enabled {
+		nc.sets = make([][]line, len(c.sets))
+		for si := range c.sets {
+			ways := make([]line, len(c.sets[si]))
+			for w := range ways {
+				ways[w] = c.sets[si][w]
+				ways[w].data = append([]byte(nil), c.sets[si][w].data...)
+			}
+			nc.sets[si] = ways
+		}
+	}
+	return nc
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,390 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"riscvsim/internal/memory"
+)
+
+func newBacking() *memory.Main {
+	return memory.New(memory.Config{Size: 64 * 1024, LoadLatency: 10, StoreLatency: 10, CallStackSize: 0})
+}
+
+func newCache(t *testing.T, cfg Config) (*Cache, *memory.Main) {
+	t.Helper()
+	m := newBacking()
+	c, err := New(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m
+}
+
+func smallCfg() Config {
+	return Config{
+		Enabled: true, Lines: 8, LineSize: 16, Associativity: 2,
+		Replacement: LRU, Write: WriteBack, AccessDelay: 1, ReplacementDelay: 5,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Enabled: true, Lines: 0, LineSize: 16, Associativity: 1},
+		{Enabled: true, Lines: 8, LineSize: 15, Associativity: 1},
+		{Enabled: true, Lines: 8, LineSize: 16, Associativity: 3},
+		{Enabled: true, Lines: 8, LineSize: 16, Associativity: 1, AccessDelay: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate should fail for %+v", i, cfg)
+		}
+	}
+	if err := (Config{Enabled: false}).Validate(); err != nil {
+		t.Errorf("disabled cache should validate: %v", err)
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config should validate: %v", err)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c, _ := newCache(t, smallCfg())
+	tx := &memory.Transaction{Addr: 100, Size: 4, IsStore: true, Data: 0xCAFEBABE}
+	if _, exc := c.Access(tx, 0); exc != nil {
+		t.Fatal(exc)
+	}
+	if tx.HitCache {
+		t.Error("first access must miss")
+	}
+	rd := &memory.Transaction{Addr: 100, Size: 4}
+	if _, exc := c.Access(rd, 10); exc != nil {
+		t.Fatal(exc)
+	}
+	if !rd.HitCache {
+		t.Error("second access must hit")
+	}
+	if rd.Data != 0xCAFEBABE {
+		t.Errorf("read %#x, want 0xCAFEBABE", rd.Data)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit 1 miss", st)
+	}
+}
+
+func TestHitIsFasterThanMiss(t *testing.T) {
+	c, _ := newCache(t, smallCfg())
+	miss := &memory.Transaction{Addr: 0, Size: 4}
+	missFinish, _ := c.Access(miss, 0)
+	hit := &memory.Transaction{Addr: 0, Size: 4}
+	hitFinish, _ := c.Access(hit, 100)
+	if hitFinish-100 >= missFinish-0 {
+		t.Errorf("hit latency %d should be less than miss latency %d",
+			hitFinish-100, missFinish)
+	}
+	if hitFinish-100 != uint64(c.Config().AccessDelay) {
+		t.Errorf("hit latency = %d, want AccessDelay=%d", hitFinish-100, c.Config().AccessDelay)
+	}
+}
+
+func TestWriteBackDefersMemoryWrite(t *testing.T) {
+	c, m := newCache(t, smallCfg())
+	tx := &memory.Transaction{Addr: 200, Size: 4, IsStore: true, Data: 42}
+	c.Access(tx, 0)
+	// Memory must still hold zero: the store is buffered in the cache.
+	v, _ := m.ReadWord(200)
+	if v != 0 {
+		t.Errorf("write-back store leaked to memory: %d", v)
+	}
+	c.FlushAll(10)
+	v, _ = m.ReadWord(200)
+	if v != 42 {
+		t.Errorf("after flush memory = %d, want 42", v)
+	}
+}
+
+func TestWriteThroughWritesMemoryImmediately(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Write = WriteThrough
+	c, m := newCache(t, cfg)
+	tx := &memory.Transaction{Addr: 200, Size: 4, IsStore: true, Data: 42}
+	c.Access(tx, 0)
+	v, _ := m.ReadWord(200)
+	if v != 42 {
+		t.Errorf("write-through store not in memory: %d", v)
+	}
+}
+
+func TestWriteThroughNoAllocateOnStoreMiss(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Write = WriteThrough
+	c, _ := newCache(t, cfg)
+	c.Access(&memory.Transaction{Addr: 300, Size: 4, IsStore: true, Data: 7}, 0)
+	rd := &memory.Transaction{Addr: 300, Size: 4}
+	c.Access(rd, 1)
+	if rd.HitCache {
+		t.Error("store miss must not allocate a line under write-through")
+	}
+	if rd.Data != 7 {
+		t.Errorf("read %d, want 7", rd.Data)
+	}
+}
+
+func TestEvictionWritesBackDirtyLine(t *testing.T) {
+	// Direct-mapped, 2 lines of 16 B: addresses 0 and 32 conflict.
+	cfg := Config{
+		Enabled: true, Lines: 2, LineSize: 16, Associativity: 1,
+		Replacement: LRU, Write: WriteBack, AccessDelay: 1, ReplacementDelay: 2,
+	}
+	c, m := newCache(t, cfg)
+	c.Access(&memory.Transaction{Addr: 0, Size: 4, IsStore: true, Data: 11}, 0)
+	// Evict line 0 by touching the conflicting address 32.
+	c.Access(&memory.Transaction{Addr: 32, Size: 4}, 1)
+	v, _ := m.ReadWord(0)
+	if v != 11 {
+		t.Errorf("dirty line not written back on eviction: memory=%d, want 11", v)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// One set, 2 ways, 16 B lines: conflicting addresses 0, 16, 32.
+	cfg := Config{
+		Enabled: true, Lines: 2, LineSize: 16, Associativity: 2,
+		Replacement: LRU, Write: WriteBack, AccessDelay: 1, ReplacementDelay: 2,
+	}
+	c, _ := newCache(t, cfg)
+	c.Access(&memory.Transaction{Addr: 0, Size: 4}, 0)  // miss, fill way0
+	c.Access(&memory.Transaction{Addr: 16, Size: 4}, 1) // miss, fill way1
+	c.Access(&memory.Transaction{Addr: 0, Size: 4}, 2)  // hit (0 is now MRU)
+	c.Access(&memory.Transaction{Addr: 32, Size: 4}, 3) // evicts 16 (LRU)
+	rd0 := &memory.Transaction{Addr: 0, Size: 4}
+	c.Access(rd0, 4)
+	if !rd0.HitCache {
+		t.Error("LRU should have kept address 0")
+	}
+	rd16 := &memory.Transaction{Addr: 16, Size: 4}
+	c.Access(rd16, 5)
+	if rd16.HitCache {
+		t.Error("LRU should have evicted address 16")
+	}
+}
+
+func TestFIFOReplacement(t *testing.T) {
+	cfg := Config{
+		Enabled: true, Lines: 2, LineSize: 16, Associativity: 2,
+		Replacement: FIFO, Write: WriteBack, AccessDelay: 1, ReplacementDelay: 2,
+	}
+	c, _ := newCache(t, cfg)
+	c.Access(&memory.Transaction{Addr: 0, Size: 4}, 0)  // fill way0 (first in)
+	c.Access(&memory.Transaction{Addr: 16, Size: 4}, 1) // fill way1
+	c.Access(&memory.Transaction{Addr: 0, Size: 4}, 2)  // hit; FIFO ignores recency
+	c.Access(&memory.Transaction{Addr: 32, Size: 4}, 3) // evicts 0 (first in)
+	rd0 := &memory.Transaction{Addr: 0, Size: 4}
+	c.Access(rd0, 4)
+	if rd0.HitCache {
+		t.Error("FIFO should have evicted address 0 despite its recent use")
+	}
+}
+
+func TestRandomReplacementIsDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		cfg := Config{
+			Enabled: true, Lines: 4, LineSize: 16, Associativity: 4,
+			Replacement: Random, Write: WriteBack, AccessDelay: 1, ReplacementDelay: 2,
+		}
+		m := newBacking()
+		c, _ := New(cfg, m)
+		var hits []uint64
+		for i := 0; i < 50; i++ {
+			addr := (i * 37 % 16) * 16
+			c.Access(&memory.Transaction{Addr: addr, Size: 4}, uint64(i))
+			hits = append(hits, c.Stats().Hits)
+		}
+		return hits
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Random replacement diverged at access %d: %d != %d (must be deterministic for backward simulation)", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLineCrossingAccess(t *testing.T) {
+	c, _ := newCache(t, smallCfg())
+	// 4-byte store at 14 spans lines [0,16) and [16,32).
+	c.Access(&memory.Transaction{Addr: 14, Size: 4, IsStore: true, Data: 0xAABBCCDD}, 0)
+	rd := &memory.Transaction{Addr: 14, Size: 4}
+	c.Access(rd, 1)
+	if rd.Data != 0xAABBCCDD {
+		t.Errorf("line-crossing read = %#x, want 0xAABBCCDD", rd.Data)
+	}
+}
+
+func TestDisabledCachePassesThrough(t *testing.T) {
+	m := newBacking()
+	c, err := New(Config{Enabled: false}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &memory.Transaction{Addr: 100, Size: 4, IsStore: true, Data: 5}
+	finish, exc := c.Access(tx, 0)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	if finish != uint64(m.Config().StoreLatency) {
+		t.Errorf("disabled cache latency = %d, want memory latency %d", finish, m.Config().StoreLatency)
+	}
+	v, _ := m.ReadWord(100)
+	if v != 5 {
+		t.Error("disabled cache must write memory directly")
+	}
+}
+
+func TestOutOfRangeAccessFaults(t *testing.T) {
+	c, _ := newCache(t, smallCfg())
+	if _, exc := c.Access(&memory.Transaction{Addr: -4, Size: 4}, 0); exc == nil {
+		t.Error("negative address must fault")
+	}
+	if _, exc := c.Access(&memory.Transaction{Addr: 1 << 30, Size: 4}, 0); exc == nil {
+		t.Error("address beyond memory must fault")
+	}
+}
+
+func TestLinesView(t *testing.T) {
+	c, _ := newCache(t, smallCfg())
+	c.Access(&memory.Transaction{Addr: 0, Size: 4, IsStore: true, Data: 1}, 0)
+	views := c.Lines()
+	if len(views) != 8 {
+		t.Fatalf("Lines() returned %d views, want 8", len(views))
+	}
+	valid := 0
+	for _, v := range views {
+		if v.Valid {
+			valid++
+			if v.Addr%16 != 0 {
+				t.Errorf("line address %d not line-aligned", v.Addr)
+			}
+		}
+	}
+	if valid != 1 {
+		t.Errorf("%d valid lines, want 1", valid)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c, m := newCache(t, smallCfg())
+	c.Access(&memory.Transaction{Addr: 0, Size: 4, IsStore: true, Data: 77}, 0)
+	m2 := m.Clone()
+	c2 := c.Clone(m2)
+	// Write through the original; the clone must not see it.
+	c.Access(&memory.Transaction{Addr: 0, Size: 4, IsStore: true, Data: 88}, 1)
+	rd := &memory.Transaction{Addr: 0, Size: 4}
+	c2.Access(rd, 2)
+	if rd.Data != 77 {
+		t.Errorf("clone sees %d, want 77", rd.Data)
+	}
+}
+
+// Property: reading through the cache always returns what was last written
+// through the cache, regardless of the policy mix and geometry.
+func TestPropertyCacheCoherentWithItself(t *testing.T) {
+	type op struct {
+		Addr uint16
+		Val  uint32
+	}
+	f := func(ops []op, assocSel, polSel uint8) bool {
+		assoc := []int{1, 2, 4}[assocSel%3]
+		pol := ReplacementPolicy(polSel % 3)
+		m := newBacking()
+		c, err := New(Config{
+			Enabled: true, Lines: 8, LineSize: 16, Associativity: assoc,
+			Replacement: pol, Write: WriteBack, AccessDelay: 1, ReplacementDelay: 3,
+		}, m)
+		if err != nil {
+			return false
+		}
+		shadow := map[int]uint32{}
+		now := uint64(0)
+		for _, o := range ops {
+			addr := int(o.Addr) % (64*1024 - 4)
+			addr &^= 3
+			st := &memory.Transaction{Addr: addr, Size: 4, IsStore: true, Data: uint64(o.Val)}
+			if _, exc := c.Access(st, now); exc != nil {
+				return false
+			}
+			shadow[addr] = o.Val
+			now++
+		}
+		for addr, want := range shadow {
+			rd := &memory.Transaction{Addr: addr, Size: 4}
+			if _, exc := c.Access(rd, now); exc != nil {
+				return false
+			}
+			if uint32(rd.Data) != want {
+				return false
+			}
+			now++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after FlushAll, memory agrees with every value written through
+// a write-back cache.
+func TestPropertyFlushMakesMemoryCoherent(t *testing.T) {
+	f := func(addrs []uint16, val uint32) bool {
+		m := newBacking()
+		c, _ := New(smallCfgQuick(), m)
+		shadow := map[int]uint32{}
+		for i, a := range addrs {
+			addr := (int(a) % (64*1024 - 4)) &^ 3
+			v := val + uint32(i)
+			c.Access(&memory.Transaction{Addr: addr, Size: 4, IsStore: true, Data: uint64(v)}, uint64(i))
+			shadow[addr] = v
+		}
+		c.FlushAll(uint64(len(addrs)))
+		for addr, want := range shadow {
+			got, exc := m.ReadWord(addr)
+			if exc != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func smallCfgQuick() Config {
+	return Config{
+		Enabled: true, Lines: 8, LineSize: 16, Associativity: 2,
+		Replacement: LRU, Write: WriteBack, AccessDelay: 1, ReplacementDelay: 5,
+	}
+}
+
+func TestPolicyParseRoundTrip(t *testing.T) {
+	for _, p := range []ReplacementPolicy{LRU, FIFO, Random} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	for _, w := range []WritePolicy{WriteBack, WriteThrough} {
+		got, err := ParseWritePolicy(w.String())
+		if err != nil || got != w {
+			t.Errorf("ParseWritePolicy(%q) = %v, %v", w.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy(bogus) should fail")
+	}
+}

@@ -1,0 +1,169 @@
+// Package client implements the simulator's client side: a thin typed
+// wrapper over the server's JSON API used by the CLI (paper §II-E: "The
+// CLI must be connected to the server using host and port parameters").
+// An in-process mode (Local) runs the same code path without a network.
+package client
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"riscvsim/internal/server"
+)
+
+// Client talks to a simulation server.
+type Client struct {
+	base string
+	http *http.Client
+	gzip bool
+}
+
+// New builds a client for the given host/port. useGzip compresses request
+// bodies and advertises gzip responses.
+func New(host string, port int, useGzip bool) *Client {
+	tr := &http.Transport{DisableCompression: !useGzip}
+	return &Client{
+		base: fmt.Sprintf("http://%s:%d", host, port),
+		http: &http.Client{Transport: tr, Timeout: 120 * time.Second},
+		gzip: useGzip,
+	}
+}
+
+// NewForURL builds a client for a full base URL (tests, load generator).
+func NewForURL(base string, useGzip bool) *Client {
+	tr := &http.Transport{DisableCompression: !useGzip, MaxIdleConnsPerHost: 256}
+	return &Client{
+		base: base,
+		http: &http.Client{Transport: tr, Timeout: 120 * time.Second},
+		gzip: useGzip,
+	}
+}
+
+// Local builds a client wired directly to an in-process server — the same
+// JSON code path without a real socket.
+func Local(opts server.Options) (*Client, func()) {
+	srv := server.New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	c := NewForURL(ts.URL, !opts.DisableGzip)
+	return c, ts.Close
+}
+
+// post sends a JSON request and decodes the JSON response.
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	var rd io.Reader = bytes.NewReader(body)
+	hreq, err := http.NewRequest(http.MethodPost, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	if c.gzip {
+		var buf bytes.Buffer
+		gz := gzip.NewWriter(&buf)
+		gz.Write(body)
+		gz.Close()
+		rd = &buf
+		hreq.Header.Set("Content-Encoding", "gzip")
+	}
+	hreq.Body = io.NopCloser(rd)
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.http.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return fmt.Errorf("client: reading %s response: %w", path, err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("client: %s: %s", path, apiErr.Error)
+		}
+		return fmt.Errorf("client: %s: HTTP %d", path, hresp.StatusCode)
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, resp); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Simulate runs a batch simulation.
+func (c *Client) Simulate(req *server.SimulateRequest) (*server.SimulateResponse, error) {
+	var resp server.SimulateResponse
+	if err := c.post("/simulate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Compile translates C to assembly on the server.
+func (c *Client) Compile(req *server.CompileRequest) (*server.CompileResponse, error) {
+	var resp server.CompileResponse
+	if err := c.post("/compile", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// NewSession opens an interactive session.
+func (c *Client) NewSession(req *server.SessionNewRequest) (*server.SessionNewResponse, error) {
+	var resp server.SessionNewResponse
+	if err := c.post("/session/new", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Step advances (or rewinds, with negative steps) a session.
+func (c *Client) Step(id string, steps int64) (*server.SessionStateResponse, error) {
+	var resp server.SessionStateResponse
+	err := c.post("/session/step", &server.SessionStepRequest{SessionID: id, Steps: steps}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Goto jumps a session to an absolute cycle.
+func (c *Client) Goto(id string, cycle uint64) (*server.SessionStateResponse, error) {
+	var resp server.SessionStateResponse
+	err := c.post("/session/goto", &server.SessionGotoRequest{SessionID: id, Cycle: cycle}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CloseSession ends a session.
+func (c *Client) CloseSession(id string) error {
+	return c.post("/session/close", &server.SessionCloseRequest{SessionID: id}, nil)
+}
+
+// Metrics fetches the server's instrumentation counters.
+func (c *Client) Metrics() (*server.Metrics, error) {
+	hresp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	var m server.Metrics
+	if err := json.NewDecoder(hresp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,654 @@
+package compiler
+
+import "fmt"
+
+// parser builds the AST via recursive descent with precedence climbing.
+type parser struct {
+	toks []Token
+	pos  int
+	errs DiagList
+}
+
+func parse(toks []Token) (*Program, DiagList) {
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TEOF) {
+		start := p.pos
+		p.parseTopLevel(prog)
+		if p.pos == start {
+			// Ensure progress on malformed input.
+			p.pos++
+		}
+	}
+	return prog, p.errs
+}
+
+func (p *parser) cur() Token        { return p.toks[p.pos] }
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TPunct && t.Text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.Kind == TKeyword && t.Text == s
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t Token, format string, args ...any) {
+	p.errs = append(p.errs, &Diag{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) expect(s string) bool {
+	if p.isPunct(s) {
+		p.next()
+		return true
+	}
+	p.errf(p.cur(), "expected %q, got %q", s, p.cur().Text)
+	return false
+}
+
+// skipTo advances past the next occurrence of any of the given punctuators
+// (error recovery).
+func (p *parser) skipTo(stops ...string) {
+	depth := 0
+	for !p.at(TEOF) {
+		t := p.cur()
+		if t.Kind == TPunct {
+			switch t.Text {
+			case "{":
+				depth++
+			case "}":
+				if depth > 0 {
+					depth--
+				} else {
+					return
+				}
+			}
+			if depth == 0 {
+				for _, s := range stops {
+					if t.Text == s {
+						p.next()
+						return
+					}
+				}
+			}
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+// parseBaseType parses the type-specifier part (int, unsigned, float...).
+func (p *parser) parseBaseType() (*CType, bool) {
+	t := p.cur()
+	if t.Kind != TKeyword {
+		return nil, false
+	}
+	switch t.Text {
+	case "const", "static":
+		p.next()
+		return p.parseBaseType()
+	case "void":
+		p.next()
+		return typeVoid, true
+	case "char":
+		p.next()
+		return typeChar, true
+	case "int":
+		p.next()
+		return typeInt, true
+	case "long", "short":
+		p.next()
+		if p.isKeyword("int") {
+			p.next()
+		}
+		return typeInt, true
+	case "unsigned":
+		p.next()
+		if p.isKeyword("int") || p.isKeyword("char") || p.isKeyword("long") {
+			p.next()
+		}
+		return typeUInt, true
+	case "float":
+		p.next()
+		return typeFloat, true
+	case "double":
+		p.next()
+		return typeDouble, true
+	case "struct", "union", "enum", "typedef", "switch", "goto":
+		p.errf(t, "%q is not supported by this C subset", t.Text)
+		p.next()
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// parseDeclarator parses "*"* name ["[N]"].
+func (p *parser) parseDeclarator(base *CType) (string, *CType, Token) {
+	ty := base
+	for p.isPunct("*") {
+		p.next()
+		ty = ptrTo(ty)
+	}
+	nameTok := p.cur()
+	name := ""
+	if p.at(TIdent) {
+		name = p.next().Text
+	} else {
+		p.errf(nameTok, "expected identifier, got %q", nameTok.Text)
+	}
+	for p.isPunct("[") {
+		p.next()
+		n := 0
+		if p.at(TIntLit) {
+			n = int(p.next().Int)
+		} else if !p.isPunct("]") {
+			p.errf(p.cur(), "array length must be an integer constant")
+			p.skipTo("]")
+			return name, ty, nameTok
+		}
+		p.expect("]")
+		ty = arrayOf(ty, n)
+	}
+	return name, ty, nameTok
+}
+
+func (p *parser) parseTopLevel(prog *Program) {
+	extern := false
+	for p.isKeyword("extern") || p.isKeyword("static") {
+		if p.cur().Text == "extern" {
+			extern = true
+		}
+		p.next()
+	}
+	base, ok := p.parseBaseType()
+	if !ok {
+		p.errf(p.cur(), "expected declaration, got %q", p.cur().Text)
+		p.skipTo(";")
+		return
+	}
+	name, ty, nameTok := p.parseDeclarator(base)
+
+	if p.isPunct("(") {
+		p.parseFunc(prog, name, ty, nameTok)
+		return
+	}
+
+	// Global variable(s).
+	for {
+		vd := &VarDecl{Name: name, Type: ty, Extern: extern, Line: nameTok.Line}
+		if p.isPunct("=") {
+			p.next()
+			if p.isPunct("{") {
+				vd.Inits = p.parseInitList()
+			} else {
+				vd.Init = p.parseAssignExpr()
+			}
+		}
+		prog.Globals = append(prog.Globals, vd)
+		if p.isPunct(",") {
+			p.next()
+			name, ty, nameTok = p.parseDeclarator(base)
+			continue
+		}
+		break
+	}
+	p.expect(";")
+}
+
+func (p *parser) parseInitList() []*Expr {
+	p.expect("{")
+	var inits []*Expr
+	for !p.isPunct("}") && !p.at(TEOF) {
+		inits = append(inits, p.parseAssignExpr())
+		if p.isPunct(",") {
+			p.next()
+		} else {
+			break
+		}
+	}
+	p.expect("}")
+	return inits
+}
+
+func (p *parser) parseFunc(prog *Program, name string, ret *CType, nameTok Token) {
+	p.expect("(")
+	fd := &FuncDecl{Name: name, Ret: ret, Line: nameTok.Line}
+	if p.isKeyword("void") && p.toks[p.pos+1].Text == ")" {
+		p.next()
+	}
+	for !p.isPunct(")") && !p.at(TEOF) {
+		base, ok := p.parseBaseType()
+		if !ok {
+			p.errf(p.cur(), "expected parameter type, got %q", p.cur().Text)
+			p.skipTo(")")
+			break
+		}
+		pname, pty, ptok := p.parseDeclarator(base)
+		if pty.Kind == TyArray {
+			// Array parameters decay to pointers.
+			pty = ptrTo(pty.Elem)
+		}
+		fd.Params = append(fd.Params, &VarDecl{Name: pname, Type: pty, Line: ptok.Line})
+		if p.isPunct(",") {
+			p.next()
+		} else {
+			break
+		}
+	}
+	p.expect(")")
+	if p.isPunct(";") {
+		// Prototype: record as a function with nil body.
+		p.next()
+		fd.Body = nil
+		prog.Funcs = append(prog.Funcs, fd)
+		return
+	}
+	fd.Body = p.parseBlock()
+	prog.Funcs = append(prog.Funcs, fd)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+func (p *parser) parseBlock() *Stmt {
+	line := p.cur().Line
+	p.expect("{")
+	blk := &Stmt{Kind: SBlock, Line: line}
+	for !p.isPunct("}") && !p.at(TEOF) {
+		start := p.pos
+		blk.Body = append(blk.Body, p.parseStmt())
+		if p.pos == start {
+			p.pos++
+		}
+	}
+	p.expect("}")
+	return blk
+}
+
+func (p *parser) parseStmt() *Stmt {
+	t := p.cur()
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+	case p.isPunct(";"):
+		p.next()
+		return &Stmt{Kind: SEmpty, Line: t.Line}
+	case p.isKeyword("if"):
+		p.next()
+		p.expect("(")
+		cond := p.parseExpr()
+		p.expect(")")
+		then := p.parseStmt()
+		var els *Stmt
+		if p.isKeyword("else") {
+			p.next()
+			els = p.parseStmt()
+		}
+		return &Stmt{Kind: SIf, Cond: cond, Then: then, Else: els, Line: t.Line}
+	case p.isKeyword("while"):
+		p.next()
+		p.expect("(")
+		cond := p.parseExpr()
+		p.expect(")")
+		body := p.parseStmt()
+		return &Stmt{Kind: SWhile, Cond: cond, Then: body, Line: t.Line}
+	case p.isKeyword("do"):
+		p.next()
+		body := p.parseStmt()
+		if !p.isKeyword("while") {
+			p.errf(p.cur(), "expected `while` after do-body")
+		} else {
+			p.next()
+		}
+		p.expect("(")
+		cond := p.parseExpr()
+		p.expect(")")
+		p.expect(";")
+		return &Stmt{Kind: SDoWhile, Cond: cond, Then: body, Line: t.Line}
+	case p.isKeyword("for"):
+		p.next()
+		p.expect("(")
+		var init *Stmt
+		if !p.isPunct(";") {
+			if _, isType := p.peekType(); isType {
+				init = p.parseDeclStmt()
+			} else {
+				e := p.parseExpr()
+				p.expect(";")
+				init = &Stmt{Kind: SExpr, Expr: e, Line: t.Line}
+			}
+		} else {
+			p.next()
+		}
+		var cond *Expr
+		if !p.isPunct(";") {
+			cond = p.parseExpr()
+		}
+		p.expect(";")
+		var post *Expr
+		if !p.isPunct(")") {
+			post = p.parseExpr()
+		}
+		p.expect(")")
+		body := p.parseStmt()
+		return &Stmt{Kind: SFor, Init: init, Cond: cond, Post: post, Then: body, Line: t.Line}
+	case p.isKeyword("return"):
+		p.next()
+		var e *Expr
+		if !p.isPunct(";") {
+			e = p.parseExpr()
+		}
+		p.expect(";")
+		return &Stmt{Kind: SReturn, Expr: e, Line: t.Line}
+	case p.isKeyword("break"):
+		p.next()
+		p.expect(";")
+		return &Stmt{Kind: SBreak, Line: t.Line}
+	case p.isKeyword("continue"):
+		p.next()
+		p.expect(";")
+		return &Stmt{Kind: SContinue, Line: t.Line}
+	default:
+		if _, isType := p.peekType(); isType {
+			return p.parseDeclStmt()
+		}
+		e := p.parseExpr()
+		p.expect(";")
+		return &Stmt{Kind: SExpr, Expr: e, Line: t.Line}
+	}
+}
+
+// peekType reports whether a type specifier starts here (without consuming).
+func (p *parser) peekType() (*CType, bool) {
+	t := p.cur()
+	if t.Kind != TKeyword {
+		return nil, false
+	}
+	switch t.Text {
+	case "void", "char", "int", "unsigned", "float", "double", "long", "short", "const":
+		return nil, true
+	}
+	return nil, false
+}
+
+func (p *parser) parseDeclStmt() *Stmt {
+	line := p.cur().Line
+	base, ok := p.parseBaseType()
+	if !ok {
+		p.skipTo(";")
+		return &Stmt{Kind: SEmpty, Line: line}
+	}
+	blk := &Stmt{Kind: SBlock, Line: line}
+	for {
+		name, ty, nameTok := p.parseDeclarator(base)
+		vd := &VarDecl{Name: name, Type: ty, Line: nameTok.Line}
+		if p.isPunct("=") {
+			p.next()
+			if p.isPunct("{") {
+				vd.Inits = p.parseInitList()
+			} else {
+				vd.Init = p.parseAssignExpr()
+			}
+		}
+		blk.Body = append(blk.Body, &Stmt{Kind: SDecl, Decl: vd, Line: nameTok.Line})
+		if p.isPunct(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	p.expect(";")
+	if len(blk.Body) == 1 {
+		return blk.Body[0]
+	}
+	return blk
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+func (p *parser) parseExpr() *Expr {
+	e := p.parseAssignExpr()
+	for p.isPunct(",") {
+		p.next()
+		r := p.parseAssignExpr()
+		e = &Expr{Kind: EBinary, Op: ",", L: e, R: r, Line: e.Line, Col: e.Col}
+	}
+	return e
+}
+
+var compoundOps = map[string]string{
+	"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"<<=": "<<", ">>=": ">>", "&=": "&", "|=": "|", "^=": "^",
+}
+
+func (p *parser) parseAssignExpr() *Expr {
+	lhs := p.parseCondExpr()
+	t := p.cur()
+	if t.Kind != TPunct {
+		return lhs
+	}
+	if t.Text == "=" {
+		p.next()
+		rhs := p.parseAssignExpr()
+		return &Expr{Kind: EAssign, L: lhs, R: rhs, Line: t.Line, Col: t.Col}
+	}
+	if op, ok := compoundOps[t.Text]; ok {
+		p.next()
+		rhs := p.parseAssignExpr()
+		// Desugar a op= b into a = a op b. The subset's lvalues
+		// (identifiers, dereferences, indexing) are evaluated twice;
+		// their side-effect-free forms make this safe.
+		sum := &Expr{Kind: EBinary, Op: op, L: lhs, R: rhs, Line: t.Line, Col: t.Col}
+		return &Expr{Kind: EAssign, L: lhs, R: sum, Line: t.Line, Col: t.Col}
+	}
+	return lhs
+}
+
+func (p *parser) parseCondExpr() *Expr {
+	cond := p.parseBinary(0)
+	if !p.isPunct("?") {
+		return cond
+	}
+	t := p.next()
+	then := p.parseExpr()
+	p.expect(":")
+	els := p.parseCondExpr()
+	return &Expr{Kind: ECond, L: cond, R: then, R2: els, Line: t.Line, Col: t.Col}
+}
+
+// binary operator precedence (C levels, high binds tighter).
+var binPrec = map[string]int{
+	"*": 10, "/": 10, "%": 10,
+	"+": 9, "-": 9,
+	"<<": 8, ">>": 8,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"==": 6, "!=": 6,
+	"&": 5, "^": 4, "|": 3,
+	"&&": 2, "||": 1,
+}
+
+func (p *parser) parseBinary(minPrec int) *Expr {
+	lhs := p.parseUnary()
+	for {
+		t := p.cur()
+		if t.Kind != TPunct {
+			return lhs
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &Expr{Kind: EBinary, Op: t.Text, L: lhs, R: rhs, Line: t.Line, Col: t.Col}
+	}
+}
+
+func (p *parser) parseUnary() *Expr {
+	t := p.cur()
+	if t.Kind == TPunct {
+		switch t.Text {
+		case "-", "!", "~":
+			p.next()
+			e := p.parseUnary()
+			return &Expr{Kind: EUnary, Op: t.Text, L: e, Line: t.Line, Col: t.Col}
+		case "+":
+			p.next()
+			return p.parseUnary()
+		case "*":
+			p.next()
+			e := p.parseUnary()
+			return &Expr{Kind: EDeref, L: e, Line: t.Line, Col: t.Col}
+		case "&":
+			p.next()
+			e := p.parseUnary()
+			return &Expr{Kind: EAddr, L: e, Line: t.Line, Col: t.Col}
+		case "++", "--":
+			p.next()
+			e := p.parseUnary()
+			op := "+"
+			if t.Text == "--" {
+				op = "-"
+			}
+			return &Expr{Kind: EPreIncr, Op: op, L: e, Line: t.Line, Col: t.Col}
+		case "(":
+			// Cast or parenthesized expression.
+			if ty, isType := p.peekTypeAt(p.pos + 1); isType {
+				p.next() // (
+				base, _ := p.parseBaseType()
+				cast := base
+				for p.isPunct("*") {
+					p.next()
+					cast = ptrTo(cast)
+				}
+				_ = ty
+				p.expect(")")
+				e := p.parseUnary()
+				return &Expr{Kind: ECast, Cast: cast, L: e, Line: t.Line, Col: t.Col}
+			}
+		}
+	}
+	if t.Kind == TKeyword && t.Text == "sizeof" {
+		p.next()
+		if p.isPunct("(") {
+			if _, isType := p.peekTypeAt(p.pos + 1); isType {
+				p.next()
+				base, _ := p.parseBaseType()
+				ty := base
+				for p.isPunct("*") {
+					p.next()
+					ty = ptrTo(ty)
+				}
+				p.expect(")")
+				return &Expr{Kind: ESizeof, Cast: ty, Line: t.Line, Col: t.Col}
+			}
+		}
+		e := p.parseUnary()
+		return &Expr{Kind: ESizeof, L: e, Line: t.Line, Col: t.Col}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) peekTypeAt(pos int) (*CType, bool) {
+	if pos >= len(p.toks) {
+		return nil, false
+	}
+	t := p.toks[pos]
+	if t.Kind != TKeyword {
+		return nil, false
+	}
+	switch t.Text {
+	case "void", "char", "int", "unsigned", "float", "double", "long", "short", "const":
+		return nil, true
+	}
+	return nil, false
+}
+
+func (p *parser) parsePostfix() *Expr {
+	e := p.parsePrimary()
+	for {
+		t := p.cur()
+		if t.Kind != TPunct {
+			return e
+		}
+		switch t.Text {
+		case "[":
+			p.next()
+			idx := p.parseExpr()
+			p.expect("]")
+			e = &Expr{Kind: EIndex, L: e, R: idx, Line: t.Line, Col: t.Col}
+		case "(":
+			if e.Kind != EVar {
+				p.errf(t, "only direct calls to named functions are supported")
+			}
+			p.next()
+			call := &Expr{Kind: ECall, Fn: e.Name, Line: t.Line, Col: t.Col}
+			for !p.isPunct(")") && !p.at(TEOF) {
+				call.Args = append(call.Args, p.parseAssignExpr())
+				if p.isPunct(",") {
+					p.next()
+				} else {
+					break
+				}
+			}
+			p.expect(")")
+			e = call
+		case "++", "--":
+			p.next()
+			op := "+"
+			if t.Text == "--" {
+				op = "-"
+			}
+			e = &Expr{Kind: EPostIncr, Op: op, L: e, Line: t.Line, Col: t.Col}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) parsePrimary() *Expr {
+	t := p.cur()
+	switch t.Kind {
+	case TIntLit, TCharLit:
+		p.next()
+		return &Expr{Kind: EIntLit, Int: t.Int, Line: t.Line, Col: t.Col}
+	case TFloatLit:
+		p.next()
+		return &Expr{Kind: EFloatLit, Flt: t.Flt, Line: t.Line, Col: t.Col}
+	case TIdent:
+		p.next()
+		return &Expr{Kind: EVar, Name: t.Text, Line: t.Line, Col: t.Col}
+	case TStringLit:
+		p.errf(t, "string literals are not supported by this C subset")
+		p.next()
+		return &Expr{Kind: EIntLit, Int: 0, Line: t.Line, Col: t.Col}
+	case TPunct:
+		if t.Text == "(" {
+			p.next()
+			e := p.parseExpr()
+			p.expect(")")
+			return e
+		}
+	}
+	p.errf(t, "unexpected %q in expression", t.Text)
+	p.next()
+	return &Expr{Kind: EIntLit, Int: 0, Line: t.Line, Col: t.Col}
+}

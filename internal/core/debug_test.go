@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"riscvsim/internal/config"
+)
+
+func TestBreakpointPausesAtCommit(t *testing.T) {
+	sim := buildSim(t, config.Default(), `
+li t0, 1
+li t1, 2
+add t2, t0, t1
+li t3, 4
+`)
+	if err := sim.AddBreakpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(10_000)
+	if !sim.Paused() {
+		t.Fatal("simulation should pause at the breakpoint")
+	}
+	if !strings.Contains(sim.PauseReason(), "pc=2") {
+		t.Errorf("pause reason = %q", sim.PauseReason())
+	}
+	// The breakpointed instruction has not committed: t2 still 0.
+	checkInt(t, sim, "t2", 0)
+	// Older instructions committed.
+	checkInt(t, sim, "t0", 1)
+	checkInt(t, sim, "t1", 2)
+
+	// Resume continues past the trigger to completion.
+	sim.Resume()
+	sim.Run(10_000)
+	if !sim.Halted() {
+		t.Fatal("should halt after resume")
+	}
+	checkInt(t, sim, "t2", 3)
+	checkInt(t, sim, "t3", 4)
+}
+
+func TestBreakpointInLoopHitsRepeatedly(t *testing.T) {
+	sim := buildSim(t, config.Default(), `
+li t0, 0
+li t1, 5
+loop:
+  addi t0, t0, 1    # pc=2: breakpoint
+  bne t0, t1, loop
+`)
+	if err := sim.AddBreakpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for !sim.Halted() && hits < 20 {
+		sim.Run(100_000)
+		if sim.Paused() {
+			hits++
+			sim.Resume()
+		}
+	}
+	if hits != 5 {
+		t.Errorf("breakpoint hit %d times, want 5 (one per iteration)", hits)
+	}
+	checkInt(t, sim, "t0", 5)
+}
+
+func TestBreakpointValidation(t *testing.T) {
+	sim := buildSim(t, config.Default(), "nop\n")
+	if err := sim.AddBreakpoint(99); err == nil {
+		t.Error("out-of-range breakpoint should fail")
+	}
+	if err := sim.AddBreakpoint(-1); err == nil {
+		t.Error("negative breakpoint should fail")
+	}
+	if err := sim.AddBreakpoint(0); err != nil {
+		t.Errorf("valid breakpoint rejected: %v", err)
+	}
+	if got := sim.Breakpoints(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Breakpoints() = %v", got)
+	}
+	sim.RemoveBreakpoint(0)
+	if len(sim.Breakpoints()) != 0 {
+		t.Error("RemoveBreakpoint failed")
+	}
+}
+
+func TestWatchpointPausesOnStore(t *testing.T) {
+	sim := buildSim(t, config.Default(), `
+la t0, buf
+li t1, 11
+sw t1, 0(t0)      # does not touch the watch
+li t2, 22
+sw t2, 8(t0)      # watched!
+li t3, 33
+.data
+buf: .zero 16
+`)
+	addr, ok := sim.Memory().Lookup("buf")
+	if !ok {
+		t.Fatal("buf missing")
+	}
+	if err := sim.AddWatch(addr.Addr+8, 4); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(100_000)
+	if !sim.Paused() {
+		t.Fatal("watchpoint should pause")
+	}
+	if !strings.Contains(sim.PauseReason(), "watch hit") {
+		t.Errorf("pause reason = %q", sim.PauseReason())
+	}
+	// The watched store has committed (watch fires after commit).
+	sim.Resume()
+	sim.Run(100_000)
+	if !sim.Halted() {
+		t.Fatal("should finish after resume")
+	}
+	checkInt(t, sim, "t3", 33)
+	v, _ := sim.Memory().ReadWord(addr.Addr + 8)
+	if v != 22 {
+		t.Errorf("watched word = %d, want 22", v)
+	}
+}
+
+func TestWatchValidation(t *testing.T) {
+	sim := buildSim(t, config.Default(), "nop\n")
+	if err := sim.AddWatch(-1, 4); err == nil {
+		t.Error("negative watch should fail")
+	}
+	if err := sim.AddWatch(0, 0); err == nil {
+		t.Error("empty watch should fail")
+	}
+	if err := sim.AddWatch(1<<30, 4); err == nil {
+		t.Error("out-of-memory watch should fail")
+	}
+	if err := sim.AddWatch(0, 4); err != nil {
+		t.Errorf("valid watch rejected: %v", err)
+	}
+	sim.ClearWatches()
+}
+
+func TestBreakpointsSurviveBackwardStep(t *testing.T) {
+	sim := buildSim(t, config.Default(), `
+li t0, 0
+li t1, 8
+loop:
+  addi t0, t0, 1
+  bne t0, t1, loop
+`)
+	sim.AddBreakpoint(2)
+	sim.Run(100_000)
+	if !sim.Paused() {
+		t.Fatal("should pause")
+	}
+	back, err := sim.StepBack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Breakpoints()) != 1 {
+		t.Error("breakpoints lost across backward step")
+	}
+	// The rewound simulation can run and re-trigger the breakpoint.
+	back.Run(100_000)
+	if !back.Paused() && !back.Halted() {
+		t.Error("rewound simulation stuck")
+	}
+}
+
+func TestPausedStateIsInert(t *testing.T) {
+	sim := buildSim(t, config.Default(), "li t0, 1\nli t1, 2\n")
+	sim.AddBreakpoint(1)
+	sim.Run(10_000)
+	if !sim.Paused() {
+		t.Fatal("should pause")
+	}
+	at := sim.Cycle()
+	sim.Step() // must be a no-op while paused
+	if sim.Cycle() != at {
+		t.Error("Step advanced a paused simulation")
+	}
+}

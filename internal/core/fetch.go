@@ -1,0 +1,127 @@
+package core
+
+import (
+	"riscvsim/internal/asm"
+	"riscvsim/internal/predictor"
+)
+
+// fetchUnit models the fetch block: it follows predicted control flow,
+// fetching up to the configured width per cycle and up to JumpsPerCycle
+// taken jumps within a single cycle (paper §II-C).
+type fetchUnit struct {
+	prog  *asm.Program
+	pred  *predictor.Predictor
+	width int
+	jumps int
+
+	pc           int
+	stalledUntil uint64    // flush-penalty stall
+	waitBranch   *SimInstr // jalr with unknown target: fetch parked
+
+	// Statistics.
+	fetched     uint64
+	stallCycles uint64
+}
+
+func newFetchUnit(prog *asm.Program, pred *predictor.Predictor, width, jumps, entry int) *fetchUnit {
+	return &fetchUnit{prog: prog, pred: pred, width: width, jumps: jumps, pc: entry}
+}
+
+// AtEnd reports whether the PC has run off the code segment (the program
+// finished: the final `ret` jumps to the sentinel return address).
+func (f *fetchUnit) AtEnd() bool {
+	return f.waitBranch == nil && (f.pc < 0 || f.pc >= len(f.prog.Instructions))
+}
+
+// Stalled reports whether fetch cannot proceed this cycle.
+func (f *fetchUnit) Stalled(now uint64) bool {
+	return now < f.stalledUntil || f.waitBranch != nil
+}
+
+// Redirect points fetch at a resolved branch target, clearing a
+// wait-for-target stall; penalty > 0 additionally applies the flush
+// penalty (mispredict recovery).
+func (f *fetchUnit) Redirect(target int, now uint64, penalty int) {
+	f.pc = target
+	f.waitBranch = nil
+	if penalty > 0 {
+		f.stalledUntil = now + uint64(penalty)
+	}
+}
+
+// ClearWait drops the parked branch if it was squashed by an older
+// mispredict.
+func (f *fetchUnit) ClearWait(si *SimInstr) {
+	if f.waitBranch == si {
+		f.waitBranch = nil
+	}
+}
+
+// Fetch produces up to width instructions for the decode buffer, following
+// predictions. nextID assigns dynamic instruction IDs.
+func (f *fetchUnit) Fetch(now uint64, room int, nextID func() uint64) []*SimInstr {
+	if f.Stalled(now) {
+		f.stallCycles++
+		return nil
+	}
+	var out []*SimInstr
+	jumpsTaken := 0
+	for len(out) < f.width && len(out) < room {
+		if f.pc < 0 || f.pc >= len(f.prog.Instructions) {
+			break
+		}
+		st := f.prog.Instructions[f.pc]
+		si := &SimInstr{
+			ID:        nextID(),
+			Static:    st,
+			PC:        f.pc,
+			Phase:     PhaseFetched,
+			FetchedAt: now,
+		}
+		f.fetched++
+		out = append(out, si)
+
+		if !st.Desc.IsBranch() {
+			f.pc++
+			continue
+		}
+
+		pred := f.pred.Predict(f.pc, st.Desc.Conditional)
+		si.predTaken = pred.Taken || !st.Desc.Conditional
+
+		// Direct targets are computable at fetch (pre-decode); only
+		// register-indirect jumps (jalr) depend on the BTB.
+		targetKnown := false
+		target := 0
+		switch {
+		case st.Desc.PCRelative:
+			if imm := st.Op("imm"); imm != nil {
+				target = f.pc + int(imm.Val)
+				targetKnown = true
+			}
+		case pred.BTBHit:
+			target = pred.Target
+			targetKnown = true
+		}
+
+		if !si.predTaken {
+			si.predTarget = f.pc + 1
+			f.pc++
+			continue
+		}
+		if !targetKnown {
+			// Unknown indirect target: park fetch until the branch
+			// resolves (no wrong path is fetched).
+			si.predStall = true
+			f.waitBranch = si
+			break
+		}
+		si.predTarget = target
+		f.pc = target
+		jumpsTaken++
+		if jumpsTaken >= f.jumps {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"riscvsim/internal/config"
+	"riscvsim/internal/expr"
+	"riscvsim/internal/fault"
+	"riscvsim/internal/isa"
+)
+
+// FU is one functional unit. Its simulation is divided into two sub-steps
+// so it can complete the current instruction and load the next one within
+// a single clock cycle (paper §III-A).
+//
+// By default units are not internally pipelined, matching the paper's
+// stated limitation. Setting the unit's Pipelined flag (this repo's
+// implementation of the paper's future-work item, §V) lets the unit accept
+// one new instruction per cycle while earlier ones are still completing.
+type FU struct {
+	spec  *config.FUSpec
+	class isa.FUClass
+
+	// inflight holds executing instructions in issue order; a
+	// non-pipelined unit holds at most one.
+	inflight []inflightOp
+	// lastAccept enforces one issue per cycle for pipelined units.
+	lastAccept uint64
+	hasAccept  bool
+
+	// Statistics.
+	busyCycles  uint64
+	execCount   uint64
+	totalCycles uint64
+}
+
+type inflightOp struct {
+	si     *SimInstr
+	doneAt uint64
+}
+
+// NewFU builds a functional unit from its configuration entry.
+func NewFU(spec *config.FUSpec) *FU {
+	class, err := isa.ParseFUClass(spec.Class)
+	if err != nil {
+		panic(err) // validated by config.Validate
+	}
+	return &FU{spec: spec, class: class}
+}
+
+// Name returns the unit's display name.
+func (f *FU) Name() string { return f.spec.Name }
+
+// Class returns the unit's instruction class.
+func (f *FU) Class() isa.FUClass { return f.class }
+
+// Busy reports whether any instruction occupies the unit.
+func (f *FU) Busy() bool { return len(f.inflight) > 0 }
+
+// InFlight returns the number of executing instructions.
+func (f *FU) InFlight() int { return len(f.inflight) }
+
+// CanAccept reports whether the unit can start a new instruction at cycle
+// now: a free unit always can; a pipelined unit additionally requires its
+// single issue port (one accept per cycle).
+func (f *FU) CanAccept(now uint64) bool {
+	if len(f.inflight) == 0 {
+		return true
+	}
+	if !f.spec.Pipelined {
+		return false
+	}
+	return !f.hasAccept || f.lastAccept != now
+}
+
+// Current returns the oldest executing instruction, or nil (GUI display).
+func (f *FU) Current() *SimInstr {
+	if len(f.inflight) == 0 {
+		return nil
+	}
+	return f.inflight[0].si
+}
+
+// nextDone returns the earliest completion cycle (display).
+func (f *FU) nextDone() uint64 {
+	var min uint64
+	for i, op := range f.inflight {
+		if i == 0 || op.doneAt < min {
+			min = op.doneAt
+		}
+	}
+	return min
+}
+
+// Supports reports whether this unit can execute the instruction.
+func (f *FU) Supports(si *SimInstr) bool {
+	return f.class == si.Static.Desc.Unit && f.spec.Supports(si.Static.Desc.Name)
+}
+
+// Accept starts executing the instruction (sub-step two of the paper's FU
+// model): the semantics are evaluated immediately against the captured
+// operands and the result is buffered until the completion sub-step at
+// now+latency. Evaluation errors become exceptions attached to the
+// instruction and raised at commit.
+func (f *FU) Accept(si *SimInstr, now uint64, ev *expr.Evaluator) {
+	if !f.CanAccept(now) {
+		panic("core: Accept on busy FU " + f.spec.Name)
+	}
+	lat := f.spec.LatencyFor(si.Static.Desc.Name)
+	f.inflight = append(f.inflight, inflightOp{si: si, doneAt: now + uint64(lat)})
+	f.lastAccept = now
+	f.hasAccept = true
+	f.execCount++
+	f.totalCycles += uint64(lat)
+	si.IssuedAt = now
+	si.Phase = PhaseIssued
+
+	res, err := ev.Eval(si.Static.Desc.Prog, instrEnv{si: si})
+	if err != nil {
+		if exc, ok := err.(*fault.Exception); ok {
+			exc.Cycle = now
+			exc.PC = si.PC
+			si.Exc = exc
+		} else {
+			si.Exc = &fault.Exception{Kind: fault.InvalidInstruction, Msg: err.Error(), Cycle: now, PC: si.PC}
+		}
+		return
+	}
+
+	desc := si.Static.Desc
+	switch {
+	case desc.IsBranch():
+		f.resolveBranch(si, res)
+	case desc.IsLoad(), desc.IsStore():
+		// The expression computed the effective address.
+		if res.HasValue {
+			si.effAddr = int(res.Value.Int())
+		}
+		if desc.IsStore() {
+			// Capture the store payload from rs2 now.
+			for i := range si.srcs {
+				if si.srcs[i].name == "rs2" {
+					si.storeData = si.srcs[i].value.Bits()
+				}
+			}
+		}
+	}
+}
+
+// resolveBranch computes the actual direction and target. Conditional
+// branches leave their condition on the expression stack; jalr leaves its
+// absolute target; PC-relative jumps use the immediate (paper §III-B).
+func (f *FU) resolveBranch(si *SimInstr, res expr.Result) {
+	desc := si.Static.Desc
+	if desc.Conditional {
+		si.actualTaken = res.HasValue && res.Value.Bool()
+	} else {
+		si.actualTaken = true
+	}
+	if desc.PCRelative {
+		if imm := si.Static.Op("imm"); imm != nil {
+			si.actualTgt = si.PC + int(imm.Val)
+		}
+	} else if res.HasValue {
+		si.actualTgt = int(res.Value.Int())
+	}
+	if !si.actualTaken {
+		si.actualTgt = si.PC + 1
+	}
+	// A misprediction is any difference between the next PC fetch
+	// assumed and the real one. A fetch stalled on an unknown target
+	// (predStall) fetched nothing wrong, so it only needs a redirect.
+	predNext := si.PC + 1
+	if si.predTaken {
+		predNext = si.predTarget
+	}
+	si.mispredict = !si.predStall && predNext != si.actualTgt
+}
+
+// ReleaseDone detaches every instruction finishing at or before cycle now,
+// in issue order (sub-step one of the FU model).
+func (f *FU) ReleaseDone(now uint64) []*SimInstr {
+	var done []*SimInstr
+	kept := f.inflight[:0]
+	for _, op := range f.inflight {
+		if now >= op.doneAt {
+			done = append(done, op.si)
+		} else {
+			kept = append(kept, op)
+		}
+	}
+	for i := len(kept); i < len(f.inflight); i++ {
+		f.inflight[i] = inflightOp{}
+	}
+	f.inflight = kept
+	return done
+}
+
+// AbortSquashed drops wrong-path instructions after a flush.
+func (f *FU) AbortSquashed() {
+	kept := f.inflight[:0]
+	for _, op := range f.inflight {
+		if !op.si.Squashed {
+			kept = append(kept, op)
+		}
+	}
+	for i := len(kept); i < len(f.inflight); i++ {
+		f.inflight[i] = inflightOp{}
+	}
+	f.inflight = kept
+}
+
+// CountBusy accumulates the busy-cycle statistic; called once per cycle.
+func (f *FU) CountBusy() {
+	if len(f.inflight) > 0 {
+		f.busyCycles++
+	}
+}
+
+// FUStats is the per-unit utilization report (paper §II-D: "the number and
+// percentage of busy cycles for each unit").
+type FUStats struct {
+	Name       string `json:"name"`
+	Class      string `json:"class"`
+	BusyCycles uint64 `json:"busyCycles"`
+	ExecCount  uint64 `json:"execCount"`
+}
+
+// Stats returns the collected counters.
+func (f *FU) Stats() FUStats {
+	return FUStats{
+		Name:       f.spec.Name,
+		Class:      f.class.String(),
+		BusyCycles: f.busyCycles,
+		ExecCount:  f.execCount,
+	}
+}

@@ -1,0 +1,634 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Per-instruction tests, one per RV32IMF(D) instruction, following the
+// paper's test methodology: "Each instruction has its own test to verify
+// its correct behavior. This type of test typically checks the state at
+// the end of the simulation" (§IV).
+
+func TestInstrLUI(t *testing.T) {
+	sim := runSrc(t, "lui t0, 5\n")
+	checkInt(t, sim, "t0", 5<<12)
+}
+
+func TestInstrAUIPC(t *testing.T) {
+	sim := runSrc(t, "nop\nnop\nauipc t0, 1\n")
+	// auipc at index 2: (1 << 12) + 2 in index addressing.
+	checkInt(t, sim, "t0", (1<<12)+2)
+}
+
+func TestInstrJAL(t *testing.T) {
+	sim := runSrc(t, `
+jal t0, target
+li t1, 111
+target:
+li t2, 5
+`)
+	checkInt(t, sim, "t0", 1) // link = pc+1 (index addressing)
+	checkInt(t, sim, "t1", 0)
+	checkInt(t, sim, "t2", 5)
+}
+
+func TestInstrJALR(t *testing.T) {
+	sim := runSrc(t, `
+li t0, 3
+jalr t1, t0, 1    # jump to 3+1=4
+li t2, 111
+li t3, 222
+li t4, 5
+`)
+	checkInt(t, sim, "t1", 2)
+	checkInt(t, sim, "t2", 0)
+	checkInt(t, sim, "t3", 0)
+	checkInt(t, sim, "t4", 5)
+}
+
+// branchTest runs a conditional branch with the given operands and reports
+// whether it was taken.
+func branchTest(t *testing.T, op string, a, b int32) bool {
+	t.Helper()
+	sim := runSrc(t, `
+li t0, `+itoa(int64(a))+`
+li t1, `+itoa(int64(b))+`
+`+op+` t0, t1, taken
+li t2, 1
+j out
+taken:
+li t2, 2
+out:
+nop
+`)
+	return intReg(t, sim, "t2") == 2
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var buf [24]byte
+	i := len(buf)
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func TestInstrBEQ(t *testing.T) {
+	if !branchTest(t, "beq", 5, 5) || branchTest(t, "beq", 5, 6) {
+		t.Error("beq semantics wrong")
+	}
+}
+
+func TestInstrBNE(t *testing.T) {
+	if branchTest(t, "bne", 5, 5) || !branchTest(t, "bne", 5, 6) {
+		t.Error("bne semantics wrong")
+	}
+}
+
+func TestInstrBLT(t *testing.T) {
+	if !branchTest(t, "blt", -1, 1) || branchTest(t, "blt", 1, -1) || branchTest(t, "blt", 3, 3) {
+		t.Error("blt semantics wrong")
+	}
+}
+
+func TestInstrBGE(t *testing.T) {
+	if branchTest(t, "bge", -1, 1) || !branchTest(t, "bge", 1, -1) || !branchTest(t, "bge", 3, 3) {
+		t.Error("bge semantics wrong")
+	}
+}
+
+func TestInstrBLTU(t *testing.T) {
+	// -1 is 0xFFFFFFFF unsigned: not < 1.
+	if branchTest(t, "bltu", -1, 1) || !branchTest(t, "bltu", 1, -1) {
+		t.Error("bltu semantics wrong")
+	}
+}
+
+func TestInstrBGEU(t *testing.T) {
+	if !branchTest(t, "bgeu", -1, 1) || branchTest(t, "bgeu", 1, -1) {
+		t.Error("bgeu semantics wrong")
+	}
+}
+
+func TestInstrLB(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+lb t1, 0(t0)
+lb t2, 1(t0)
+.data
+d: .byte 0x80, 0x7F
+`)
+	checkInt(t, sim, "t1", -128)
+	checkInt(t, sim, "t2", 127)
+}
+
+func TestInstrLBU(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+lbu t1, 0(t0)
+.data
+d: .byte 0xFF
+`)
+	checkInt(t, sim, "t1", 255)
+}
+
+func TestInstrLH(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+lh t1, 0(t0)
+.data
+d: .hword 0x8000
+`)
+	checkInt(t, sim, "t1", -32768)
+}
+
+func TestInstrLHU(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+lhu t1, 0(t0)
+.data
+d: .hword 0xFFFF
+`)
+	checkInt(t, sim, "t1", 65535)
+}
+
+func TestInstrLW(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+lw t1, 0(t0)
+.data
+d: .word -123456
+`)
+	checkInt(t, sim, "t1", -123456)
+}
+
+func TestInstrSB(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+li t1, 0x1FF
+sb t1, 0(t0)
+lw t2, 0(t0)
+.data
+d: .word 0
+`)
+	checkInt(t, sim, "t2", 0xFF) // only the low byte is stored
+}
+
+func TestInstrSH(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+li t1, 0x12345
+sh t1, 0(t0)
+lw t2, 0(t0)
+.data
+d: .word 0
+`)
+	checkInt(t, sim, "t2", 0x2345)
+}
+
+func TestInstrSW(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+li t1, -7
+sw t1, 0(t0)
+lw t2, 0(t0)
+.data
+d: .word 0
+`)
+	checkInt(t, sim, "t2", -7)
+}
+
+func TestInstrADDI(t *testing.T) {
+	sim := runSrc(t, "li t0, 5\naddi t1, t0, -3\n")
+	checkInt(t, sim, "t1", 2)
+}
+
+func TestInstrSLTI(t *testing.T) {
+	sim := runSrc(t, "li t0, -5\nslti t1, t0, 0\nslti t2, t0, -10\n")
+	checkInt(t, sim, "t1", 1)
+	checkInt(t, sim, "t2", 0)
+}
+
+func TestInstrSLTIU(t *testing.T) {
+	sim := runSrc(t, "li t0, -1\nsltiu t1, t0, 10\nli t2, 3\nsltiu t3, t2, 10\n")
+	checkInt(t, sim, "t1", 0) // 0xFFFFFFFF not < 10 unsigned
+	checkInt(t, sim, "t3", 1)
+}
+
+func TestInstrXORI(t *testing.T) {
+	sim := runSrc(t, "li t0, 0b1100\nxori t1, t0, 0b1010\n")
+	checkInt(t, sim, "t1", 0b0110)
+}
+
+func TestInstrORI(t *testing.T) {
+	sim := runSrc(t, "li t0, 0b1100\nori t1, t0, 0b1010\n")
+	checkInt(t, sim, "t1", 0b1110)
+}
+
+func TestInstrANDI(t *testing.T) {
+	sim := runSrc(t, "li t0, 0b1100\nandi t1, t0, 0b1010\n")
+	checkInt(t, sim, "t1", 0b1000)
+}
+
+func TestInstrSLLI(t *testing.T) {
+	sim := runSrc(t, "li t0, 3\nslli t1, t0, 4\n")
+	checkInt(t, sim, "t1", 48)
+}
+
+func TestInstrSRLI(t *testing.T) {
+	sim := runSrc(t, "li t0, -16\nsrli t1, t0, 2\n")
+	checkInt(t, sim, "t1", int32(uint32(0xFFFFFFF0)>>2))
+}
+
+func TestInstrSRAI(t *testing.T) {
+	sim := runSrc(t, "li t0, -16\nsrai t1, t0, 2\n")
+	checkInt(t, sim, "t1", -4)
+}
+
+func TestInstrADD(t *testing.T) {
+	sim := runSrc(t, "li t0, 40\nli t1, 2\nadd t2, t0, t1\n")
+	checkInt(t, sim, "t2", 42)
+}
+
+func TestInstrSUB(t *testing.T) {
+	sim := runSrc(t, "li t0, 40\nli t1, 2\nsub t2, t0, t1\n")
+	checkInt(t, sim, "t2", 38)
+}
+
+func TestInstrSLL(t *testing.T) {
+	sim := runSrc(t, "li t0, 1\nli t1, 33\nsll t2, t0, t1\n")
+	checkInt(t, sim, "t2", 2) // shift amount masked to 5 bits
+}
+
+func TestInstrSLT(t *testing.T) {
+	sim := runSrc(t, "li t0, -1\nli t1, 1\nslt t2, t0, t1\nslt t3, t1, t0\n")
+	checkInt(t, sim, "t2", 1)
+	checkInt(t, sim, "t3", 0)
+}
+
+func TestInstrSLTU(t *testing.T) {
+	sim := runSrc(t, "li t0, -1\nli t1, 1\nsltu t2, t0, t1\nsltu t3, t1, t0\n")
+	checkInt(t, sim, "t2", 0)
+	checkInt(t, sim, "t3", 1)
+}
+
+func TestInstrXOR(t *testing.T) {
+	sim := runSrc(t, "li t0, 0xF0\nli t1, 0xFF\nxor t2, t0, t1\n")
+	checkInt(t, sim, "t2", 0x0F)
+}
+
+func TestInstrSRL(t *testing.T) {
+	sim := runSrc(t, "li t0, -4\nli t1, 1\nsrl t2, t0, t1\n")
+	checkInt(t, sim, "t2", int32(uint32(0xFFFFFFFC)>>1))
+}
+
+func TestInstrSRA(t *testing.T) {
+	sim := runSrc(t, "li t0, -4\nli t1, 1\nsra t2, t0, t1\n")
+	checkInt(t, sim, "t2", -2)
+}
+
+func TestInstrOR(t *testing.T) {
+	sim := runSrc(t, "li t0, 0xF0\nli t1, 0x0F\nor t2, t0, t1\n")
+	checkInt(t, sim, "t2", 0xFF)
+}
+
+func TestInstrAND(t *testing.T) {
+	sim := runSrc(t, "li t0, 0xF0\nli t1, 0xFF\nand t2, t0, t1\n")
+	checkInt(t, sim, "t2", 0xF0)
+}
+
+func TestInstrFENCE(t *testing.T) {
+	sim := runSrc(t, "li t0, 1\nfence\nli t1, 2\n")
+	checkInt(t, sim, "t1", 2)
+}
+
+func TestInstrMUL(t *testing.T) {
+	sim := runSrc(t, "li t0, -6\nli t1, 7\nmul t2, t0, t1\n")
+	checkInt(t, sim, "t2", -42)
+}
+
+func TestInstrMULH(t *testing.T) {
+	sim := runSrc(t, "li t0, 0x40000000\nli t1, 4\nmulh t2, t0, t1\n")
+	checkInt(t, sim, "t2", 1) // (2^30 * 4) >> 32 = 1
+}
+
+func TestInstrMULHU(t *testing.T) {
+	sim := runSrc(t, "li t0, -1\nli t1, -1\nmulhu t2, t0, t1\n")
+	checkInt(t, sim, "t2", -2) // 0xFFFFFFFE
+}
+
+func TestInstrMULHSU(t *testing.T) {
+	sim := runSrc(t, "li t0, -1\nli t1, -1\nmulhsu t2, t0, t1\n")
+	checkInt(t, sim, "t2", -1) // (-1) * 0xFFFFFFFF >> 32
+}
+
+func TestInstrDIV(t *testing.T) {
+	sim := runSrc(t, "li t0, -42\nli t1, 5\ndiv t2, t0, t1\n")
+	checkInt(t, sim, "t2", -8)
+}
+
+func TestInstrDIVU(t *testing.T) {
+	sim := runSrc(t, "li t0, -2\nli t1, 2\ndivu t2, t0, t1\n")
+	checkInt(t, sim, "t2", 0x7FFFFFFF)
+}
+
+func TestInstrREM(t *testing.T) {
+	sim := runSrc(t, "li t0, -42\nli t1, 5\nrem t2, t0, t1\n")
+	checkInt(t, sim, "t2", -2)
+}
+
+func TestInstrREMU(t *testing.T) {
+	sim := runSrc(t, "li t0, 7\nli t1, 3\nremu t2, t0, t1\n")
+	checkInt(t, sim, "t2", 1)
+}
+
+func TestInstrFLWFSW(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+fsw f0, 4(t0)
+lw t1, 4(t0)
+.data
+d: .float 2.5
+   .zero 4
+`)
+	if got := floatReg(t, sim, "f0"); got != 2.5 {
+		t.Errorf("f0 = %v", got)
+	}
+	if got := intReg(t, sim, "t1"); uint32(got) != math.Float32bits(2.5) {
+		t.Errorf("stored bits = %#x", uint32(got))
+	}
+}
+
+func TestInstrFADDS(t *testing.T) {
+	sim := runFloat2(t, "fadd.s", 1.5, 2.25)
+	if got := floatReg(t, sim, "f2"); got != 3.75 {
+		t.Errorf("fadd.s = %v", got)
+	}
+}
+
+func TestInstrFSUBS(t *testing.T) {
+	sim := runFloat2(t, "fsub.s", 1.5, 2.25)
+	if got := floatReg(t, sim, "f2"); got != -0.75 {
+		t.Errorf("fsub.s = %v", got)
+	}
+}
+
+func TestInstrFMULS(t *testing.T) {
+	sim := runFloat2(t, "fmul.s", 1.5, 2.0)
+	if got := floatReg(t, sim, "f2"); got != 3.0 {
+		t.Errorf("fmul.s = %v", got)
+	}
+}
+
+func TestInstrFDIVS(t *testing.T) {
+	sim := runFloat2(t, "fdiv.s", 3.0, 2.0)
+	if got := floatReg(t, sim, "f2"); got != 1.5 {
+		t.Errorf("fdiv.s = %v", got)
+	}
+}
+
+// runFloat2 loads two floats and applies op f2, f0, f1.
+func runFloat2(t *testing.T, op string, a, b float32) *Simulation {
+	t.Helper()
+	return runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+flw f1, 4(t0)
+`+op+` f2, f0, f1
+.data
+d: .float `+ftoa(a)+`, `+ftoa(b)+`
+`)
+}
+
+func ftoa(f float32) string {
+	s := strconv.FormatFloat(float64(f), 'g', -1, 32)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func TestInstrFSQRTS(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+fsqrt.s f1, f0
+.data
+d: .float 9.0
+`)
+	if got := floatReg(t, sim, "f1"); got != 3.0 {
+		t.Errorf("fsqrt.s = %v", got)
+	}
+}
+
+func TestInstrFMADDS(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+flw f1, 4(t0)
+flw f2, 8(t0)
+fmadd.s f3, f0, f1, f2
+fmsub.s f4, f0, f1, f2
+fnmadd.s f5, f0, f1, f2
+fnmsub.s f6, f0, f1, f2
+.data
+d: .float 2.0, 3.0, 1.0
+`)
+	if got := floatReg(t, sim, "f3"); got != 7.0 {
+		t.Errorf("fmadd.s = %v, want 7", got)
+	}
+	if got := floatReg(t, sim, "f4"); got != 5.0 {
+		t.Errorf("fmsub.s = %v, want 5", got)
+	}
+	if got := floatReg(t, sim, "f5"); got != -7.0 {
+		t.Errorf("fnmadd.s = %v, want -7", got)
+	}
+	if got := floatReg(t, sim, "f6"); got != -5.0 {
+		t.Errorf("fnmsub.s = %v, want -5", got)
+	}
+}
+
+func TestInstrFSGNJ(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+flw f1, 4(t0)
+fsgnj.s f2, f0, f1
+fsgnjn.s f3, f0, f1
+fsgnjx.s f4, f0, f1
+.data
+d: .float 1.5, -2.0
+`)
+	if got := floatReg(t, sim, "f2"); got != -1.5 {
+		t.Errorf("fsgnj.s = %v", got)
+	}
+	if got := floatReg(t, sim, "f3"); got != 1.5 {
+		t.Errorf("fsgnjn.s = %v", got)
+	}
+	if got := floatReg(t, sim, "f4"); got != -1.5 {
+		t.Errorf("fsgnjx.s = %v", got)
+	}
+}
+
+func TestInstrFMINMAX(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+flw f1, 4(t0)
+fmin.s f2, f0, f1
+fmax.s f3, f0, f1
+.data
+d: .float 1.5, -2.0
+`)
+	if got := floatReg(t, sim, "f2"); got != -2.0 {
+		t.Errorf("fmin.s = %v", got)
+	}
+	if got := floatReg(t, sim, "f3"); got != 1.5 {
+		t.Errorf("fmax.s = %v", got)
+	}
+}
+
+func TestInstrFCVTWS(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+fcvt.w.s t1, f0
+.data
+d: .float -3.75
+`)
+	checkInt(t, sim, "t1", -3)
+}
+
+func TestInstrFCVTSW(t *testing.T) {
+	sim := runSrc(t, `
+li t0, -7
+fcvt.s.w f0, t0
+`)
+	if got := floatReg(t, sim, "f0"); got != -7.0 {
+		t.Errorf("fcvt.s.w = %v", got)
+	}
+}
+
+func TestInstrFCVTWUS(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+fcvt.wu.s t1, f0
+.data
+d: .float 3000000000.0
+`)
+	if got := uint32(intReg(t, sim, "t1")); got != 3000000000 {
+		t.Errorf("fcvt.wu.s = %d", got)
+	}
+}
+
+func TestInstrFMVXW(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+fmv.x.w t1, f0
+fmv.w.x f1, t1
+.data
+d: .float 1.0
+`)
+	if got := uint32(intReg(t, sim, "t1")); got != 0x3F800000 {
+		t.Errorf("fmv.x.w = %#x", got)
+	}
+	if got := floatReg(t, sim, "f1"); got != 1.0 {
+		t.Errorf("fmv.w.x = %v", got)
+	}
+}
+
+func TestInstrFCompare(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+flw f1, 4(t0)
+feq.s t1, f0, f0
+flt.s t2, f0, f1
+fle.s t3, f1, f0
+.data
+d: .float 1.5, 2.5
+`)
+	checkInt(t, sim, "t1", 1)
+	checkInt(t, sim, "t2", 1)
+	checkInt(t, sim, "t3", 0)
+}
+
+func TestInstrFCLASS(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+fclass.s t1, f0
+.data
+d: .float -1.5
+`)
+	checkInt(t, sim, "t1", 1<<1) // negative normal
+}
+
+func TestInstrFLDFSD(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+fld f0, 0(t0)
+fadd.d f1, f0, f0
+fsd f1, 8(t0)
+fld f2, 8(t0)
+.data
+d: .double 1.25
+   .zero 8
+`)
+	if got := doubleReg(t, sim, "f2"); got != 2.5 {
+		t.Errorf("double round trip = %v", got)
+	}
+}
+
+func TestInstrFCVTDS(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+flw f0, 0(t0)
+fcvt.d.s f1, f0
+fcvt.s.d f2, f1
+.data
+d: .float 1.5
+`)
+	if got := doubleReg(t, sim, "f1"); got != 1.5 {
+		t.Errorf("fcvt.d.s = %v", got)
+	}
+	if got := floatReg(t, sim, "f2"); got != 1.5 {
+		t.Errorf("fcvt.s.d = %v", got)
+	}
+}
+
+func TestInstrFCVTWD(t *testing.T) {
+	sim := runSrc(t, `
+la t0, d
+fld f0, 0(t0)
+fcvt.w.d t1, f0
+li t2, 9
+fcvt.d.w f1, t2
+.data
+d: .double -42.9
+`)
+	checkInt(t, sim, "t1", -42)
+	if got := doubleReg(t, sim, "f1"); got != 9.0 {
+		t.Errorf("fcvt.d.w = %v", got)
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"riscvsim/internal/expr"
+	"riscvsim/internal/fault"
+	"riscvsim/internal/isa"
+	"riscvsim/internal/memory"
+)
+
+// LSU combines the load buffer, the store buffer and the memory unit that
+// talks to the cache (paper §II-A: "load/store buffers, and a memory unit
+// connected to the cache").
+//
+// Discipline: loads execute speculatively out of order but never bypass an
+// older store with an unknown address; an older store to the same bytes
+// forwards its data when it fully covers the load, otherwise the load
+// waits until that store has drained to the cache. Stores write the cache
+// only after they commit.
+type LSU struct {
+	loadCap  int
+	storeCap int
+
+	loads  []*SimInstr // program order (by ID)
+	stores []*SimInstr // in-flight, not yet committed, program order
+
+	// committed stores wait here for the memory unit to drain them.
+	committed []*SimInstr
+
+	port memory.Port
+
+	// Statistics.
+	loadCount     uint64
+	storeCount    uint64
+	forwardCount  uint64
+	stallUnknown  uint64 // load stalled behind a store with unknown address
+	stallPartial  uint64 // load stalled on a partial overlap
+	busCycles     uint64 // cycles the memory port was occupied
+	fullStallsLd  uint64
+	fullStallsSt  uint64
+	drainedStores uint64
+}
+
+// NewLSU builds the load/store subsystem over a memory port (the L1 cache
+// or raw memory).
+func NewLSU(loadCap, storeCap int, port memory.Port) *LSU {
+	return &LSU{loadCap: loadCap, storeCap: storeCap, port: port}
+}
+
+// CanAccept reports whether a new memory instruction of the given kind has
+// buffer space (checked at rename/dispatch).
+func (l *LSU) CanAccept(isStore bool) bool {
+	if isStore {
+		if len(l.stores) >= l.storeCap {
+			l.fullStallsSt++
+			return false
+		}
+		return true
+	}
+	if len(l.loads) >= l.loadCap {
+		l.fullStallsLd++
+		return false
+	}
+	return true
+}
+
+// Add registers a dispatched memory instruction in program order.
+func (l *LSU) Add(si *SimInstr) {
+	if si.IsStore() {
+		l.stores = append(l.stores, si)
+		l.storeCount++
+	} else {
+		l.loads = append(l.loads, si)
+		l.loadCount++
+	}
+}
+
+// OnCommitStore moves a committed store to the drain queue; the memory
+// unit writes it to the cache asynchronously.
+func (l *LSU) OnCommitStore(si *SimInstr) {
+	for i, st := range l.stores {
+		if st == si {
+			l.stores = append(l.stores[:i], l.stores[i+1:]...)
+			break
+		}
+	}
+	l.committed = append(l.committed, si)
+}
+
+// olderStoreConflict classifies the oldest problematic store for a load:
+// returns (blocked, forwardable store).
+func (l *LSU) olderStoreConflict(ld *SimInstr) (bool, *SimInstr) {
+	check := func(st *SimInstr) (bool, *SimInstr, bool) {
+		if st.ID >= ld.ID {
+			return false, nil, false
+		}
+		if !st.addrReady {
+			l.stallUnknown++
+			return true, nil, true
+		}
+		stW := st.Static.Desc.MemWidth
+		ldW := ld.Static.Desc.MemWidth
+		if st.effAddr < ld.effAddr+ldW && ld.effAddr < st.effAddr+stW {
+			// Overlap. Full coverage forwards; partial blocks.
+			if st.effAddr <= ld.effAddr && st.effAddr+stW >= ld.effAddr+ldW {
+				return false, st, false
+			}
+			l.stallPartial++
+			return true, nil, true
+		}
+		return false, nil, false
+	}
+	var forward *SimInstr
+	// Committed stores first (older), then in-flight, youngest match wins.
+	for _, st := range l.committed {
+		blocked, fwd, stop := check(st)
+		if blocked {
+			return true, nil
+		}
+		if fwd != nil {
+			forward = fwd
+		}
+		_ = stop
+	}
+	for _, st := range l.stores {
+		blocked, fwd, _ := check(st)
+		if blocked {
+			return true, nil
+		}
+		if fwd != nil {
+			forward = fwd
+		}
+	}
+	return false, forward
+}
+
+// Step advances the memory unit by one cycle: drains one committed store
+// to the cache and issues/completes loads. Completed loads are returned so
+// the core can write back their values. A fault on a store that already
+// committed is returned as a machine-stopping exception.
+func (l *LSU) Step(now uint64) (completed []*SimInstr, storeExc *fault.Exception) {
+	// Drain one committed store per cycle through the memory port.
+	if len(l.committed) > 0 {
+		st := l.committed[0]
+		tx := &memory.Transaction{
+			Addr: st.effAddr, Size: st.Static.Desc.MemWidth,
+			IsStore: true, Data: st.storeData,
+		}
+		if _, exc := l.port.Access(tx, now); exc != nil {
+			// The store already committed; its fault stops the machine.
+			exc.Cycle = now
+			exc.PC = st.PC
+			storeExc = exc
+		}
+		l.committed = l.committed[1:]
+		l.drainedStores++
+		l.busCycles++
+	}
+
+	// Issue loads: oldest first, one cache access per cycle; forwarded
+	// loads do not consume the port.
+	portFree := true
+	for _, ld := range l.loads {
+		if !ld.addrReady || ld.memIssued || ld.Squashed {
+			continue
+		}
+		blocked, fwd := l.olderStoreConflict(ld)
+		if blocked {
+			// Conservative: younger loads must not bypass the
+			// disambiguation stall either.
+			break
+		}
+		if fwd != nil {
+			// Store-to-load forwarding.
+			shift := uint((ld.effAddr - fwd.effAddr) * 8)
+			raw := fwd.storeData >> shift
+			ld.memDoneAt = now + 1
+			ld.memIssued = true
+			ld.storeData = raw // reuse field as the forwarded payload
+			l.forwardCount++
+			continue
+		}
+		if !portFree {
+			continue
+		}
+		tx := &memory.Transaction{Addr: ld.effAddr, Size: ld.Static.Desc.MemWidth}
+		finish, exc := l.port.Access(tx, now)
+		if exc != nil {
+			exc.Cycle = now
+			exc.PC = ld.PC
+			ld.Exc = exc
+			ld.memDoneAt = now + 1
+			ld.memIssued = true
+			continue
+		}
+		ld.storeData = tx.Data
+		ld.memDoneAt = finish
+		ld.memIssued = true
+		portFree = false
+		l.busCycles++
+	}
+
+	// Complete loads whose data has arrived.
+	kept := l.loads[:0]
+	for _, ld := range l.loads {
+		if ld.memIssued && now >= ld.memDoneAt && !ld.Squashed {
+			completed = append(completed, ld)
+			continue
+		}
+		kept = append(kept, ld)
+	}
+	for i := len(kept); i < len(l.loads); i++ {
+		l.loads[i] = nil
+	}
+	l.loads = kept
+	return completed, storeExc
+}
+
+// LoadValue converts a raw memory payload into the typed register value a
+// load writes back.
+func LoadValue(desc *isa.Desc, raw uint64) expr.Value {
+	dst := desc.DestArg()
+	switch {
+	case dst != nil && dst.Kind == isa.ArgRegFloat:
+		if desc.MemWidth == 8 {
+			return expr.FromBits(raw, expr.Double)
+		}
+		return expr.FromBits(raw&0xFFFFFFFF, expr.Float)
+	case desc.MemSigned:
+		switch desc.MemWidth {
+		case 1:
+			return expr.NewInt(int32(int8(raw)))
+		case 2:
+			return expr.NewInt(int32(int16(raw)))
+		default:
+			return expr.NewInt(int32(uint32(raw)))
+		}
+	default:
+		switch desc.MemWidth {
+		case 1:
+			return expr.NewInt(int32(uint32(uint8(raw))))
+		case 2:
+			return expr.NewInt(int32(uint32(uint16(raw))))
+		default:
+			return expr.NewInt(int32(uint32(raw)))
+		}
+	}
+}
+
+// RemoveSquashed drops wrong-path entries from both buffers.
+func (l *LSU) RemoveSquashed() {
+	loads := l.loads[:0]
+	for _, ld := range l.loads {
+		if !ld.Squashed {
+			loads = append(loads, ld)
+		}
+	}
+	for i := len(loads); i < len(l.loads); i++ {
+		l.loads[i] = nil
+	}
+	l.loads = loads
+	stores := l.stores[:0]
+	for _, st := range l.stores {
+		if !st.Squashed {
+			stores = append(stores, st)
+		}
+	}
+	for i := len(stores); i < len(l.stores); i++ {
+		l.stores[i] = nil
+	}
+	l.stores = stores
+}
+
+// Drained reports whether no committed store is waiting for memory.
+func (l *LSU) Drained() bool { return len(l.committed) == 0 }
+
+// Loads returns the load-buffer contents (GUI display).
+func (l *LSU) Loads() []*SimInstr { return append([]*SimInstr(nil), l.loads...) }
+
+// Stores returns the store-buffer contents (GUI display).
+func (l *LSU) Stores() []*SimInstr { return append([]*SimInstr(nil), l.stores...) }
+
+// LSUStats reports the memory-pipeline counters.
+type LSUStats struct {
+	Loads          uint64 `json:"loads"`
+	Stores         uint64 `json:"stores"`
+	Forwards       uint64 `json:"forwards"`
+	StallsUnknown  uint64 `json:"stallsUnknownAddr"`
+	StallsPartial  uint64 `json:"stallsPartialOverlap"`
+	BusBusyCycles  uint64 `json:"busBusyCycles"`
+	LoadBufStalls  uint64 `json:"loadBufferFullStalls"`
+	StoreBufStalls uint64 `json:"storeBufferFullStalls"`
+	DrainedStores  uint64 `json:"drainedStores"`
+}
+
+// Stats returns the collected counters.
+func (l *LSU) Stats() LSUStats {
+	return LSUStats{
+		Loads: l.loadCount, Stores: l.storeCount, Forwards: l.forwardCount,
+		StallsUnknown: l.stallUnknown, StallsPartial: l.stallPartial,
+		BusBusyCycles: l.busCycles,
+		LoadBufStalls: l.fullStallsLd, StoreBufStalls: l.fullStallsSt,
+		DrainedStores: l.drainedStores,
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+// robEntry is one reorder-buffer slot.
+type robEntry struct {
+	instr *SimInstr
+	done  bool
+}
+
+// ROB is the reorder (retire) buffer: a bounded FIFO of in-flight
+// instructions committed in program order.
+type ROB struct {
+	entries []robEntry
+	head    int // oldest
+	tail    int // next free
+	count   int
+}
+
+// NewROB builds a reorder buffer with the configured capacity.
+func NewROB(size int) *ROB {
+	return &ROB{entries: make([]robEntry, size)}
+}
+
+// Full reports whether no slot is free.
+func (r *ROB) Full() bool { return r.count == len(r.entries) }
+
+// Empty reports whether no instruction is in flight.
+func (r *ROB) Empty() bool { return r.count == 0 }
+
+// Len returns the number of occupied slots.
+func (r *ROB) Len() int { return r.count }
+
+// Cap returns the buffer capacity.
+func (r *ROB) Cap() int { return len(r.entries) }
+
+// Push allocates a slot for the instruction, which must not be full.
+func (r *ROB) Push(si *SimInstr) {
+	if r.Full() {
+		panic("core: ROB overflow")
+	}
+	si.robIndex = r.tail
+	r.entries[r.tail] = robEntry{instr: si}
+	r.tail = (r.tail + 1) % len(r.entries)
+	r.count++
+}
+
+// Head returns the oldest instruction, or nil.
+func (r *ROB) Head() *SimInstr {
+	if r.Empty() {
+		return nil
+	}
+	return r.entries[r.head].instr
+}
+
+// HeadDone reports whether the oldest instruction has finished executing.
+func (r *ROB) HeadDone() bool {
+	return !r.Empty() && r.entries[r.head].done
+}
+
+// Pop retires the oldest instruction.
+func (r *ROB) Pop() *SimInstr {
+	if r.Empty() {
+		panic("core: ROB underflow")
+	}
+	si := r.entries[r.head].instr
+	r.entries[r.head] = robEntry{}
+	r.head = (r.head + 1) % len(r.entries)
+	r.count--
+	return si
+}
+
+// MarkDone flags the instruction's slot as completed.
+func (r *ROB) MarkDone(si *SimInstr) {
+	if r.entries[si.robIndex].instr == si {
+		r.entries[si.robIndex].done = true
+	}
+}
+
+// SquashAfter removes every instruction younger than pivot (exclusive),
+// returning them youngest-first (the order rename-map restoration needs).
+func (r *ROB) SquashAfter(pivot *SimInstr) []*SimInstr {
+	var squashed []*SimInstr
+	for r.count > 0 {
+		lastIdx := (r.tail - 1 + len(r.entries)) % len(r.entries)
+		last := r.entries[lastIdx].instr
+		if last == pivot {
+			break
+		}
+		r.entries[lastIdx] = robEntry{}
+		r.tail = lastIdx
+		r.count--
+		squashed = append(squashed, last)
+	}
+	return squashed
+}
+
+// Walk visits the in-flight instructions oldest-first.
+func (r *ROB) Walk(f func(si *SimInstr, done bool)) {
+	idx := r.head
+	for i := 0; i < r.count; i++ {
+		f(r.entries[idx].instr, r.entries[idx].done)
+		idx = (idx + 1) % len(r.entries)
+	}
+}

@@ -1,0 +1,649 @@
+package core
+
+import (
+	"fmt"
+
+	"riscvsim/internal/asm"
+	"riscvsim/internal/cache"
+	"riscvsim/internal/config"
+	"riscvsim/internal/expr"
+	"riscvsim/internal/fault"
+	"riscvsim/internal/isa"
+	"riscvsim/internal/memory"
+	"riscvsim/internal/predictor"
+	"riscvsim/internal/rename"
+	"riscvsim/internal/stats"
+)
+
+// LogEntry is one timestamped debug-log message (paper §II-A: "Each log
+// message is timestamped with the cycle in which it was generated").
+type LogEntry struct {
+	Cycle uint64 `json:"cycle"`
+	Msg   string `json:"msg"`
+}
+
+// maxLogEntries bounds the in-memory debug log.
+const maxLogEntries = 4096
+
+// Simulation is one processor simulation instance: the step manager that
+// owns all pipeline blocks, arranged in a queue based on their position in
+// the pipeline, and calls them sequentially each clock cycle (the paper's
+// BlockScheduleTask, §III-A).
+type Simulation struct {
+	cfg  *config.CPU
+	set  *isa.Set
+	regs *isa.RegisterFile
+	prog *asm.Program
+	mem  *memory.Main
+	// initialMem snapshots the loaded memory image so backward
+	// simulation can re-run deterministically from cycle zero.
+	initialMem *memory.Main
+	entry      int
+
+	l1    *cache.Cache
+	pred  *predictor.Predictor
+	rf    *rename.File
+	rob   *ROB
+	fus   []*FU
+	lsu   *LSU
+	fetch *fetchUnit
+
+	windows [4]*issueWindow // indexed by isa.FUClass
+
+	decodeBuf []*SimInstr
+	decodeCap int
+
+	ev *expr.Evaluator
+
+	cycle  uint64
+	nextID uint64
+
+	halted     bool
+	haltReason string
+	exception  *fault.Exception
+
+	// Statistics counters.
+	committedCount uint64
+	squashedCount  uint64
+	flops          uint64
+	robFlushes     uint64
+	dynMix         map[isa.InstrType]uint64
+	decodeStalls   uint64
+	commitStalls   uint64
+	renameStalls   uint64
+	robOccSum      uint64
+
+	// Debugging (paper §V future work): breakpoints/watches pause the
+	// simulation at commit without ending it.
+	breakpoints map[int]bool
+	watches     []watchRange
+	paused      bool
+	pauseReason string
+	bpSkipID    uint64
+
+	log        []LogEntry
+	VerboseLog bool
+}
+
+// New builds a simulation over an assembled program and its loaded memory.
+// The memory must already contain the program's data image (asm.Assemble);
+// entry is the starting instruction index. Mirrors the initialization
+// sequence of paper §III-A: configuration validation, statistics and block
+// construction, register-file initialization and PC setup.
+func New(cfg *config.CPU, set *isa.Set, regs *isa.RegisterFile, prog *asm.Program, mem *memory.Main, entry int) (*Simulation, error) {
+	if errs := cfg.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("core: invalid configuration: %v", errs[0])
+	}
+	if entry < 0 || (entry >= len(prog.Instructions) && len(prog.Instructions) > 0) {
+		return nil, fmt.Errorf("core: entry point %d outside code of %d instructions", entry, len(prog.Instructions))
+	}
+	l1, err := cache.New(cfg.Cache, mem)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := predictor.New(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:        cfg,
+		set:        set,
+		regs:       regs,
+		prog:       prog,
+		mem:        mem,
+		initialMem: mem.Clone(),
+		entry:      entry,
+		l1:         l1,
+		pred:       pred,
+		rf:         rename.NewFile(cfg.RenameRegisters),
+		rob:        NewROB(cfg.ROBSize),
+		lsu:        NewLSU(cfg.LoadBufferSize, cfg.StoreBufferSize, l1),
+		decodeCap:  2 * cfg.FetchWidth,
+		ev:         expr.NewEvaluator(),
+		dynMix:     make(map[isa.InstrType]uint64),
+	}
+	s.windows[isa.FX] = newIssueWindow(isa.FX, cfg.FXWindow)
+	s.windows[isa.FP] = newIssueWindow(isa.FP, cfg.FPWindow)
+	s.windows[isa.LS] = newIssueWindow(isa.LS, cfg.LSWindow)
+	s.windows[isa.Branch] = newIssueWindow(isa.Branch, cfg.BranchWindow)
+	for i := range cfg.Units {
+		s.fus = append(s.fus, NewFU(&cfg.Units[i]))
+	}
+	s.fetch = newFetchUnit(prog, pred, cfg.FetchWidth, cfg.JumpsPerCycle, entry)
+
+	// Register initialization (paper §III-C): the call stack lives at the
+	// bottom of memory and x2 (sp) points at its end; the return address
+	// is a sentinel one past the code so that `ret` from the entry
+	// routine leaves the code segment and drains the pipeline.
+	s.rf.SetArchValue(isa.RegInt, isa.RegSP, expr.NewInt(int32(mem.StackPointerInit())))
+	s.rf.SetArchValue(isa.RegInt, isa.RegRA, expr.NewInt(int32(len(prog.Instructions))))
+	return s, nil
+}
+
+func (s *Simulation) logf(now uint64, format string, args ...any) {
+	if len(s.log) >= maxLogEntries {
+		return
+	}
+	s.log = append(s.log, LogEntry{Cycle: now, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Cycle returns the number of executed cycles.
+func (s *Simulation) Cycle() uint64 { return s.cycle }
+
+// Halted reports whether the simulation has ended.
+func (s *Simulation) Halted() bool { return s.halted }
+
+// HaltReason describes why the simulation ended.
+func (s *Simulation) HaltReason() string { return s.haltReason }
+
+// Exception returns the raising exception, if the program faulted.
+func (s *Simulation) Exception() *fault.Exception { return s.exception }
+
+// Memory exposes the simulated memory (for dumps and the memory window).
+func (s *Simulation) Memory() *memory.Main { return s.mem }
+
+// Cache exposes the L1 cache (GUI cache pane).
+func (s *Simulation) Cache() *cache.Cache { return s.l1 }
+
+// Registers exposes the register files.
+func (s *Simulation) Registers() *rename.File { return s.rf }
+
+// Program returns the assembled program under simulation.
+func (s *Simulation) Program() *asm.Program { return s.prog }
+
+// Log returns the debug log entries.
+func (s *Simulation) Log() []LogEntry { return s.log }
+
+// Step advances the simulation by one clock cycle, calling all blocks in
+// pipeline order: commit first, then the memory unit, the functional
+// units' completion sub-step, issue (the FUs' load sub-step), rename and
+// fetch — so one instruction can leave and another enter a unit within a
+// single cycle (paper §III-A).
+func (s *Simulation) Step() {
+	if s.halted || s.paused {
+		return
+	}
+	now := s.cycle + 1
+
+	s.commitStep(now)
+	if !s.halted {
+		s.memoryStep(now)
+		s.completeStep(now)
+		s.issueStep(now)
+		s.renameStep(now)
+		s.fetchStep(now)
+	}
+
+	s.robOccSum += uint64(s.rob.Len())
+	for _, w := range s.windows {
+		w.CountOccupancy()
+	}
+	for _, fu := range s.fus {
+		fu.CountBusy()
+	}
+
+	s.cycle = now
+	s.checkPipelineEmpty(now)
+}
+
+// Run advances until the simulation halts or maxCycles elapse. It returns
+// the number of cycles executed in this call.
+func (s *Simulation) Run(maxCycles uint64) uint64 {
+	start := s.cycle
+	for !s.halted && !s.paused && s.cycle-start < maxCycles {
+		s.Step()
+	}
+	return s.cycle - start
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline stages
+// ---------------------------------------------------------------------------
+
+func (s *Simulation) commitStep(now uint64) {
+	for n := 0; n < s.cfg.CommitWidth; n++ {
+		if s.rob.Empty() || !s.rob.HeadDone() {
+			if n == 0 && !s.rob.Empty() {
+				s.commitStalls++
+			}
+			return
+		}
+		if s.checkBreakpoint(s.rob.Head(), now) {
+			return
+		}
+		si := s.rob.Pop()
+		si.Phase = PhaseCommitted
+		si.CommittedAt = now
+
+		// The existence of an exception is checked when the
+		// instruction is committed (paper §III-B).
+		if si.Exc.Occurred() {
+			s.haltWithException(si.Exc, now)
+			return
+		}
+		if si.IsBranch() {
+			s.pred.Update(si.PC, si.Static.Desc.Conditional,
+				si.actualTaken, si.actualTgt, !si.mispredict)
+		}
+		if si.hasDest {
+			s.rf.Commit(si.destTag)
+		}
+		if si.IsStore() {
+			s.lsu.OnCommitStore(si)
+			s.checkWatches(si, now)
+		}
+		s.committedCount++
+		s.dynMix[si.Static.Desc.Type]++
+		s.flops += uint64(si.Static.Desc.Flops)
+		if s.VerboseLog {
+			s.logf(now, "commit %s", si)
+		}
+		if s.paused {
+			return
+		}
+		if si.Static.Desc.Halts {
+			s.halted = true
+			s.haltReason = fmt.Sprintf("%s executed (the simulator runs no OS; environment calls end the program)", si.Static.Desc.Name)
+			s.logf(now, "halt: %s", s.haltReason)
+			s.l1.FlushAll(now)
+			return
+		}
+	}
+}
+
+func (s *Simulation) memoryStep(now uint64) {
+	completed, storeExc := s.lsu.Step(now)
+	for _, ld := range completed {
+		if ld.Squashed {
+			continue
+		}
+		ld.MemoryAt = now
+		if ld.hasDest {
+			if ld.Exc.Occurred() {
+				s.rf.SetValue(ld.destTag, expr.NewInt(0))
+			} else {
+				s.rf.SetValue(ld.destTag, LoadValue(ld.Static.Desc, ld.storeData))
+			}
+		}
+		s.rob.MarkDone(ld)
+		ld.Phase = PhaseDone
+	}
+	if storeExc != nil {
+		s.haltWithException(storeExc, now)
+	}
+}
+
+func (s *Simulation) completeStep(now uint64) {
+	for _, fu := range s.fus {
+		for _, si := range fu.ReleaseDone(now) {
+			s.completeInstr(si, now)
+		}
+	}
+}
+
+// completeInstr handles one instruction leaving a functional unit.
+func (s *Simulation) completeInstr(si *SimInstr, now uint64) {
+	{
+		if si.Squashed {
+			return
+		}
+		si.ExecutedAt = now
+		desc := si.Static.Desc
+		switch {
+		case desc.IsBranch():
+			s.writebackDest(si)
+			s.rob.MarkDone(si)
+			si.Phase = PhaseDone
+			switch {
+			case si.Exc.Occurred():
+				// Raised at commit; no redirect on a faulting branch.
+			case si.mispredict:
+				s.flushAfter(si, now)
+			case si.predStall:
+				// Fetch was parked on this unknown-target jump;
+				// resume it at the resolved target without a
+				// flush (nothing wrong-path was fetched).
+				s.fetch.Redirect(si.actualTgt, now, 0)
+				s.logf(now, "fetch resumed at %d after %s", si.actualTgt, si)
+			}
+		case desc.IsLoad():
+			// Address generation finished; the load now waits on the
+			// memory unit (it stays in the load buffer).
+			si.addrReady = true
+			si.Phase = PhaseMemory
+			s.checkAddress(si, now)
+			if si.Exc.Occurred() {
+				// AGU fault: complete immediately, raise at commit.
+				si.memIssued = true
+				si.memDoneAt = now
+			}
+		case desc.IsStore():
+			si.addrReady = true
+			s.checkAddress(si, now)
+			s.rob.MarkDone(si)
+			si.Phase = PhaseDone
+		default:
+			s.writebackDest(si)
+			s.rob.MarkDone(si)
+			si.Phase = PhaseDone
+		}
+	}
+}
+
+// checkAddress validates a computed effective address against the memory
+// capacity so that accesses to unauthorized addresses raise at the
+// instruction's own commit (paper §III-B).
+func (s *Simulation) checkAddress(si *SimInstr, now uint64) {
+	w := si.Static.Desc.MemWidth
+	if si.effAddr < 0 || si.effAddr+w > s.mem.Size() {
+		si.Exc = fault.New(fault.InvalidMemoryAccess,
+			"%s accesses %d bytes at address %d outside memory of %d bytes",
+			si.Static.Desc.Name, w, si.effAddr, s.mem.Size())
+		si.Exc.Cycle = now
+		si.Exc.PC = si.PC
+	}
+}
+
+// writebackDest publishes the computed result to the rename file; faulting
+// instructions publish a zero so commit bookkeeping stays consistent (the
+// exception is raised at commit anyway).
+func (s *Simulation) writebackDest(si *SimInstr) {
+	if !si.hasDest {
+		return
+	}
+	if si.resultReady {
+		s.rf.SetValue(si.destTag, si.result)
+	} else {
+		s.rf.SetValue(si.destTag, expr.NewInt(0))
+	}
+}
+
+func (s *Simulation) issueStep(now uint64) {
+	for _, fu := range s.fus {
+		if !fu.CanAccept(now) {
+			continue
+		}
+		w := s.windows[fu.Class()]
+		if si := w.SelectReady(s.rf, fu); si != nil {
+			fu.Accept(si, now, s.ev)
+		}
+	}
+}
+
+func (s *Simulation) renameStep(now uint64) {
+	n := 0
+	for len(s.decodeBuf) > 0 && n < s.cfg.FetchWidth {
+		si := s.decodeBuf[0]
+		desc := si.Static.Desc
+		if s.rob.Full() {
+			s.decodeStalls++
+			return
+		}
+		w := s.windows[desc.Unit]
+		if w.Full() {
+			s.decodeStalls++
+			return
+		}
+		if (desc.IsLoad() || desc.IsStore()) && !s.lsu.CanAccept(desc.IsStore()) {
+			s.decodeStalls++
+			return
+		}
+
+		// Rename sources first so an instruction that reads and writes
+		// the same register sees the older copy.
+		for i := range desc.Args {
+			a := &desc.Args[i]
+			if a.WriteBack || (a.Kind != isa.ArgRegInt && a.Kind != isa.ArgRegFloat) {
+				continue
+			}
+			op := si.Static.Op(a.Name)
+			class := isa.RegInt
+			if a.Kind == isa.ArgRegFloat {
+				class = isa.RegFloat
+			}
+			ref := s.rf.LookupSrc(class, op.Reg)
+			si.srcs = append(si.srcs, srcOperand{
+				name: a.Name, class: class, reg: op.Reg, ref: ref,
+			})
+		}
+
+		// Rename the destination; a write to x0 is architecturally
+		// discarded and allocates nothing.
+		if dst := desc.DestArg(); dst != nil {
+			op := si.Static.Op(dst.Name)
+			class := isa.RegInt
+			if dst.Kind == isa.ArgRegFloat {
+				class = isa.RegFloat
+			}
+			if !(class == isa.RegInt && op.Reg == isa.RegZero) {
+				tag, prev, ok := s.rf.Alloc(class, op.Reg)
+				if !ok {
+					// Rename file exhausted: undo source refs and stall.
+					si.releaseRefs(s.rf)
+					si.srcs = nil
+					s.renameStalls++
+					return
+				}
+				si.hasDest = true
+				si.destClass = class
+				si.destReg = op.Reg
+				si.destTag = tag
+				si.destPrev = prev
+			}
+		}
+
+		s.rob.Push(si)
+		if desc.IsLoad() || desc.IsStore() {
+			s.lsu.Add(si)
+		}
+		w.Insert(si)
+		si.Phase = PhaseDecoded
+		si.DecodedAt = now
+		s.decodeBuf = s.decodeBuf[1:]
+		n++
+	}
+}
+
+func (s *Simulation) fetchStep(now uint64) {
+	room := s.decodeCap - len(s.decodeBuf)
+	if room <= 0 {
+		return
+	}
+	fetched := s.fetch.Fetch(now, room, func() uint64 {
+		s.nextID++
+		return s.nextID
+	})
+	s.decodeBuf = append(s.decodeBuf, fetched...)
+}
+
+// flushAfter squashes everything younger than the mispredicted branch,
+// restores the rename map, redirects fetch and applies the flush penalty.
+func (s *Simulation) flushAfter(si *SimInstr, now uint64) {
+	s.robFlushes++
+	squashed := s.rob.SquashAfter(si) // youngest first
+	for _, sq := range squashed {
+		sq.Squashed = true
+		sq.Phase = PhaseSquashed
+		sq.releaseRefs(s.rf)
+		if sq.hasDest {
+			s.rf.Squash(sq.destTag, sq.destPrev)
+		}
+		s.squashedCount++
+	}
+	// Everything still in the decode buffer was fetched after the branch.
+	for _, d := range s.decodeBuf {
+		d.Squashed = true
+		d.Phase = PhaseSquashed
+		s.squashedCount++
+	}
+	s.decodeBuf = s.decodeBuf[:0]
+	for _, fu := range s.fus {
+		fu.AbortSquashed()
+	}
+	for _, w := range s.windows {
+		w.RemoveSquashed()
+	}
+	s.lsu.RemoveSquashed()
+	if s.fetch.waitBranch != nil && s.fetch.waitBranch.Squashed {
+		s.fetch.ClearWait(s.fetch.waitBranch)
+	}
+	s.fetch.Redirect(si.actualTgt, now, s.cfg.FlushPenalty)
+	s.logf(now, "flush: %s mispredicted (taken=%v target=%d), %d squashed, penalty %d",
+		si, si.actualTaken, si.actualTgt, len(squashed), s.cfg.FlushPenalty)
+}
+
+func (s *Simulation) haltWithException(exc *fault.Exception, now uint64) {
+	s.halted = true
+	s.exception = exc
+	s.haltReason = "exception: " + exc.Error()
+	s.logf(now, "exception at pc=%d cycle=%d: %s", exc.PC, exc.Cycle, exc.Error())
+	s.l1.FlushAll(now)
+}
+
+// checkPipelineEmpty ends the simulation when the pipeline has drained:
+// fetch ran past the code (the entry routine returned to the sentinel
+// address) and nothing is in flight (paper §III-A).
+func (s *Simulation) checkPipelineEmpty(now uint64) {
+	if s.halted {
+		return
+	}
+	if s.fetch.AtEnd() && len(s.decodeBuf) == 0 && s.rob.Empty() && s.lsu.Drained() {
+		s.halted = true
+		s.haltReason = "pipeline empty"
+		s.logf(now, "halt: pipeline empty after %d committed instructions", s.committedCount)
+		s.l1.FlushAll(now)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Backward simulation
+// ---------------------------------------------------------------------------
+
+// StepBack returns a new simulation positioned one cycle earlier. Following
+// the paper (§III-B), backward simulation is implemented as a forward
+// re-run of t−1 clock cycles from the initial state, which requires the
+// simulation to be deterministic (it is: the only pseudo-randomness, the
+// cache's Random policy, uses a fixed-seed generator).
+func (s *Simulation) StepBack() (*Simulation, error) {
+	if s.cycle == 0 {
+		return nil, fmt.Errorf("core: already at cycle 0")
+	}
+	return s.ReplayTo(s.cycle - 1)
+}
+
+// ReplayTo returns a fresh simulation advanced to the given cycle.
+func (s *Simulation) ReplayTo(target uint64) (*Simulation, error) {
+	mem := s.initialMem.Clone()
+	ns, err := New(s.cfg, s.set, s.regs, s.prog, mem, s.entry)
+	if err != nil {
+		return nil, err
+	}
+	ns.VerboseLog = s.VerboseLog
+	for ns.cycle < target && !ns.halted {
+		ns.Step()
+	}
+	// Debug state carries over, but replay itself never pauses.
+	if len(s.breakpoints) > 0 {
+		ns.breakpoints = make(map[int]bool, len(s.breakpoints))
+		for pc := range s.breakpoints {
+			ns.breakpoints[pc] = true
+		}
+	}
+	ns.watches = append(ns.watches, s.watches...)
+	return ns, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+// Report assembles the complete runtime-statistics document (paper §II-D).
+func (s *Simulation) Report() *stats.Report {
+	r := &stats.Report{
+		Architecture: s.cfg.Name,
+		Cycles:       s.cycle,
+		Committed:    s.committedCount,
+		Fetched:      s.fetch.fetched,
+		Squashed:     s.squashedCount,
+		Flops:        s.flops,
+		ROBFlushes:   s.robFlushes,
+		HaltReason:   s.haltReason,
+		StaticMix:    map[string]uint64{},
+		DynamicMix:   map[string]uint64{},
+		Predictor:    s.pred.Stats(),
+		Cache:        s.l1.Stats(),
+		Memory:       s.mem.Stats(),
+		Rename:       s.rf.Stats(),
+		FetchStalls:  s.fetch.stallCycles,
+		DecodeStalls: s.decodeStalls,
+		CommitStalls: s.commitStalls,
+		RenameStalls: s.renameStalls,
+	}
+	if s.exception != nil {
+		r.ExceptionMsg = s.exception.Error()
+	}
+	if s.cycle > 0 {
+		r.IPC = float64(s.committedCount) / float64(s.cycle)
+		r.WallTimeSec = float64(s.cycle) / s.cfg.CoreClockHz
+		if r.WallTimeSec > 0 {
+			r.FlopsPerSec = float64(s.flops) / r.WallTimeSec
+		}
+		r.ROBOccupancy = float64(s.robOccSum) / float64(s.cycle)
+	}
+	for t, n := range s.prog.MixStatic() {
+		r.StaticMix[t.String()] = uint64(n)
+	}
+	for t, n := range s.dynMix {
+		r.DynamicMix[t.String()] = n
+	}
+	r.PredAccuracy = r.Predictor.Accuracy()
+	r.CacheHitRate = r.Cache.HitRate()
+	lsu := s.lsu.Stats()
+	r.LSU = stats.LSUStat{
+		Loads: lsu.Loads, Stores: lsu.Stores, Forwards: lsu.Forwards,
+		StallsUnknown: lsu.StallsUnknown, StallsPartial: lsu.StallsPartial,
+		BusBusyCycles: lsu.BusBusyCycles,
+		LoadBufStalls: lsu.LoadBufStalls, StoreBufStalls: lsu.StoreBufStalls,
+	}
+	var winSum, winStalls uint64
+	for _, w := range s.windows {
+		winSum += w.occupancySum
+		winStalls += w.fullStalls
+	}
+	if s.cycle > 0 {
+		r.WindowOccup = float64(winSum) / float64(s.cycle*4)
+	}
+	r.WindowStalls = winStalls
+	for _, fu := range s.fus {
+		st := fu.Stats()
+		pct := 0.0
+		if s.cycle > 0 {
+			pct = 100 * float64(st.BusyCycles) / float64(s.cycle)
+		}
+		r.FUs = append(r.FUs, stats.FUStat{
+			Name: st.Name, Class: st.Class,
+			BusyCycles: st.BusyCycles, BusyPct: pct, ExecCount: st.ExecCount,
+		})
+	}
+	return r
+}

@@ -1,0 +1,146 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+
+	"riscvsim/internal/config"
+	"riscvsim/internal/stats"
+)
+
+func TestAreaBreakdownSumsToTotal(t *testing.T) {
+	r := EstimateArea(config.Default())
+	var sum float64
+	for _, b := range r.Blocks {
+		if b.KGE < 0 {
+			t.Errorf("negative area for %s", b.Block)
+		}
+		sum += b.KGE
+	}
+	if diff := sum - r.TotalKGE; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("breakdown sums to %f, total says %f", sum, r.TotalKGE)
+	}
+	if r.TotalKGE <= 0 {
+		t.Error("zero total area")
+	}
+}
+
+func TestAreaMonotonicInROB(t *testing.T) {
+	small := config.Default()
+	big := config.Default()
+	big.ROBSize *= 4
+	big.RenameRegisters *= 4
+	if EstimateArea(big).TotalKGE <= EstimateArea(small).TotalKGE {
+		t.Error("4x ROB should cost more area")
+	}
+}
+
+func TestWiderCoreCostsMore(t *testing.T) {
+	narrow := config.Scalar()
+	wide := config.Wide4()
+	an, aw := EstimateArea(narrow).TotalKGE, EstimateArea(wide).TotalKGE
+	if aw <= an {
+		t.Errorf("4-wide (%f kGE) should cost more than scalar (%f kGE)", aw, an)
+	}
+	// The gap should be substantial (more units, bigger everything).
+	if aw < 1.5*an {
+		t.Errorf("4-wide (%f) vs scalar (%f): expected at least 1.5x", aw, an)
+	}
+}
+
+func TestPipelinedUnitsCostExtra(t *testing.T) {
+	plain := config.Default()
+	piped := config.Default()
+	for i := range piped.Units {
+		piped.Units[i].Pipelined = true
+	}
+	if EstimateArea(piped).TotalKGE <= EstimateArea(plain).TotalKGE {
+		t.Error("pipelined units should cost pipeline-register area")
+	}
+}
+
+func TestCacheAreaScalesWithSize(t *testing.T) {
+	small := config.Default()
+	small.Cache.Lines = 64
+	big := config.Default()
+	big.Cache.Lines = 1024
+	if EstimateArea(big).TotalKGE <= EstimateArea(small).TotalKGE {
+		t.Error("16x cache should cost more")
+	}
+	off := config.Default()
+	off.Cache.Enabled = false
+	if EstimateArea(off).TotalKGE >= EstimateArea(small).TotalKGE {
+		t.Error("disabling the cache should save area")
+	}
+}
+
+func runStats() *stats.Report {
+	return &stats.Report{
+		Cycles:      1000,
+		Committed:   1500,
+		Fetched:     1600,
+		ROBFlushes:  10,
+		WallTimeSec: 1e-5,
+		FUs: []stats.FUStat{
+			{Name: "FX0", Class: "FX", ExecCount: 900},
+			{Name: "FP0", Class: "FP", ExecCount: 100},
+			{Name: "LS0", Class: "LS", ExecCount: 300},
+			{Name: "BR0", Class: "Branch", ExecCount: 200},
+		},
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	r := Estimate(config.Default(), runStats())
+	if r.DynamicNanoJ <= 0 || r.LeakageNanoJ <= 0 {
+		t.Fatalf("energy not computed: %+v", r)
+	}
+	var sum float64
+	for _, e := range r.Energy {
+		sum += e.NanoJ
+	}
+	if diff := sum - r.DynamicNanoJ; diff > 1e-9 || diff < -1e-9 {
+		t.Error("energy breakdown does not sum to dynamic total")
+	}
+	if r.TotalNanoJ != r.DynamicNanoJ+r.LeakageNanoJ {
+		t.Error("total != dynamic + leakage")
+	}
+	if r.AvgPowerMW <= 0 || r.EnergyPerInst <= 0 {
+		t.Error("derived metrics missing")
+	}
+}
+
+func TestMoreWorkMoreEnergy(t *testing.T) {
+	base := runStats()
+	busy := runStats()
+	busy.Committed *= 10
+	busy.Fetched *= 10
+	busy.FUs[0].ExecCount *= 10
+	a := Estimate(config.Default(), base)
+	b := Estimate(config.Default(), busy)
+	if b.DynamicNanoJ <= a.DynamicNanoJ {
+		t.Error("10x work should cost more dynamic energy")
+	}
+}
+
+func TestEstimateWithoutStats(t *testing.T) {
+	r := Estimate(config.Default(), nil)
+	if r.TotalKGE <= 0 {
+		t.Error("area missing")
+	}
+	if r.TotalNanoJ != 0 {
+		t.Error("energy should be zero without stats")
+	}
+}
+
+func TestFormatText(t *testing.T) {
+	text := Estimate(config.Default(), runStats()).FormatText()
+	for _, want := range []string{
+		"Chip area", "reorder buffer", "functional units", "TOTAL",
+		"Energy", "average power", "pJ/instr",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("cost report missing %q", want)
+		}
+	}
+}

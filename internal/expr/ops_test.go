@@ -1,0 +1,227 @@
+package expr
+
+import (
+	"math"
+	"testing"
+)
+
+// Coverage for the long/unsigned operator paths and remaining conversions.
+
+func evalV(t *testing.T, src string, env Env) Value {
+	t.Helper()
+	return eval(t, src, env).Value
+}
+
+func TestLongArithmetic(t *testing.T) {
+	env := MapEnv{"a": NewLong(1 << 40), "b": NewLong(1 << 40)}
+	if got := evalV(t, `\a \b +`, env).Long(); got != 1<<41 {
+		t.Errorf("long add = %d", got)
+	}
+	if got := evalV(t, `\a \b -`, env).Long(); got != 0 {
+		t.Errorf("long sub = %d", got)
+	}
+	env2 := MapEnv{"a": NewLong(-10), "b": NewLong(3)}
+	if got := evalV(t, `\a \b /`, env2).Long(); got != -3 {
+		t.Errorf("long div = %d", got)
+	}
+	if got := evalV(t, `\a \b %`, env2).Long(); got != -1 {
+		t.Errorf("long rem = %d", got)
+	}
+}
+
+func TestULongOps(t *testing.T) {
+	env := MapEnv{"a": NewULong(math.MaxUint64), "b": NewULong(2)}
+	if got := evalV(t, `\a \b /u`, env).ULong(); got != math.MaxUint64/2 {
+		t.Errorf("ulong divu = %d", got)
+	}
+	if got := evalV(t, `\a \b %u`, env).ULong(); got != 1 {
+		t.Errorf("ulong remu = %d", got)
+	}
+	if !evalV(t, `\a \b >u`, env).Bool() {
+		t.Error("max > 2 unsigned should hold")
+	}
+	if evalV(t, `\a \b <=u`, env).Bool() {
+		t.Error("max <= 2 unsigned should not hold")
+	}
+	if !evalV(t, `\b \a <=u`, env).Bool() {
+		t.Error("2 <=u max should hold")
+	}
+	if evalV(t, `\b \a >=u`, env).Bool() {
+		t.Error("2 >=u max should not hold")
+	}
+}
+
+func TestLongShifts(t *testing.T) {
+	env := MapEnv{"a": NewLong(1), "b": NewLong(40)}
+	if got := evalV(t, `\a \b <<`, env).Long(); got != 1<<40 {
+		t.Errorf("long shl = %d", got)
+	}
+	env2 := MapEnv{"a": NewLong(-(1 << 40)), "b": NewLong(8)}
+	if got := evalV(t, `\a \b >>`, env2).Long(); got != -(1 << 32) {
+		t.Errorf("long sra = %d", got)
+	}
+	env3 := MapEnv{"a": NewULong(1 << 40), "b": NewLong(8)}
+	if got := evalV(t, `\a \b >>>`, env3).ULong(); got != 1<<32 {
+		t.Errorf("long srl = %d", got)
+	}
+}
+
+func TestUnaryVariants(t *testing.T) {
+	if got := evalV(t, `\a neg`, MapEnv{"a": NewLong(-5)}).Long(); got != 5 {
+		t.Errorf("neg long = %d", got)
+	}
+	if got := evalV(t, `\a neg`, MapEnv{"a": NewDouble(2.5)}).Double(); got != -2.5 {
+		t.Errorf("neg double = %v", got)
+	}
+	if got := evalV(t, `\a abs`, MapEnv{"a": NewInt(-7)}).Int(); got != 7 {
+		t.Errorf("abs int = %d", got)
+	}
+	if got := evalV(t, `\a abs`, MapEnv{"a": NewLong(-7)}).Long(); got != 7 {
+		t.Errorf("abs long = %d", got)
+	}
+	if got := evalV(t, `\a abs`, MapEnv{"a": NewFloat(-1.5)}).Float(); got != 1.5 {
+		t.Errorf("abs float = %v", got)
+	}
+	if got := evalV(t, `\a abs`, MapEnv{"a": NewDouble(-1.5)}).Double(); got != 1.5 {
+		t.Errorf("abs double = %v", got)
+	}
+	if !evalV(t, `\a !`, MapEnv{"a": NewInt(0)}).Bool() {
+		t.Error("!0 should be true")
+	}
+	if evalV(t, `\a !`, MapEnv{"a": NewInt(3)}).Bool() {
+		t.Error("!3 should be false")
+	}
+}
+
+func TestConversionOps(t *testing.T) {
+	if got := evalV(t, `\a long`, MapEnv{"a": NewInt(-1)}).Long(); got != -1 {
+		t.Errorf("long(-1) = %d", got)
+	}
+	if got := evalV(t, `\a ulong`, MapEnv{"a": NewInt(-1)}).ULong(); got != math.MaxUint64 {
+		t.Errorf("ulong(-1) = %d", got)
+	}
+	if got := evalV(t, `\a double`, MapEnv{"a": NewInt(3)}).Double(); got != 3.0 {
+		t.Errorf("double(3) = %v", got)
+	}
+	if got := evalV(t, `\a bitsToLong`, MapEnv{"a": NewULong(0x1234)}).Long(); got != 0x1234 {
+		t.Errorf("bitsToLong = %#x", got)
+	}
+	if got := evalV(t, `\a bitsToDouble`, MapEnv{"a": NewULong(math.Float64bits(2.5))}).Double(); got != 2.5 {
+		t.Errorf("bitsToDouble = %v", got)
+	}
+	// int of an int passes through.
+	if got := evalV(t, `\a int`, MapEnv{"a": NewInt(-9)}).Int(); got != -9 {
+		t.Errorf("int(int) = %d", got)
+	}
+	if got := evalV(t, `\a uint`, MapEnv{"a": NewInt(-1)}).UInt(); got != math.MaxUint32 {
+		t.Errorf("uint(int) = %d", got)
+	}
+}
+
+func TestFloatMinMaxAndMod(t *testing.T) {
+	env := MapEnv{"a": NewDouble(3), "b": NewDouble(-4)}
+	if got := evalV(t, `\a \b min`, env).Double(); got != -4 {
+		t.Errorf("dmin = %v", got)
+	}
+	if got := evalV(t, `\a \b max`, env).Double(); got != 3 {
+		t.Errorf("dmax = %v", got)
+	}
+	if got := evalV(t, `\a \b %`, MapEnv{"a": NewDouble(7.5), "b": NewDouble(2)}).Double(); got != 1.5 {
+		t.Errorf("fmod = %v", got)
+	}
+	// Long min/max.
+	lenv := MapEnv{"a": NewLong(9), "b": NewLong(-9)}
+	if got := evalV(t, `\a \b min`, lenv).Long(); got != -9 {
+		t.Errorf("lmin = %d", got)
+	}
+	if got := evalV(t, `\a \b max`, lenv).Long(); got != 9 {
+		t.Errorf("lmax = %d", got)
+	}
+}
+
+func TestDoubleSignInjection(t *testing.T) {
+	env := MapEnv{"a": NewDouble(1.5), "b": NewDouble(-2)}
+	if got := evalV(t, `\a \b sgnj`, env).Double(); got != -1.5 {
+		t.Errorf("dsgnj = %v", got)
+	}
+	if got := evalV(t, `\a \b sgnjn`, env).Double(); got != 1.5 {
+		t.Errorf("dsgnjn = %v", got)
+	}
+	env2 := MapEnv{"a": NewDouble(-1.5), "b": NewDouble(-2)}
+	if got := evalV(t, `\a \b sgnjx`, env2).Double(); got != 1.5 {
+		t.Errorf("dsgnjx = %v", got)
+	}
+}
+
+func TestDoubleFclassAndSubnormal(t *testing.T) {
+	if got := evalV(t, `\a fclass`, MapEnv{"a": NewDouble(math.Inf(-1))}).Int(); got != 1 {
+		t.Errorf("fclass(-inf double) = %#x", got)
+	}
+	// Subnormal float32.
+	sub := FromBits(1, Float)
+	if got := evalV(t, `\a fclass`, MapEnv{"a": sub}).Int(); got != 1<<5 {
+		t.Errorf("fclass(+subnormal) = %#x", got)
+	}
+	subNeg := FromBits(uint64(0x80000001), Float)
+	if got := evalV(t, `\a fclass`, MapEnv{"a": subNeg}).Int(); got != 1<<2 {
+		t.Errorf("fclass(-subnormal) = %#x", got)
+	}
+	dsub := FromBits(1, Double)
+	if got := evalV(t, `\a fclass`, MapEnv{"a": dsub}).Int(); got != 1<<5 {
+		t.Errorf("fclass(+subnormal double) = %#x", got)
+	}
+}
+
+func TestNeNaN(t *testing.T) {
+	env := MapEnv{"a": NewFloat(float32(math.NaN())), "b": NewFloat(1)}
+	// != with NaN: incomparable encodes as equal-test failure -> true? In
+	// RISC-V there is no fne; the simulator uses != only for integer bne.
+	// For floats the interpreter returns false for every ordering test.
+	if evalV(t, `\a \b >`, env).Bool() || evalV(t, `\a \b >=`, env).Bool() {
+		t.Error("NaN ordering should be false")
+	}
+}
+
+func TestDoubleDivByZeroIsInf(t *testing.T) {
+	env := MapEnv{"a": NewDouble(-1), "b": NewDouble(0)}
+	if got := evalV(t, `\a \b /`, env).Double(); !math.IsInf(got, -1) {
+		t.Errorf("-1/0 = %v, want -Inf", got)
+	}
+}
+
+func TestBoolConversionsAndWidth(t *testing.T) {
+	b := NewBool(true)
+	if b.Int() != 1 || b.UInt() != 1 || b.Long() != 1 || b.ULong() != 1 {
+		t.Error("bool numeric views should be 1")
+	}
+	if b.Float() != 1 || b.Double() != 1 {
+		t.Error("bool float views should be 1")
+	}
+	if NewBool(false).Bool() {
+		t.Error("false is false")
+	}
+	if b.Convert(Bool).Bool() != true {
+		t.Error("bool->bool")
+	}
+	if NewInt(0).Convert(Bool).Bool() {
+		t.Error("0 -> false")
+	}
+	if !NewInt(-3).Convert(Bool).Bool() {
+		t.Error("-3 -> true")
+	}
+}
+
+func TestFloatToIntegerAccessors(t *testing.T) {
+	f := NewFloat(100.9)
+	if f.Int() != 100 || f.UInt() != 100 || f.Long() != 100 || f.ULong() != 100 {
+		t.Error("float accessors should truncate")
+	}
+	d := NewDouble(-7.5)
+	if d.Int() != -7 || d.Long() != -7 {
+		t.Error("double accessors should truncate")
+	}
+	l := NewLong(1 << 40)
+	if l.Float() != float32(1<<40) || l.Double() != float64(1<<40) {
+		t.Error("long to float conversions wrong")
+	}
+}

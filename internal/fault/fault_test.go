@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		None:                "none",
+		DivisionByZero:      "division by zero",
+		InvalidMemoryAccess: "invalid memory access",
+		MisalignedAccess:    "misaligned memory access",
+		InvalidInstruction:  "invalid instruction",
+		StackOverflow:       "stack overflow",
+		ArithmeticOverflow:  "arithmetic overflow",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind should render its number, got %q", got)
+	}
+}
+
+func TestNewFormatsMessage(t *testing.T) {
+	e := New(InvalidMemoryAccess, "address %d of %d", 100, 64)
+	if !strings.Contains(e.Error(), "address 100 of 64") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	if !strings.Contains(e.Error(), "invalid memory access") {
+		t.Errorf("Error() should include the kind: %q", e.Error())
+	}
+}
+
+func TestErrorWithoutMessage(t *testing.T) {
+	e := &Exception{Kind: DivisionByZero}
+	if e.Error() != "division by zero" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestOccurred(t *testing.T) {
+	var nilExc *Exception
+	if nilExc.Occurred() {
+		t.Error("nil exception must not have occurred")
+	}
+	if (&Exception{Kind: None}).Occurred() {
+		t.Error("None must not have occurred")
+	}
+	if !(&Exception{Kind: DivisionByZero}).Occurred() {
+		t.Error("real exception must have occurred")
+	}
+}
+
+func TestWorksWithErrorsAs(t *testing.T) {
+	var err error = New(StackOverflow, "sp below %d", 0)
+	var exc *Exception
+	if !errors.As(err, &exc) || exc.Kind != StackOverflow {
+		t.Error("errors.As should extract the exception")
+	}
+}

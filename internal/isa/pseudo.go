@@ -1,0 +1,52 @@
+package isa
+
+// registerPseudos adds the standard RISC-V pseudo-instruction expansions the
+// paper's assembler supports ("pseudo-instructions and directives",
+// §III-B). $N placeholders are replaced with the written operands.
+//
+// Relaxation note: because the simulator addresses code and data by segment
+// indices rather than encoded bit fields (paper §III-B), `li` and `la`
+// expand to a single addi whose immediate need not fit 12 bits, and `call`
+// needs no auipc.
+func registerPseudos(s *Set) {
+	ps := []*Pseudo{
+		{Name: "nop", Operands: 0, Expansion: [][]string{{"addi", "x0", "x0", "0"}}},
+		{Name: "li", Operands: 2, Expansion: [][]string{{"addi", "$0", "x0", "$1"}}},
+		{Name: "la", Operands: 2, Expansion: [][]string{{"addi", "$0", "x0", "$1"}}},
+		{Name: "lla", Operands: 2, Expansion: [][]string{{"addi", "$0", "x0", "$1"}}},
+		{Name: "mv", Operands: 2, Expansion: [][]string{{"addi", "$0", "$1", "0"}}},
+		{Name: "not", Operands: 2, Expansion: [][]string{{"xori", "$0", "$1", "-1"}}},
+		{Name: "neg", Operands: 2, Expansion: [][]string{{"sub", "$0", "x0", "$1"}}},
+		{Name: "seqz", Operands: 2, Expansion: [][]string{{"sltiu", "$0", "$1", "1"}}},
+		{Name: "snez", Operands: 2, Expansion: [][]string{{"sltu", "$0", "x0", "$1"}}},
+		{Name: "sltz", Operands: 2, Expansion: [][]string{{"slt", "$0", "$1", "x0"}}},
+		{Name: "sgtz", Operands: 2, Expansion: [][]string{{"slt", "$0", "x0", "$1"}}},
+
+		{Name: "beqz", Operands: 2, Expansion: [][]string{{"beq", "$0", "x0", "$1"}}},
+		{Name: "bnez", Operands: 2, Expansion: [][]string{{"bne", "$0", "x0", "$1"}}},
+		{Name: "blez", Operands: 2, Expansion: [][]string{{"bge", "x0", "$0", "$1"}}},
+		{Name: "bgez", Operands: 2, Expansion: [][]string{{"bge", "$0", "x0", "$1"}}},
+		{Name: "bltz", Operands: 2, Expansion: [][]string{{"blt", "$0", "x0", "$1"}}},
+		{Name: "bgtz", Operands: 2, Expansion: [][]string{{"blt", "x0", "$0", "$1"}}},
+		{Name: "bgt", Operands: 3, Expansion: [][]string{{"blt", "$1", "$0", "$2"}}},
+		{Name: "ble", Operands: 3, Expansion: [][]string{{"bge", "$1", "$0", "$2"}}},
+		{Name: "bgtu", Operands: 3, Expansion: [][]string{{"bltu", "$1", "$0", "$2"}}},
+		{Name: "bleu", Operands: 3, Expansion: [][]string{{"bgeu", "$1", "$0", "$2"}}},
+
+		{Name: "j", Operands: 1, Expansion: [][]string{{"jal", "x0", "$0"}}},
+		{Name: "jr", Operands: 1, Expansion: [][]string{{"jalr", "x0", "$0", "0"}}},
+		{Name: "ret", Operands: 0, Expansion: [][]string{{"jalr", "x0", "ra", "0"}}},
+		{Name: "call", Operands: 1, Expansion: [][]string{{"jal", "ra", "$0"}}},
+		{Name: "tail", Operands: 1, Expansion: [][]string{{"jal", "x0", "$0"}}},
+
+		{Name: "fmv.s", Operands: 2, Expansion: [][]string{{"fsgnj.s", "$0", "$1", "$1"}}},
+		{Name: "fabs.s", Operands: 2, Expansion: [][]string{{"fsgnjx.s", "$0", "$1", "$1"}}},
+		{Name: "fneg.s", Operands: 2, Expansion: [][]string{{"fsgnjn.s", "$0", "$1", "$1"}}},
+		{Name: "fmv.d", Operands: 2, Expansion: [][]string{{"fsgnj.d", "$0", "$1", "$1"}}},
+		{Name: "fabs.d", Operands: 2, Expansion: [][]string{{"fsgnjx.d", "$0", "$1", "$1"}}},
+		{Name: "fneg.d", Operands: 2, Expansion: [][]string{{"fsgnjn.d", "$0", "$1", "$1"}}},
+	}
+	for _, p := range ps {
+		s.RegisterPseudo(p)
+	}
+}

@@ -1,0 +1,79 @@
+package isa
+
+import "riscvsim/internal/expr"
+
+func rdDouble() ArgDesc {
+	return ArgDesc{Name: "rd", Kind: ArgRegFloat, Type: expr.Double, WriteBack: true}
+}
+func rs1Double() ArgDesc { return ArgDesc{Name: "rs1", Kind: ArgRegFloat, Type: expr.Double} }
+func rs2Double() ArgDesc { return ArgDesc{Name: "rs2", Kind: ArgRegFloat, Type: expr.Double} }
+
+func dType(name, exprSrc string, flops int) *Desc {
+	return &Desc{
+		Name: name, Type: TypeArithmetic, Unit: FP, Format: FmtR,
+		Args:    []ArgDesc{rdDouble(), rs1Double(), rs2Double()},
+		ExprSrc: exprSrc,
+		Flops:   flops,
+	}
+}
+
+// registerRV32D adds the practical subset of the D (double-precision)
+// extension used by the paper's abstract ("RV32IMFD"). Registers are
+// 64-bit containers (paper §III-B), so doubles fit a single f register.
+func registerRV32D(s *Set) {
+	s.Register(&Desc{
+		Name: "fld", Type: TypeLoad, Unit: LS, Format: FmtLoad,
+		Args:     []ArgDesc{rdDouble(), immArg(), rs1Int()},
+		ExprSrc:  `\rs1 \imm +`,
+		MemWidth: 8,
+	})
+	s.Register(&Desc{
+		Name: "fsd", Type: TypeStore, Unit: LS, Format: FmtStore,
+		Args:     []ArgDesc{{Name: "rs2", Kind: ArgRegFloat, Type: expr.Double}, immArg(), rs1Int()},
+		ExprSrc:  `\rs1 \imm +`,
+		MemWidth: 8,
+	})
+
+	s.Register(dType("fadd.d", `\rs1 \rs2 + \rd =`, 1))
+	s.Register(dType("fsub.d", `\rs1 \rs2 - \rd =`, 1))
+	s.Register(dType("fmul.d", `\rs1 \rs2 * \rd =`, 1))
+	s.Register(dType("fdiv.d", `\rs1 \rs2 / \rd =`, 1))
+	s.Register(f2Type("fsqrt.d", `\rs1 sqrt \rd =`, 1,
+		[]ArgDesc{rdDouble(), rs1Double()}))
+	s.Register(dType("fmin.d", `\rs1 \rs2 min \rd =`, 1))
+	s.Register(dType("fmax.d", `\rs1 \rs2 max \rd =`, 1))
+	s.Register(dType("fsgnj.d", `\rs1 \rs2 sgnj \rd =`, 0))
+	s.Register(dType("fsgnjn.d", `\rs1 \rs2 sgnjn \rd =`, 0))
+	s.Register(dType("fsgnjx.d", `\rs1 \rs2 sgnjx \rd =`, 0))
+
+	// Conversions.
+	s.Register(f2Type("fcvt.d.s", `\rs1 double \rd =`, 1,
+		[]ArgDesc{rdDouble(), rs1Float()}))
+	s.Register(f2Type("fcvt.s.d", `\rs1 float \rd =`, 1,
+		[]ArgDesc{rdFloat(), rs1Double()}))
+	s.Register(f2Type("fcvt.w.d", `\rs1 int \rd =`, 1,
+		[]ArgDesc{rdInt(), rs1Double()}))
+	s.Register(f2Type("fcvt.wu.d", `\rs1 uint \rd =`, 1,
+		[]ArgDesc{{Name: "rd", Kind: ArgRegInt, Type: expr.UInt, WriteBack: true}, rs1Double()}))
+	s.Register(f2Type("fcvt.d.w", `\rs1 double \rd =`, 1,
+		[]ArgDesc{rdDouble(), rs1Int()}))
+	s.Register(f2Type("fcvt.d.wu", `\rs1 uint double \rd =`, 1,
+		[]ArgDesc{rdDouble(), rs1Int()}))
+
+	// Comparisons.
+	cmpArgs := func() []ArgDesc { return []ArgDesc{rdInt(), rs1Double(), rs2Double()} }
+	s.Register(&Desc{
+		Name: "feq.d", Type: TypeArithmetic, Unit: FP, Format: FmtR,
+		Args: cmpArgs(), ExprSrc: `\rs1 \rs2 == \rd =`, Flops: 1,
+	})
+	s.Register(&Desc{
+		Name: "flt.d", Type: TypeArithmetic, Unit: FP, Format: FmtR,
+		Args: cmpArgs(), ExprSrc: `\rs1 \rs2 < \rd =`, Flops: 1,
+	})
+	s.Register(&Desc{
+		Name: "fle.d", Type: TypeArithmetic, Unit: FP, Format: FmtR,
+		Args: cmpArgs(), ExprSrc: `\rs1 \rs2 <= \rd =`, Flops: 1,
+	})
+	s.Register(f2Type("fclass.d", `\rs1 fclass \rd =`, 0,
+		[]ArgDesc{rdInt(), rs1Double()}))
+}

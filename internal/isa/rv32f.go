@@ -1,0 +1,108 @@
+package isa
+
+import "riscvsim/internal/expr"
+
+func rdFloat() ArgDesc {
+	return ArgDesc{Name: "rd", Kind: ArgRegFloat, Type: expr.Float, WriteBack: true}
+}
+func rs1Float() ArgDesc { return ArgDesc{Name: "rs1", Kind: ArgRegFloat, Type: expr.Float} }
+func rs2Float() ArgDesc { return ArgDesc{Name: "rs2", Kind: ArgRegFloat, Type: expr.Float} }
+func rs3Float() ArgDesc { return ArgDesc{Name: "rs3", Kind: ArgRegFloat, Type: expr.Float} }
+
+// fType builds a float register-register descriptor executed by the FP unit.
+func fType(name, exprSrc string, flops int) *Desc {
+	return &Desc{
+		Name: name, Type: TypeArithmetic, Unit: FP, Format: FmtR,
+		Args:    []ArgDesc{rdFloat(), rs1Float(), rs2Float()},
+		ExprSrc: exprSrc,
+		Flops:   flops,
+	}
+}
+
+// f2Type builds a unary float descriptor (rd, rs1).
+func f2Type(name, exprSrc string, flops int, args []ArgDesc) *Desc {
+	return &Desc{
+		Name: name, Type: TypeArithmetic, Unit: FP, Format: FmtR2,
+		Args:    args,
+		ExprSrc: exprSrc,
+		Flops:   flops,
+	}
+}
+
+// f4Type builds a fused multiply-add descriptor (rd, rs1, rs2, rs3).
+func f4Type(name, exprSrc string) *Desc {
+	return &Desc{
+		Name: name, Type: TypeArithmetic, Unit: FP, Format: FmtR4,
+		Args:    []ArgDesc{rdFloat(), rs1Float(), rs2Float(), rs3Float()},
+		ExprSrc: exprSrc,
+		Flops:   2,
+	}
+}
+
+func registerRV32F(s *Set) {
+	// FP loads/stores move raw bits between memory and the FP file.
+	s.Register(&Desc{
+		Name: "flw", Type: TypeLoad, Unit: LS, Format: FmtLoad,
+		Args:     []ArgDesc{rdFloat(), immArg(), rs1Int()},
+		ExprSrc:  `\rs1 \imm +`,
+		MemWidth: 4,
+	})
+	s.Register(&Desc{
+		Name: "fsw", Type: TypeStore, Unit: LS, Format: FmtStore,
+		Args:     []ArgDesc{{Name: "rs2", Kind: ArgRegFloat, Type: expr.Float}, immArg(), rs1Int()},
+		ExprSrc:  `\rs1 \imm +`,
+		MemWidth: 4,
+	})
+
+	// Fused multiply-add family. RISC-V semantics:
+	//   fmadd  = rs1*rs2 + rs3      fmsub  = rs1*rs2 - rs3
+	//   fnmsub = -(rs1*rs2) + rs3   fnmadd = -(rs1*rs2) - rs3
+	s.Register(f4Type("fmadd.s", `\rs1 \rs2 * \rs3 + \rd =`))
+	s.Register(f4Type("fmsub.s", `\rs1 \rs2 * \rs3 - \rd =`))
+	s.Register(f4Type("fnmsub.s", `\rs1 \rs2 * neg \rs3 + \rd =`))
+	s.Register(f4Type("fnmadd.s", `\rs1 \rs2 * neg \rs3 - \rd =`))
+
+	s.Register(fType("fadd.s", `\rs1 \rs2 + \rd =`, 1))
+	s.Register(fType("fsub.s", `\rs1 \rs2 - \rd =`, 1))
+	s.Register(fType("fmul.s", `\rs1 \rs2 * \rd =`, 1))
+	s.Register(fType("fdiv.s", `\rs1 \rs2 / \rd =`, 1))
+	s.Register(f2Type("fsqrt.s", `\rs1 sqrt \rd =`, 1,
+		[]ArgDesc{rdFloat(), rs1Float()}))
+
+	s.Register(fType("fsgnj.s", `\rs1 \rs2 sgnj \rd =`, 0))
+	s.Register(fType("fsgnjn.s", `\rs1 \rs2 sgnjn \rd =`, 0))
+	s.Register(fType("fsgnjx.s", `\rs1 \rs2 sgnjx \rd =`, 0))
+	s.Register(fType("fmin.s", `\rs1 \rs2 min \rd =`, 1))
+	s.Register(fType("fmax.s", `\rs1 \rs2 max \rd =`, 1))
+
+	// Conversions and moves between files.
+	s.Register(f2Type("fcvt.w.s", `\rs1 int \rd =`, 1,
+		[]ArgDesc{rdInt(), rs1Float()}))
+	s.Register(f2Type("fcvt.wu.s", `\rs1 uint \rd =`, 1,
+		[]ArgDesc{{Name: "rd", Kind: ArgRegInt, Type: expr.UInt, WriteBack: true}, rs1Float()}))
+	s.Register(f2Type("fcvt.s.w", `\rs1 float \rd =`, 1,
+		[]ArgDesc{rdFloat(), rs1Int()}))
+	s.Register(f2Type("fcvt.s.wu", `\rs1 uint float \rd =`, 1,
+		[]ArgDesc{rdFloat(), rs1Int()}))
+	s.Register(f2Type("fmv.x.w", `\rs1 bitsToInt \rd =`, 0,
+		[]ArgDesc{rdInt(), rs1Float()}))
+	s.Register(f2Type("fmv.w.x", `\rs1 bitsToFloat \rd =`, 0,
+		[]ArgDesc{rdFloat(), rs1Int()}))
+
+	// FP comparisons write an integer register.
+	cmpArgs := func() []ArgDesc { return []ArgDesc{rdInt(), rs1Float(), rs2Float()} }
+	s.Register(&Desc{
+		Name: "feq.s", Type: TypeArithmetic, Unit: FP, Format: FmtR,
+		Args: cmpArgs(), ExprSrc: `\rs1 \rs2 == \rd =`, Flops: 1,
+	})
+	s.Register(&Desc{
+		Name: "flt.s", Type: TypeArithmetic, Unit: FP, Format: FmtR,
+		Args: cmpArgs(), ExprSrc: `\rs1 \rs2 < \rd =`, Flops: 1,
+	})
+	s.Register(&Desc{
+		Name: "fle.s", Type: TypeArithmetic, Unit: FP, Format: FmtR,
+		Args: cmpArgs(), ExprSrc: `\rs1 \rs2 <= \rd =`, Flops: 1,
+	})
+	s.Register(f2Type("fclass.s", `\rs1 fclass \rd =`, 0,
+		[]ArgDesc{rdInt(), rs1Float()}))
+}

@@ -1,0 +1,152 @@
+package isa
+
+import "riscvsim/internal/expr"
+
+// Argument descriptor shorthands used by the instruction tables.
+func rdInt() ArgDesc  { return ArgDesc{Name: "rd", Kind: ArgRegInt, Type: expr.Int, WriteBack: true} }
+func rs1Int() ArgDesc { return ArgDesc{Name: "rs1", Kind: ArgRegInt, Type: expr.Int} }
+func rs2Int() ArgDesc { return ArgDesc{Name: "rs2", Kind: ArgRegInt, Type: expr.Int} }
+func immArg() ArgDesc { return ArgDesc{Name: "imm", Kind: ArgImm, Type: expr.Int} }
+func labelArg() ArgDesc {
+	return ArgDesc{Name: "imm", Kind: ArgLabel, Type: expr.Int}
+}
+
+// rType builds an integer register-register arithmetic descriptor.
+func rType(name, exprSrc string) *Desc {
+	return &Desc{
+		Name: name, Type: TypeArithmetic, Unit: FX, Format: FmtR,
+		Args:    []ArgDesc{rdInt(), rs1Int(), rs2Int()},
+		ExprSrc: exprSrc,
+	}
+}
+
+// iType builds an integer register-immediate arithmetic descriptor.
+func iType(name, exprSrc string) *Desc {
+	return &Desc{
+		Name: name, Type: TypeArithmetic, Unit: FX, Format: FmtI,
+		Args:    []ArgDesc{rdInt(), rs1Int(), immArg()},
+		ExprSrc: exprSrc,
+	}
+}
+
+// branch builds a conditional PC-relative branch descriptor; the expression
+// leaves the condition on the stack.
+func branch(name, cond string) *Desc {
+	return &Desc{
+		Name: name, Type: TypeBranch, Unit: Branch, Format: FmtBranch,
+		Args:        []ArgDesc{rs1Int(), rs2Int(), labelArg()},
+		ExprSrc:     cond,
+		Conditional: true,
+		PCRelative:  true,
+	}
+}
+
+// load builds an integer load descriptor; the expression computes the
+// effective address.
+func load(name string, width int, signed bool) *Desc {
+	return &Desc{
+		Name: name, Type: TypeLoad, Unit: LS, Format: FmtLoad,
+		Args:      []ArgDesc{rdInt(), immArg(), rs1Int()},
+		ExprSrc:   `\rs1 \imm +`,
+		MemWidth:  width,
+		MemSigned: signed,
+	}
+}
+
+// store builds an integer store descriptor.
+func store(name string, width int) *Desc {
+	return &Desc{
+		Name: name, Type: TypeStore, Unit: LS, Format: FmtStore,
+		Args:     []ArgDesc{rs2Int(), immArg(), rs1Int()},
+		ExprSrc:  `\rs1 \imm +`,
+		MemWidth: width,
+	}
+}
+
+func registerRV32I(s *Set) {
+	// Upper-immediate instructions. Addresses are segment indices
+	// (paper §III-B), so auipc adds to the instruction index.
+	s.Register(&Desc{
+		Name: "lui", Type: TypeArithmetic, Unit: FX, Format: FmtU,
+		Args:    []ArgDesc{rdInt(), immArg()},
+		ExprSrc: `\imm 12 << \rd =`,
+	})
+	s.Register(&Desc{
+		Name: "auipc", Type: TypeArithmetic, Unit: FX, Format: FmtU,
+		Args:    []ArgDesc{rdInt(), immArg()},
+		ExprSrc: `\imm 12 << \pc + \rd =`,
+	})
+
+	// Unconditional jumps. jal's target is pc+imm; jalr's target is the
+	// value the expression leaves on the stack. Both link pc+1 (code
+	// addresses are instruction indices).
+	s.Register(&Desc{
+		Name: "jal", Type: TypeBranch, Unit: Branch, Format: FmtJ,
+		Args:       []ArgDesc{rdInt(), labelArg()},
+		ExprSrc:    `\pc 1 + \rd =`,
+		PCRelative: true,
+	})
+	s.Register(&Desc{
+		Name: "jalr", Type: TypeBranch, Unit: Branch, Format: FmtI,
+		Args:    []ArgDesc{rdInt(), rs1Int(), immArg()},
+		ExprSrc: `\pc 1 + \rd = \rs1 \imm +`,
+	})
+
+	// Conditional branches.
+	s.Register(branch("beq", `\rs1 \rs2 ==`))
+	s.Register(branch("bne", `\rs1 \rs2 !=`))
+	s.Register(branch("blt", `\rs1 \rs2 <`))
+	s.Register(branch("bge", `\rs1 \rs2 >=`))
+	s.Register(branch("bltu", `\rs1 \rs2 <u`))
+	s.Register(branch("bgeu", `\rs1 \rs2 >=u`))
+
+	// Loads and stores.
+	s.Register(load("lb", 1, true))
+	s.Register(load("lh", 2, true))
+	s.Register(load("lw", 4, true))
+	s.Register(load("lbu", 1, false))
+	s.Register(load("lhu", 2, false))
+	s.Register(store("sb", 1))
+	s.Register(store("sh", 2))
+	s.Register(store("sw", 4))
+
+	// Register-immediate arithmetic.
+	s.Register(iType("addi", `\rs1 \imm + \rd =`))
+	s.Register(iType("slti", `\rs1 \imm < \rd =`))
+	s.Register(iType("sltiu", `\rs1 \imm <u \rd =`))
+	s.Register(iType("xori", `\rs1 \imm ^ \rd =`))
+	s.Register(iType("ori", `\rs1 \imm | \rd =`))
+	s.Register(iType("andi", `\rs1 \imm & \rd =`))
+	s.Register(iType("slli", `\rs1 \imm << \rd =`))
+	s.Register(iType("srli", `\rs1 \imm >>> \rd =`))
+	s.Register(iType("srai", `\rs1 \imm >> \rd =`))
+
+	// Register-register arithmetic.
+	s.Register(rType("add", `\rs1 \rs2 + \rd =`))
+	s.Register(rType("sub", `\rs1 \rs2 - \rd =`))
+	s.Register(rType("sll", `\rs1 \rs2 << \rd =`))
+	s.Register(rType("slt", `\rs1 \rs2 < \rd =`))
+	s.Register(rType("sltu", `\rs1 \rs2 <u \rd =`))
+	s.Register(rType("xor", `\rs1 \rs2 ^ \rd =`))
+	s.Register(rType("srl", `\rs1 \rs2 >>> \rd =`))
+	s.Register(rType("sra", `\rs1 \rs2 >> \rd =`))
+	s.Register(rType("or", `\rs1 \rs2 | \rd =`))
+	s.Register(rType("and", `\rs1 \rs2 & \rd =`))
+
+	// fence is a no-op in a single-core simulator without an OS.
+	s.Register(&Desc{
+		Name: "fence", Type: TypeArithmetic, Unit: FX, Format: FmtNone,
+		ExprSrc: ``,
+	})
+
+	// The simulator runs no operating system (paper §III-B), so an
+	// environment call terminates the simulated program.
+	s.Register(&Desc{
+		Name: "ecall", Type: TypeArithmetic, Unit: FX, Format: FmtNone,
+		ExprSrc: ``, Halts: true,
+	})
+	s.Register(&Desc{
+		Name: "ebreak", Type: TypeArithmetic, Unit: FX, Format: FmtNone,
+		ExprSrc: ``, Halts: true,
+	})
+}

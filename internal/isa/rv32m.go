@@ -1,0 +1,19 @@
+package isa
+
+// registerRV32M adds the M (integer multiply/divide) extension.
+//
+// Deviation note: the RISC-V M specification defines division by zero to
+// return all-ones without trapping; the paper's simulator instead generates
+// an exception that is reported when the instruction commits ("Exceptions
+// are generated during code execution (e.g., ... division by zero)",
+// §III-B). We follow the paper.
+func registerRV32M(s *Set) {
+	s.Register(rType("mul", `\rs1 \rs2 * \rd =`))
+	s.Register(rType("mulh", `\rs1 \rs2 mulh \rd =`))
+	s.Register(rType("mulhsu", `\rs1 \rs2 mulhsu \rd =`))
+	s.Register(rType("mulhu", `\rs1 \rs2 mulhu \rd =`))
+	s.Register(rType("div", `\rs1 \rs2 / \rd =`))
+	s.Register(rType("divu", `\rs1 \rs2 /u \rd =`))
+	s.Register(rType("rem", `\rs1 \rs2 % \rd =`))
+	s.Register(rType("remu", `\rs1 \rs2 %u \rd =`))
+}

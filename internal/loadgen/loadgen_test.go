@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"riscvsim/internal/server"
+)
+
+func tinyScenario(users int) Scenario {
+	return Scenario{
+		Users:        users,
+		StepsPerUser: 3,
+		StepSize:     1,
+		RampUp:       20 * time.Millisecond,
+		ThinkTime:    5 * time.Millisecond,
+		Gzip:         true,
+		Programs:     []string{ProgramA, ProgramB},
+	}
+}
+
+func TestRunDirect(t *testing.T) {
+	srv := server.New(server.DefaultOptions())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	res, err := Run(ts.URL, tinyScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d request errors", res.Errors)
+	}
+	// 4 users x (1 new + 3 steps) = 16 requests.
+	if res.Requests != 16 {
+		t.Errorf("requests = %d, want 16", res.Requests)
+	}
+	if res.Median <= 0 || res.P90 < res.Median {
+		t.Errorf("latencies inconsistent: median=%v p90=%v", res.Median, res.P90)
+	}
+	if res.Throughput <= 0 {
+		t.Error("throughput not computed")
+	}
+}
+
+func TestRunThroughDockerShim(t *testing.T) {
+	srv := server.New(server.DefaultOptions())
+	shim := &DockerShim{ProxyDelay: 3 * time.Millisecond, Parallelism: 1}
+	ts := httptest.NewServer(shim.Wrap(srv.Handler()))
+	defer ts.Close()
+	res, err := Run(ts.URL, tinyScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d request errors", res.Errors)
+	}
+	// Every request pays at least the proxy delay.
+	if res.Median < 3*time.Millisecond {
+		t.Errorf("median %v below the shim's proxy delay", res.Median)
+	}
+}
+
+func TestDockerShimIsSlowerUnderLoad(t *testing.T) {
+	direct := server.New(server.DefaultOptions())
+	tsDirect := httptest.NewServer(direct.Handler())
+	defer tsDirect.Close()
+
+	dockerized := server.New(server.DefaultOptions())
+	shim := &DockerShim{ProxyDelay: 2 * time.Millisecond, Parallelism: 1}
+	tsDocker := httptest.NewServer(shim.Wrap(dockerized.Handler()))
+	defer tsDocker.Close()
+
+	sc := tinyScenario(8)
+	rd, err := Run(tsDirect.URL, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := Run(tsDocker.URL, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Table I shape: the containerized deployment has a noticeable
+	// impact on latency.
+	if rk.Median <= rd.Median {
+		t.Errorf("docker median %v should exceed direct median %v", rk.Median, rd.Median)
+	}
+}
+
+func TestPaperScenarioShape(t *testing.T) {
+	sc := PaperScenario(30, 1.0)
+	if sc.Users != 30 || sc.StepsPerUser != 40 {
+		t.Errorf("scenario = %+v", sc)
+	}
+	if sc.RampUp != 4*time.Second || sc.ThinkTime != time.Second {
+		t.Error("paper timings wrong")
+	}
+	if !sc.Gzip || len(sc.Programs) != 2 {
+		t.Error("paper scenario must use gzip and two programs")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Run("http://localhost:1", Scenario{}); err == nil {
+		t.Error("empty scenario should fail")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Mode: "Direct", Users: 30, Median: 70 * time.Millisecond,
+		P90: 118 * time.Millisecond, Throughput: 25.96}
+	s := r.String()
+	for _, want := range []string{"Direct", "30", "70.00", "25.96"} {
+		if !contains(s, want) {
+			t.Errorf("row %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package memory
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DumpBinary exports the byte range [addr, addr+n) verbatim, matching the
+// paper's binary memory dump export (§II-C).
+func (m *Main) DumpBinary(addr, n int) ([]byte, error) {
+	b, exc := m.ReadBytes(addr, n)
+	if exc != nil {
+		return nil, exc
+	}
+	return b, nil
+}
+
+// LoadBinary imports a binary dump at addr.
+func (m *Main) LoadBinary(addr int, data []byte) error {
+	if exc := m.WriteBytes(addr, data); exc != nil {
+		return exc
+	}
+	return nil
+}
+
+// DumpCSV exports the byte range [addr, addr+n) as comma-separated decimal
+// byte values, 16 per line, matching the paper's CSV dump format (§II-C).
+func (m *Main) DumpCSV(addr, n int) (string, error) {
+	b, exc := m.ReadBytes(addr, n)
+	if exc != nil {
+		return "", exc
+	}
+	var sb strings.Builder
+	for i, v := range b {
+		if i > 0 {
+			if i%16 == 0 {
+				sb.WriteByte('\n')
+			} else {
+				sb.WriteByte(',')
+			}
+		}
+		sb.WriteString(strconv.Itoa(int(v)))
+	}
+	sb.WriteByte('\n')
+	return sb.String(), nil
+}
+
+// LoadCSV imports a CSV dump produced by DumpCSV (or any comma/newline
+// separated list of byte values) at addr.
+func (m *Main) LoadCSV(addr int, csv string) error {
+	fields := strings.FieldsFunc(csv, func(r rune) bool {
+		return r == ',' || r == '\n' || r == '\r' || r == ' ' || r == '\t'
+	})
+	data := make([]byte, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseUint(f, 10, 8)
+		if err != nil {
+			return fmt.Errorf("memory: bad CSV byte %q: %w", f, err)
+		}
+		data = append(data, byte(v))
+	}
+	return m.LoadBinary(addr, data)
+}
+
+// HexDump renders a conventional hex dump of [addr, addr+n) for the memory
+// pop-up window (paper Fig. 2's "expanded view of the entire memory").
+func (m *Main) HexDump(addr, n int) (string, error) {
+	b, exc := m.ReadBytes(addr, n)
+	if exc != nil {
+		return "", exc
+	}
+	var sb bytes.Buffer
+	for off := 0; off < len(b); off += 16 {
+		fmt.Fprintf(&sb, "%08x  ", addr+off)
+		end := off + 16
+		if end > len(b) {
+			end = len(b)
+		}
+		for i := off; i < end; i++ {
+			fmt.Fprintf(&sb, "%02x ", b[i])
+		}
+		for i := end; i < off+16; i++ {
+			sb.WriteString("   ")
+		}
+		sb.WriteString(" |")
+		for i := off; i < end; i++ {
+			c := b[i]
+			if c < 32 || c > 126 {
+				c = '.'
+			}
+			sb.WriteByte(c)
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,256 @@
+package memory
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"riscvsim/internal/fault"
+)
+
+func newMem(t *testing.T) *Main {
+	t.Helper()
+	return New(Config{Size: 4096, LoadLatency: 8, StoreLatency: 6, CallStackSize: 512})
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	m := newMem(t)
+	tx := &Transaction{Addr: 512, Size: 4, IsStore: true, Data: 0xDEADBEEF}
+	finish, exc := m.Access(tx, 100)
+	if exc != nil {
+		t.Fatalf("store: %v", exc)
+	}
+	if finish != 106 {
+		t.Errorf("store finish = %d, want 106 (now+StoreLatency)", finish)
+	}
+	rd := &Transaction{Addr: 512, Size: 4}
+	finish, exc = m.Access(rd, 110)
+	if exc != nil {
+		t.Fatalf("load: %v", exc)
+	}
+	if finish != 118 {
+		t.Errorf("load finish = %d, want 118 (now+LoadLatency)", finish)
+	}
+	if rd.Data != 0xDEADBEEF {
+		t.Errorf("loaded %#x, want 0xDEADBEEF", rd.Data)
+	}
+}
+
+func TestTransactionMetadata(t *testing.T) {
+	m := newMem(t)
+	tx1 := &Transaction{Addr: 0, Size: 4, IsStore: true, Data: 1}
+	tx2 := &Transaction{Addr: 8, Size: 4, IsStore: true, Data: 2}
+	m.Access(tx1, 5)
+	m.Access(tx2, 6)
+	if tx1.ID == tx2.ID || tx1.ID == 0 {
+		t.Errorf("transaction IDs must be unique and non-zero: %d, %d", tx1.ID, tx2.ID)
+	}
+	if tx1.IssuedAt != 5 || tx2.IssuedAt != 6 {
+		t.Error("IssuedAt not recorded")
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := newMem(t)
+	m.Access(&Transaction{Addr: 1024, Size: 4, IsStore: true, Data: 0x04030201}, 0)
+	b, exc := m.ReadBytes(1024, 4)
+	if exc != nil {
+		t.Fatal(exc)
+	}
+	for i, want := range []byte{1, 2, 3, 4} {
+		if b[i] != want {
+			t.Errorf("byte %d = %d, want %d", i, b[i], want)
+		}
+	}
+}
+
+func TestSubWordAccess(t *testing.T) {
+	m := newMem(t)
+	m.Access(&Transaction{Addr: 600, Size: 1, IsStore: true, Data: 0xFF}, 0)
+	m.Access(&Transaction{Addr: 601, Size: 1, IsStore: true, Data: 0x7F}, 0)
+	rd := &Transaction{Addr: 600, Size: 2}
+	m.Access(rd, 0)
+	if rd.Data != 0x7FFF {
+		t.Errorf("halfword = %#x, want 0x7FFF", rd.Data)
+	}
+}
+
+func TestOutOfBoundsAccessFaults(t *testing.T) {
+	m := newMem(t)
+	cases := []Transaction{
+		{Addr: -1, Size: 4},
+		{Addr: 4096, Size: 1},
+		{Addr: 4094, Size: 4},
+		{Addr: 0, Size: 0},
+	}
+	for _, tx := range cases {
+		tx := tx
+		_, exc := m.Access(&tx, 0)
+		if exc == nil || exc.Kind != fault.InvalidMemoryAccess {
+			t.Errorf("Access(addr=%d size=%d): exc = %v, want InvalidMemoryAccess",
+				tx.Addr, tx.Size, exc)
+		}
+	}
+}
+
+func TestAllocateAlignment(t *testing.T) {
+	m := newMem(t)
+	a1, err := m.Allocate("x", 5, 1, "byte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != 512 {
+		t.Errorf("first allocation at %d, want 512 (after call stack)", a1)
+	}
+	a2, err := m.Allocate("arr", 64, 16, "word")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2%16 != 0 {
+		t.Errorf("aligned allocation at %d, not 16-byte aligned", a2)
+	}
+	if a2 < a1+5 {
+		t.Errorf("allocations overlap: %d < %d", a2, a1+5)
+	}
+}
+
+func TestAllocateOutOfMemory(t *testing.T) {
+	m := newMem(t)
+	if _, err := m.Allocate("big", 1<<20, 1, "byte"); err == nil {
+		t.Error("allocating beyond capacity should fail")
+	}
+}
+
+func TestPointerRegistry(t *testing.T) {
+	m := newMem(t)
+	addr, _ := m.Allocate("table", 40, 4, "word")
+	p, ok := m.Lookup("table")
+	if !ok || p.Addr != addr || p.Size != 40 || p.Elem != "word" {
+		t.Errorf("Lookup(table) = %+v, ok=%v", p, ok)
+	}
+	if _, ok := m.Lookup("nope"); ok {
+		t.Error("Lookup of unknown name should fail")
+	}
+	if len(m.Pointers()) != 1 {
+		t.Errorf("Pointers() has %d entries, want 1", len(m.Pointers()))
+	}
+}
+
+func TestStackPointerInit(t *testing.T) {
+	m := newMem(t)
+	if got := m.StackPointerInit(); got != 512 {
+		t.Errorf("StackPointerInit = %d, want 512", got)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := newMem(t)
+	m.Access(&Transaction{Addr: 0, Size: 4, IsStore: true, Data: 1}, 0)
+	m.Access(&Transaction{Addr: 0, Size: 4}, 0)
+	m.Access(&Transaction{Addr: 0, Size: 2}, 0)
+	st := m.Stats()
+	if st.Writes != 1 || st.Reads != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BytesWritten != 4 || st.BytesRead != 6 {
+		t.Errorf("byte counters = %+v", st)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := newMem(t)
+	m.WriteWord(100, 42)
+	c := m.Clone()
+	m.WriteWord(100, 99)
+	v, _ := c.ReadWord(100)
+	if v != 42 {
+		t.Errorf("clone sees %d, want 42 (must be a deep copy)", v)
+	}
+}
+
+func TestCSVDumpRoundTrip(t *testing.T) {
+	m := newMem(t)
+	orig := []byte{1, 2, 3, 250, 255, 0, 17, 128}
+	m.WriteBytes(512, orig)
+	csv, err := m.DumpCSV(512, len(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newMem(t)
+	if err := m2.LoadCSV(512, csv); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m2.ReadBytes(512, len(orig))
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("CSV round trip byte %d: %d != %d", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestCSVRejectsGarbage(t *testing.T) {
+	m := newMem(t)
+	if err := m.LoadCSV(0, "1,2,banana"); err == nil {
+		t.Error("LoadCSV should reject non-numeric input")
+	}
+	if err := m.LoadCSV(0, "300"); err == nil {
+		t.Error("LoadCSV should reject values > 255")
+	}
+}
+
+func TestBinaryDumpRoundTrip(t *testing.T) {
+	m := newMem(t)
+	orig := []byte{9, 8, 7, 6}
+	m.WriteBytes(700, orig)
+	dump, err := m.DumpBinary(700, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newMem(t)
+	m2.LoadBinary(700, dump)
+	got, _ := m2.ReadBytes(700, 4)
+	if string(got) != string(orig) {
+		t.Errorf("binary round trip: %v != %v", got, orig)
+	}
+}
+
+func TestHexDumpFormat(t *testing.T) {
+	m := newMem(t)
+	m.WriteBytes(0, []byte("Hello World"))
+	dump, err := m.HexDump(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump, "Hello World") {
+		t.Errorf("hex dump should show printable ASCII:\n%s", dump)
+	}
+	if !strings.Contains(dump, "00000000") {
+		t.Errorf("hex dump should show addresses:\n%s", dump)
+	}
+}
+
+// Property: a store followed by a load of the same size and address always
+// returns the stored value (for in-range addresses).
+func TestPropertyStoreLoadConsistency(t *testing.T) {
+	m := New(Config{Size: 65536, LoadLatency: 1, StoreLatency: 1, CallStackSize: 0})
+	f := func(addrRaw uint16, val uint64, sizeSel uint8) bool {
+		size := []int{1, 2, 4, 8}[sizeSel%4]
+		addr := int(addrRaw) % (65536 - 8)
+		st := &Transaction{Addr: addr, Size: size, IsStore: true, Data: val}
+		if _, exc := m.Access(st, 0); exc != nil {
+			return false
+		}
+		ld := &Transaction{Addr: addr, Size: size}
+		if _, exc := m.Access(ld, 0); exc != nil {
+			return false
+		}
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = (uint64(1) << (8 * size)) - 1
+		}
+		return ld.Data == val&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

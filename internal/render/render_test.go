@@ -1,0 +1,95 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"riscvsim/sim"
+)
+
+func midSimState(t *testing.T) *sim.State {
+	t.Helper()
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), `
+li t0, 0
+li t1, 1
+li t2, 50
+loop:
+  add t0, t0, t1
+  addi t1, t1, 1
+  lw t3, 0(sp)
+  bne t1, t2, loop
+`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StepN(20)
+	return m.State(false)
+}
+
+func TestSchematicShowsAllBlocks(t *testing.T) {
+	out := Schematic(midSimState(t))
+	for _, want := range []string{
+		"Fetch", "Reorder buffer",
+		"FX issue window", "FP issue window", "LS issue window", "Branch issue window",
+		"Load buffer", "Store buffer",
+		"FX registers", "FP registers",
+		"L1 cache", "Main memory",
+		"cycle 20",
+		"IPC",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schematic missing %q", want)
+		}
+	}
+}
+
+func TestSchematicShowsInstructions(t *testing.T) {
+	out := Schematic(midSimState(t))
+	// Mid-loop, some instruction text must appear in a block.
+	if !strings.Contains(out, "add") && !strings.Contains(out, "bne") {
+		t.Errorf("schematic shows no instructions:\n%s", out)
+	}
+}
+
+func TestSchematicHaltBanner(t *testing.T) {
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), "nop\n", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(1000)
+	out := Schematic(m.State(false))
+	if !strings.Contains(out, "HALTED") {
+		t.Error("halted banner missing")
+	}
+}
+
+func TestSchematicClipping(t *testing.T) {
+	if got := clip("short", 10); got != "short" {
+		t.Errorf("clip(short) = %q", got)
+	}
+	if got := clip("averylongstringthatneedsclipping", 10); len([]rune(got)) != 10 {
+		t.Errorf("clip length = %d, want 10", len([]rune(got)))
+	}
+}
+
+func BenchmarkSchematic(b *testing.B) {
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), `
+li t0, 0
+li t1, 1
+li t2, 500
+loop:
+  add t0, t0, t1
+  addi t1, t1, 1
+  bne t1, t2, loop
+`, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.StepN(50)
+	st := m.State(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Schematic(st)
+	}
+}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"compress/gzip"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// gzipWriterPool recycles compressors across requests.
+var gzipWriterPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
+// gzipResponseWriter compresses the response body.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+// Write implements io.Writer over the compressor.
+func (w *gzipResponseWriter) Write(b []byte) (int, error) {
+	return w.gz.Write(b)
+}
+
+// gzipMiddleware compresses responses for clients that accept gzip and
+// transparently decompresses gzip request bodies. The paper reports that
+// enabling gzip increased local throughput by 40% (§IV-A).
+func gzipMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Decompress request bodies when flagged.
+		if strings.Contains(r.Header.Get("Content-Encoding"), "gzip") && r.Body != nil {
+			gr, err := gzip.NewReader(r.Body)
+			if err != nil {
+				http.Error(w, `{"error":"bad gzip body"}`, http.StatusBadRequest)
+				return
+			}
+			defer gr.Close()
+			r.Body = io.NopCloser(gr)
+			r.Header.Del("Content-Encoding")
+		}
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		gz := gzipWriterPool.Get().(*gzip.Writer)
+		gz.Reset(w)
+		defer func() {
+			gz.Close()
+			gzipWriterPool.Put(gz)
+		}()
+		w.Header().Set("Content-Encoding", "gzip")
+		next.ServeHTTP(&gzipResponseWriter{ResponseWriter: w, gz: gz}, r)
+	})
+}

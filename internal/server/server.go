@@ -1,0 +1,448 @@
+// Package server implements the simulation server: an HTTP JSON API that
+// carries all simulator logic server-side, exactly like the paper's
+// client–server split (§III). The web client and the CLI both speak this
+// protocol. Responses are gzip-compressed when the client accepts it
+// (gzip raised the paper's measured throughput by 40%, §IV-A).
+//
+// The server instruments its own request handling: it records the share of
+// time spent encoding/decoding JSON versus total handling time, which the
+// paper profiles at "about 60% of the request handling time" (§IV-A); see
+// the /metrics endpoint and the E2 bench.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"riscvsim/internal/isa"
+	"riscvsim/sim"
+)
+
+// Options configures the server.
+type Options struct {
+	// MaxSessions bounds the interactive session store.
+	MaxSessions int
+	// MaxBodyBytes bounds request bodies.
+	MaxBodyBytes int64
+	// DisableGzip turns off response compression (for the E3 bench).
+	DisableGzip bool
+}
+
+// DefaultOptions returns production defaults.
+func DefaultOptions() Options {
+	return Options{MaxSessions: 256, MaxBodyBytes: 4 << 20}
+}
+
+// Metrics aggregates the server's self-instrumentation.
+type Metrics struct {
+	Requests       uint64  `json:"requests"`
+	TotalNanos     uint64  `json:"totalHandlingNanos"`
+	JSONNanos      uint64  `json:"jsonNanos"`
+	SimNanos       uint64  `json:"simulationNanos"`
+	JSONShare      float64 `json:"jsonShare"`
+	ActiveSessions int     `json:"activeSessions"`
+}
+
+// Server is the simulation server.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+
+	// instrumentation counters (atomics: handlers run concurrently)
+	reqCount atomic.Uint64
+	totalNs  atomic.Uint64
+	jsonNs   atomic.Uint64
+	simNs    atomic.Uint64
+}
+
+// session is one interactive simulation (web client tab).
+type session struct {
+	mu       sync.Mutex
+	machine  *sim.Machine
+	lastUsed time.Time
+}
+
+// New builds a server.
+func New(opts Options) *Server {
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 256
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 4 << 20
+	}
+	s := &Server{
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]*session),
+	}
+	s.mux.HandleFunc("/simulate", s.wrap(s.handleSimulate))
+	s.mux.HandleFunc("/compile", s.wrap(s.handleCompile))
+	s.mux.HandleFunc("/parseAsm", s.wrap(s.handleParseAsm))
+	s.mux.HandleFunc("/checkConfig", s.wrap(s.handleCheckConfig))
+	s.mux.HandleFunc("/schema", s.wrap(s.handleSchema))
+	s.mux.HandleFunc("/instructionDescriptions", s.handleInstructionDescriptions)
+	s.mux.HandleFunc("/session/new", s.wrap(s.handleSessionNew))
+	s.mux.HandleFunc("/session/step", s.wrap(s.handleSessionStep))
+	s.mux.HandleFunc("/session/goto", s.wrap(s.handleSessionGoto))
+	s.mux.HandleFunc("/session/close", s.wrap(s.handleSessionClose))
+	s.mux.HandleFunc("/session/render", s.wrap(s.handleSessionRender))
+	s.mux.HandleFunc("/metrics", s.wrap(s.handleMetrics))
+	s.mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the HTTP handler (with gzip support).
+func (s *Server) Handler() http.Handler {
+	if s.opts.DisableGzip {
+		return s.mux
+	}
+	return gzipMiddleware(s.mux)
+}
+
+// Metrics returns the accumulated instrumentation.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	m := Metrics{
+		Requests:       s.reqCount.Load(),
+		TotalNanos:     s.totalNs.Load(),
+		JSONNanos:      s.jsonNs.Load(),
+		SimNanos:       s.simNs.Load(),
+		ActiveSessions: active,
+	}
+	if m.TotalNanos > 0 {
+		m.JSONShare = float64(m.JSONNanos) / float64(m.TotalNanos)
+	}
+	return m
+}
+
+// ResetMetrics clears the counters (benchmark harness).
+func (s *Server) ResetMetrics() {
+	s.reqCount.Store(0)
+	s.totalNs.Store(0)
+	s.jsonNs.Store(0)
+	s.simNs.Store(0)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// handlerFunc handles a decoded request and returns a response value to
+// encode, or an error with an HTTP status.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) (any, int, error)
+
+// wrap adds timing instrumentation and JSON envelope handling.
+func (s *Server) wrap(h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		resp, status, err := h(w, r)
+		if err != nil {
+			resp = apiError{Error: err.Error()}
+			if status == 0 {
+				status = http.StatusBadRequest
+			}
+		} else if status == 0 {
+			status = http.StatusOK
+		}
+		jstart := time.Now()
+		body, merr := json.Marshal(resp)
+		s.jsonNs.Add(uint64(time.Since(jstart)))
+		if merr != nil {
+			status = http.StatusInternalServerError
+			body = []byte(`{"error":"response encoding failed"}`)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write(body)
+		s.reqCount.Add(1)
+		s.totalNs.Add(uint64(time.Since(start)))
+	}
+}
+
+// decode reads a JSON request body with instrumentation.
+func (s *Server) decode(r *http.Request, into any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("reading request: %w", err)
+	}
+	jstart := time.Now()
+	err = json.Unmarshal(body, into)
+	s.jsonNs.Add(uint64(time.Since(jstart)))
+	if err != nil {
+		return fmt.Errorf("bad JSON request: %w", err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Request/response types (the JSON API contract)
+// ---------------------------------------------------------------------------
+
+// MemFill populates a labelled allocation before simulation, mirroring the
+// Memory Settings window (user values, repeated constants or random
+// values; paper §II-C).
+type MemFill struct {
+	Label    string  `json:"label"`
+	Values   []int64 `json:"values,omitempty"`
+	ElemSize int     `json:"elemSize,omitempty"` // 1, 2, 4 or 8; default 4
+	Repeat   int     `json:"repeat,omitempty"`   // repeat Values[0] n times
+	Random   int     `json:"random,omitempty"`   // n random values
+	Seed     int64   `json:"seed,omitempty"`     // deterministic seed
+}
+
+// SimulateRequest runs a batch simulation.
+type SimulateRequest struct {
+	// Code is RISC-V assembly, or C when Language == "c".
+	Code     string `json:"code"`
+	Language string `json:"language,omitempty"`
+	Optimize int    `json:"optimize,omitempty"`
+	// Entry is the entry label ("" = first instruction / main for C).
+	Entry string `json:"entry,omitempty"`
+	// Preset selects a named architecture; Config overrides it with a
+	// full architecture document.
+	Preset string           `json:"preset,omitempty"`
+	Config *json.RawMessage `json:"config,omitempty"`
+	// Steps limits the simulation (0 = run to completion).
+	Steps uint64 `json:"steps,omitempty"`
+	// MemFills populate data arrays before the run.
+	MemFills []MemFill `json:"memFills,omitempty"`
+	// IncludeState requests the full processor snapshot.
+	IncludeState bool `json:"includeState,omitempty"`
+	// IncludeLog requests the debug log.
+	IncludeLog bool `json:"includeLog,omitempty"`
+}
+
+// SimulateResponse carries results.
+type SimulateResponse struct {
+	Halted     bool           `json:"halted"`
+	HaltReason string         `json:"haltReason,omitempty"`
+	Cycles     uint64         `json:"cycles"`
+	Stats      *sim.Report    `json:"stats"`
+	State      *sim.State     `json:"state,omitempty"`
+	Log        []sim.LogEntry `json:"log,omitempty"`
+}
+
+// buildMachine constructs a machine from request fields.
+func (s *Server) buildMachine(req *SimulateRequest) (*sim.Machine, error) {
+	cfg := sim.DefaultConfig()
+	if req.Preset != "" {
+		p, ok := sim.Presets()[req.Preset]
+		if !ok {
+			return nil, fmt.Errorf("unknown preset %q", req.Preset)
+		}
+		cfg = p
+	}
+	if req.Config != nil {
+		c, err := sim.ImportConfig(*req.Config)
+		if err != nil {
+			return nil, err
+		}
+		cfg = c
+	}
+	var m *sim.Machine
+	var err error
+	if strings.EqualFold(req.Language, "c") {
+		m, err = sim.NewFromC(cfg, req.Code, req.Optimize)
+	} else {
+		m, err = sim.NewFromAsm(cfg, req.Code, req.Entry)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range req.MemFills {
+		if err := applyMemFill(m, f); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// applyMemFill writes array contents by label.
+func applyMemFill(m *sim.Machine, f MemFill) error {
+	addr, size, ok := m.LookupLabel(f.Label)
+	if !ok {
+		return fmt.Errorf("memory fill: no allocation labelled %q", f.Label)
+	}
+	es := f.ElemSize
+	if es == 0 {
+		es = 4
+	}
+	if es != 1 && es != 2 && es != 4 && es != 8 {
+		return fmt.Errorf("memory fill: bad element size %d", es)
+	}
+	values := f.Values
+	switch {
+	case f.Repeat > 0:
+		v := int64(0)
+		if len(values) > 0 {
+			v = values[0]
+		}
+		values = make([]int64, f.Repeat)
+		for i := range values {
+			values[i] = v
+		}
+	case f.Random > 0:
+		// Deterministic xorshift so batch runs are reproducible.
+		seed := uint64(f.Seed)
+		if seed == 0 {
+			seed = 0x9E3779B97F4A7C15
+		}
+		values = make([]int64, f.Random)
+		for i := range values {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			values[i] = int64(int32(seed))
+		}
+	}
+	if len(values)*es > size {
+		return fmt.Errorf("memory fill: %d bytes exceed allocation %q of %d bytes",
+			len(values)*es, f.Label, size)
+	}
+	buf := make([]byte, len(values)*es)
+	for i, v := range values {
+		for b := 0; b < es; b++ {
+			buf[i*es+b] = byte(uint64(v) >> (8 * b))
+		}
+	}
+	return m.WriteMemory(addr, buf)
+}
+
+// maxBatchCycles bounds batch simulations.
+const maxBatchCycles = 50_000_000
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req SimulateRequest
+	if err := s.decode(r, &req); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	m, err := s.buildMachine(&req)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	steps := req.Steps
+	if steps == 0 || steps > maxBatchCycles {
+		steps = maxBatchCycles
+	}
+	sstart := time.Now()
+	m.Run(steps)
+	s.simNs.Add(uint64(time.Since(sstart)))
+	resp := &SimulateResponse{
+		Halted:     m.Halted(),
+		HaltReason: m.HaltReason(),
+		Cycles:     m.Cycle(),
+		Stats:      m.Report(),
+	}
+	if req.IncludeState {
+		resp.State = m.State(req.IncludeLog)
+	} else if req.IncludeLog {
+		resp.Log = m.Log()
+	}
+	return resp, 0, nil
+}
+
+// CompileRequest compiles C to assembly.
+type CompileRequest struct {
+	Code     string `json:"code"`
+	Optimize int    `json:"optimize"`
+	Filter   bool   `json:"filter,omitempty"`
+}
+
+// CompileResponse mirrors the paper's compiler round trip: assembly plus a
+// log of potential compiler errors (§III-C).
+type CompileResponse struct {
+	Assembly string `json:"assembly,omitempty"`
+	LineMap  []int  `json:"lineMap,omitempty"`
+	Errors   string `json:"errors,omitempty"`
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req CompileRequest
+	if err := s.decode(r, &req); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	res, err := sim.CompileC(req.Code, req.Optimize)
+	if err != nil {
+		// Compiler diagnostics are data, not transport errors.
+		return &CompileResponse{Errors: err.Error()}, http.StatusOK, nil
+	}
+	out := res.Assembly
+	if req.Filter {
+		out = sim.FilterAssembly(out)
+	}
+	return &CompileResponse{Assembly: out, LineMap: res.LineMap}, 0, nil
+}
+
+// ParseAsmRequest validates assembly (editor squiggles).
+type ParseAsmRequest struct {
+	Code string `json:"code"`
+}
+
+// ParseAsmResponse lists diagnostics.
+type ParseAsmResponse struct {
+	OK     bool   `json:"ok"`
+	Errors string `json:"errors,omitempty"`
+}
+
+func (s *Server) handleParseAsm(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req ParseAsmRequest
+	if err := s.decode(r, &req); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if _, err := sim.NewFromAsm(sim.DefaultConfig(), req.Code, ""); err != nil {
+		return &ParseAsmResponse{OK: false, Errors: err.Error()}, 0, nil
+	}
+	return &ParseAsmResponse{OK: true}, 0, nil
+}
+
+func (s *Server) handleCheckConfig(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if _, err := sim.ImportConfig(body); err != nil {
+		return &ParseAsmResponse{OK: false, Errors: err.Error()}, 0, nil
+	}
+	return &ParseAsmResponse{OK: true}, 0, nil
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	return sim.DefaultConfig(), 0, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	return s.Metrics(), 0, nil
+}
+
+// handleInstructionDescriptions serves the instruction set in the paper's
+// JSON configuration format (Listing 1) — the document users extend to add
+// custom instructions.
+func (s *Server) handleInstructionDescriptions(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	data, err := isa.RV32IMF().MarshalJSON()
+	s.jsonNs.Add(uint64(time.Since(start)))
+	if err != nil {
+		http.Error(w, `{"error":"encoding instruction set failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+	s.reqCount.Add(1)
+	s.totalNs.Add(uint64(time.Since(start)))
+}

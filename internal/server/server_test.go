@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(DefaultOptions())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+const tinyProgram = `
+li t0, 1
+li t1, 2
+add a0, t0, t1
+`
+
+func TestSimulateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/simulate", &SimulateRequest{Code: tinyProgram})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Halted {
+		t.Error("program should halt")
+	}
+	if sr.Stats == nil || sr.Stats.Committed != 3 {
+		t.Errorf("stats = %+v", sr.Stats)
+	}
+}
+
+func TestSimulateWithStateAndLog(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, body := postJSON(t, ts.URL+"/simulate", &SimulateRequest{
+		Code: tinyProgram, IncludeState: true, IncludeLog: true,
+	})
+	var sr SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.State == nil {
+		t.Fatal("state missing")
+	}
+	if len(sr.State.IntRegs) != 32 {
+		t.Error("state registers incomplete")
+	}
+	if len(sr.State.Log) == 0 {
+		t.Error("log missing")
+	}
+}
+
+func TestSimulateCProgram(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, body := postJSON(t, ts.URL+"/simulate", &SimulateRequest{
+		Code:         "int main() { return 41 + 1; }",
+		Language:     "c",
+		Optimize:     2,
+		IncludeState: true,
+	})
+	var sr SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Halted {
+		t.Fatal("C program should halt")
+	}
+	// a0 holds main's return value.
+	found := false
+	for _, reg := range sr.State.IntRegs {
+		if reg.Name == "x10" && reg.Value == "42" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("a0 != 42 in final state")
+	}
+}
+
+func TestSimulateWithPresetAndConfig(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/simulate", &SimulateRequest{Code: tinyProgram, Preset: "scalar"})
+	if resp.StatusCode != http.StatusOK {
+		t.Error("preset scalar should work")
+	}
+	resp, body := postJSON(t, ts.URL+"/simulate", &SimulateRequest{Code: tinyProgram, Preset: "nope"})
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("unknown preset should fail: %s", body)
+	}
+}
+
+func TestSimulateBadProgramReturns422(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/simulate", &SimulateRequest{Code: "frobnicate x1\n"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("status = %d, want 422; body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unknown instruction") {
+		t.Errorf("error body should carry the diagnostic: %s", body)
+	}
+}
+
+func TestMemFills(t *testing.T) {
+	_, ts := newTestServer(t)
+	prog := `
+la t0, data
+lw a0, 0(t0)
+lw a1, 4(t0)
+add a0, a0, a1
+.data
+data: .zero 16
+`
+	_, body := postJSON(t, ts.URL+"/simulate", &SimulateRequest{
+		Code:         prog,
+		MemFills:     []MemFill{{Label: "data", Values: []int64{40, 2}}},
+		IncludeState: true,
+	})
+	var sr SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range sr.State.IntRegs {
+		if reg.Name == "x10" && reg.Value != "42" {
+			t.Errorf("a0 = %s, want 42", reg.Value)
+		}
+	}
+}
+
+func TestMemFillValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	prog := ".data\ndata: .zero 8\n"
+	cases := []MemFill{
+		{Label: "nope", Values: []int64{1}},
+		{Label: "data", Values: []int64{1, 2, 3}},        // 12 B > 8 B
+		{Label: "data", Values: []int64{1}, ElemSize: 3}, // bad size
+	}
+	for i, f := range cases {
+		resp, _ := postJSON(t, ts.URL+"/simulate", &SimulateRequest{Code: prog, MemFills: []MemFill{f}})
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestCompileEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, body := postJSON(t, ts.URL+"/compile", &CompileRequest{
+		Code: "int main() { return 7; }", Optimize: 1,
+	})
+	var cr CompileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Errors != "" {
+		t.Fatalf("unexpected errors: %s", cr.Errors)
+	}
+	if !strings.Contains(cr.Assembly, "main:") || !strings.Contains(cr.Assembly, "li t0, 7") {
+		t.Errorf("assembly missing expected code:\n%s", cr.Assembly)
+	}
+	if len(cr.LineMap) == 0 {
+		t.Error("line map missing")
+	}
+}
+
+func TestCompileErrorsAreData(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/compile", &CompileRequest{Code: "int main() { return x; }"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compiler diagnostics should be 200, got %d", resp.StatusCode)
+	}
+	var cr CompileResponse
+	json.Unmarshal(body, &cr)
+	if !strings.Contains(cr.Errors, "undeclared") {
+		t.Errorf("diagnostics = %q", cr.Errors)
+	}
+}
+
+func TestParseAsmEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, body := postJSON(t, ts.URL+"/parseAsm", &ParseAsmRequest{Code: tinyProgram})
+	var pr ParseAsmResponse
+	json.Unmarshal(body, &pr)
+	if !pr.OK {
+		t.Errorf("valid asm rejected: %s", pr.Errors)
+	}
+	_, body = postJSON(t, ts.URL+"/parseAsm", &ParseAsmRequest{Code: "bogus\n"})
+	json.Unmarshal(body, &pr)
+	if pr.OK {
+		t.Error("invalid asm accepted")
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cfg map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg["robSize"] == nil || cfg["units"] == nil {
+		t.Errorf("schema incomplete: %v", cfg)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+	// New session.
+	_, body := postJSON(t, ts.URL+"/session/new", &SessionNewRequest{
+		SimulateRequest: SimulateRequest{Code: tinyProgram},
+	})
+	var sn SessionNewResponse
+	if err := json.Unmarshal(body, &sn); err != nil {
+		t.Fatal(err)
+	}
+	if sn.SessionID == "" || sn.State == nil || sn.State.Cycle != 0 {
+		t.Fatalf("bad new-session response: %+v", sn)
+	}
+	// Step forward 2 cycles.
+	_, body = postJSON(t, ts.URL+"/session/step", &SessionStepRequest{SessionID: sn.SessionID, Steps: 2})
+	var st SessionStateResponse
+	json.Unmarshal(body, &st)
+	if st.State.Cycle != 2 {
+		t.Errorf("cycle = %d, want 2", st.State.Cycle)
+	}
+	// Step backward 1 cycle (backward simulation over the API).
+	_, body = postJSON(t, ts.URL+"/session/step", &SessionStepRequest{SessionID: sn.SessionID, Steps: -1})
+	json.Unmarshal(body, &st)
+	if st.State.Cycle != 1 {
+		t.Errorf("after back-step cycle = %d, want 1", st.State.Cycle)
+	}
+	// Goto an absolute cycle.
+	_, body = postJSON(t, ts.URL+"/session/goto", &SessionGotoRequest{SessionID: sn.SessionID, Cycle: 3})
+	json.Unmarshal(body, &st)
+	if st.State.Cycle != 3 {
+		t.Errorf("goto cycle = %d, want 3", st.State.Cycle)
+	}
+	// Render the schematic.
+	resp, err := http.Get(ts.URL + "/session/render?session=" + sn.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var rr struct {
+		Schematic string `json:"schematic"`
+	}
+	json.Unmarshal(rb, &rr)
+	if !strings.Contains(rr.Schematic, "Reorder buffer") {
+		t.Errorf("schematic missing blocks:\n%s", rr.Schematic)
+	}
+	// Close.
+	resp2, _ := postJSON(t, ts.URL+"/session/close", &SessionCloseRequest{SessionID: sn.SessionID})
+	if resp2.StatusCode != http.StatusOK {
+		t.Error("close failed")
+	}
+	// Step on a closed session fails.
+	resp3, _ := postJSON(t, ts.URL+"/session/step", &SessionStepRequest{SessionID: sn.SessionID, Steps: 1})
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("stepping closed session: status %d, want 404", resp3.StatusCode)
+	}
+}
+
+func TestSessionEviction(t *testing.T) {
+	srv := New(Options{MaxSessions: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, body := postJSON(t, ts.URL+"/session/new", &SessionNewRequest{
+			SimulateRequest: SimulateRequest{Code: tinyProgram},
+		})
+		var sn SessionNewResponse
+		json.Unmarshal(body, &sn)
+		ids = append(ids, sn.SessionID)
+	}
+	// The first session must have been evicted.
+	resp, _ := postJSON(t, ts.URL+"/session/step", &SessionStepRequest{SessionID: ids[0], Steps: 1})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted session should 404, got %d", resp.StatusCode)
+	}
+	// The latest must still work.
+	resp, _ = postJSON(t, ts.URL+"/session/step", &SessionStepRequest{SessionID: ids[2], Steps: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Error("latest session should survive")
+	}
+}
+
+func TestGzipResponses(t *testing.T) {
+	_, ts := newTestServer(t)
+	data, _ := json.Marshal(&SimulateRequest{Code: tinyProgram, IncludeState: true})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/simulate", bytes.NewReader(data))
+	req.Header.Set("Accept-Encoding", "gzip")
+	tr := &http.Transport{DisableCompression: true}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatal("response not gzip-compressed")
+	}
+	gr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decompressed body is not valid JSON: %v", err)
+	}
+}
+
+func TestGzipRequestBodies(t *testing.T) {
+	_, ts := newTestServer(t)
+	data, _ := json.Marshal(&SimulateRequest{Code: tinyProgram})
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	gz.Write(data)
+	gz.Close()
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/simulate", &buf)
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("gzip request rejected: %d %s", resp.StatusCode, b)
+	}
+}
+
+func TestMetricsTrackJSONShare(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.ResetMetrics()
+	for i := 0; i < 5; i++ {
+		postJSON(t, ts.URL+"/simulate", &SimulateRequest{Code: tinyProgram, IncludeState: true})
+	}
+	m := srv.Metrics()
+	if m.Requests != 5 {
+		t.Errorf("requests = %d, want 5", m.Requests)
+	}
+	if m.TotalNanos == 0 || m.JSONNanos == 0 {
+		t.Errorf("instrumentation empty: %+v", m)
+	}
+	if m.JSONShare <= 0 || m.JSONShare >= 1 {
+		t.Errorf("JSON share = %v, want in (0,1)", m.JSONShare)
+	}
+}
+
+func TestBadJSONRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Error("health check failed")
+	}
+}
+
+func TestInstructionDescriptionsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/instructionDescriptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Instructions []struct {
+			Name            string `json:"name"`
+			InterpretableAs string `json:"interpretableAs"`
+		} `json:"instructions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Instructions) < 80 {
+		t.Errorf("only %d instructions served", len(doc.Instructions))
+	}
+	found := false
+	for _, in := range doc.Instructions {
+		if in.Name == "add" && strings.Contains(in.InterpretableAs, `\rs1 \rs2 +`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("add instruction with its Listing 1 expression not found")
+	}
+}

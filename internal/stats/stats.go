@@ -1,0 +1,183 @@
+// Package stats defines the runtime-statistics report the simulator
+// produces: static and dynamic instruction mixes, per-unit busy cycles,
+// cache and predictor statistics, FLOPs, IPC, wall time and more — the
+// content of the paper's Runtime Statistics window (§II-D).
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"riscvsim/internal/cache"
+	"riscvsim/internal/memory"
+	"riscvsim/internal/predictor"
+	"riscvsim/internal/rename"
+)
+
+// FUStat is the utilization of one functional unit.
+type FUStat struct {
+	Name       string  `json:"name"`
+	Class      string  `json:"class"`
+	BusyCycles uint64  `json:"busyCycles"`
+	BusyPct    float64 `json:"busyPct"`
+	ExecCount  uint64  `json:"execCount"`
+}
+
+// LSUStat mirrors the load/store pipeline counters.
+type LSUStat struct {
+	Loads          uint64 `json:"loads"`
+	Stores         uint64 `json:"stores"`
+	Forwards       uint64 `json:"forwards"`
+	StallsUnknown  uint64 `json:"stallsUnknownAddr"`
+	StallsPartial  uint64 `json:"stallsPartialOverlap"`
+	BusBusyCycles  uint64 `json:"busBusyCycles"`
+	LoadBufStalls  uint64 `json:"loadBufferFullStalls"`
+	StoreBufStalls uint64 `json:"storeBufferFullStalls"`
+}
+
+// Report is the complete runtime-statistics document. It serializes to
+// JSON for the web client and formats as text for the CLI.
+type Report struct {
+	Architecture string `json:"architecture"`
+
+	// Headline counters (the right-hand status bar's default view).
+	Cycles      uint64  `json:"cycles"`
+	Committed   uint64  `json:"committedInstructions"`
+	Fetched     uint64  `json:"fetchedInstructions"`
+	Squashed    uint64  `json:"squashedInstructions"`
+	IPC         float64 `json:"ipc"`
+	WallTimeSec float64 `json:"wallTimeSec"`
+
+	// Expanded view.
+	Flops        uint64  `json:"flops"`
+	FlopsPerSec  float64 `json:"flopsPerSec"`
+	ROBFlushes   uint64  `json:"robFlushes"`
+	HaltReason   string  `json:"haltReason,omitempty"`
+	ExceptionMsg string  `json:"exception,omitempty"`
+
+	// Instruction mixes by class (kArithmetic, kLoad, ...).
+	StaticMix  map[string]uint64 `json:"staticMix"`
+	DynamicMix map[string]uint64 `json:"dynamicMix"`
+
+	// Subsystem statistics.
+	FUs          []FUStat        `json:"functionalUnits"`
+	LSU          LSUStat         `json:"lsu"`
+	Predictor    predictor.Stats `json:"predictor"`
+	PredAccuracy float64         `json:"predictorAccuracy"`
+	Cache        cache.Stats     `json:"cache"`
+	CacheHitRate float64         `json:"cacheHitRate"`
+	Memory       memory.Stats    `json:"memory"`
+	Rename       rename.Stats    `json:"rename"`
+	FetchStalls  uint64          `json:"fetchStallCycles"`
+	DecodeStalls uint64          `json:"decodeStallCycles"`
+	CommitStalls uint64          `json:"commitStallCycles"`
+	ROBOccupancy float64         `json:"robMeanOccupancy"`
+	WindowOccup  float64         `json:"windowMeanOccupancy"`
+	WindowStalls uint64          `json:"windowFullStalls"`
+	RenameStalls uint64          `json:"renameFullStalls"`
+}
+
+// JSON serializes the report with indentation.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatText renders the report for terminal output, mirroring the
+// statistics window's sections (paper Fig. 10).
+func (r *Report) FormatText() string {
+	var sb strings.Builder
+	sec := func(title string) {
+		fmt.Fprintf(&sb, "\n── %s %s\n", title, strings.Repeat("─", max(0, 58-len(title))))
+	}
+	row := func(k string, v any) { fmt.Fprintf(&sb, "  %-34s %v\n", k, v) }
+
+	fmt.Fprintf(&sb, "Runtime statistics — %s\n", r.Architecture)
+	sec("Execution")
+	row("total executed cycles", r.Cycles)
+	row("committed instructions", r.Committed)
+	row("fetched instructions", r.Fetched)
+	row("squashed instructions", r.Squashed)
+	row("IPC", fmt.Sprintf("%.3f", r.IPC))
+	row("wall time [s]", fmt.Sprintf("%.6g", r.WallTimeSec))
+	row("FLOPs", r.Flops)
+	row("FLOP/s", fmt.Sprintf("%.4g", r.FlopsPerSec))
+	row("reorder buffer flushes", r.ROBFlushes)
+	if r.HaltReason != "" {
+		row("halt reason", r.HaltReason)
+	}
+	if r.ExceptionMsg != "" {
+		row("exception", r.ExceptionMsg)
+	}
+
+	sec("Instruction mix (static / dynamic)")
+	keys := map[string]bool{}
+	for k := range r.StaticMix {
+		keys[k] = true
+	}
+	for k := range r.DynamicMix {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	var statTotal, dynTotal uint64
+	for _, k := range sorted {
+		statTotal += r.StaticMix[k]
+		dynTotal += r.DynamicMix[k]
+	}
+	for _, k := range sorted {
+		st, dy := r.StaticMix[k], r.DynamicMix[k]
+		row(k, fmt.Sprintf("%6d (%5.1f%%)  /  %8d (%5.1f%%)",
+			st, pct(st, statTotal), dy, pct(dy, dynTotal)))
+	}
+
+	sec("Functional units")
+	for _, fu := range r.FUs {
+		row(fmt.Sprintf("%s (%s)", fu.Name, fu.Class),
+			fmt.Sprintf("busy %8d cycles (%5.1f%%), %8d ops", fu.BusyCycles, fu.BusyPct, fu.ExecCount))
+	}
+
+	sec("Branch prediction")
+	row("predictions", r.Predictor.Predictions)
+	row("correct", r.Predictor.Correct)
+	row("mispredictions", r.Predictor.Mispredicts)
+	row("accuracy", fmt.Sprintf("%.2f%%", r.PredAccuracy*100))
+	row("BTB hits / misses", fmt.Sprintf("%d / %d", r.Predictor.BTBHits, r.Predictor.BTBMisses))
+
+	sec("L1 cache")
+	row("accesses", r.Cache.Accesses)
+	row("hits / misses", fmt.Sprintf("%d / %d", r.Cache.Hits, r.Cache.Misses))
+	row("hit rate", fmt.Sprintf("%.2f%%", r.CacheHitRate*100))
+	row("evictions / writebacks", fmt.Sprintf("%d / %d", r.Cache.Evictions, r.Cache.Writebacks))
+	row("bytes written to memory", r.Cache.BytesWritten)
+
+	sec("Memory & pipeline")
+	row("memory reads / writes", fmt.Sprintf("%d / %d", r.Memory.Reads, r.Memory.Writes))
+	row("loads / stores executed", fmt.Sprintf("%d / %d", r.LSU.Loads, r.LSU.Stores))
+	row("store-to-load forwards", r.LSU.Forwards)
+	row("disambiguation stalls", r.LSU.StallsUnknown+r.LSU.StallsPartial)
+	row("fetch stall cycles", r.FetchStalls)
+	row("rename-file stalls", r.RenameStalls)
+	row("window-full stalls", r.WindowStalls)
+	row("ROB mean occupancy", fmt.Sprintf("%.2f", r.ROBOccupancy))
+	row("rename registers in use", r.Rename.InUse)
+	return sb.String()
+}
+
+func pct(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

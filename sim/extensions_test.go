@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests for the paper's future-work extensions exposed through the facade:
+// breakpoints/watches, pipelined functional units and the cost model (§V).
+
+func TestBreakpointAPI(t *testing.T) {
+	m, err := NewFromAsm(DefaultConfig(), `
+li t0, 1
+li t1, 2
+add t2, t0, t1
+`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddBreakpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	if !m.RunToBreak(100_000) {
+		t.Fatal("RunToBreak should pause at the breakpoint")
+	}
+	if !strings.Contains(m.PauseReason(), "pc=2") {
+		t.Errorf("PauseReason = %q", m.PauseReason())
+	}
+	v, _ := m.IntReg("t2")
+	if v != 0 {
+		t.Error("breakpointed instruction must not have committed")
+	}
+	m.Resume()
+	m.Run(100_000)
+	if !m.Halted() {
+		t.Fatal("should finish after resume")
+	}
+	v, _ = m.IntReg("t2")
+	if v != 3 {
+		t.Errorf("t2 = %d, want 3", v)
+	}
+	m.RemoveBreakpoint(2)
+}
+
+func TestWatchAPI(t *testing.T) {
+	m, err := NewFromAsm(DefaultConfig(), `
+la t0, buf
+li t1, 5
+sw t1, 4(t0)
+.data
+buf: .zero 8
+`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, _ := m.LookupLabel("buf")
+	if err := m.AddWatch(addr+4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !m.RunToBreak(100_000) {
+		t.Fatal("watch should trigger")
+	}
+	if !strings.Contains(m.PauseReason(), "watch hit") {
+		t.Errorf("PauseReason = %q", m.PauseReason())
+	}
+	m.Resume()
+	m.Run(100_000)
+	if !m.Halted() {
+		t.Error("should finish after resume")
+	}
+}
+
+func TestCostModelAPI(t *testing.T) {
+	m, err := NewFromAsm(DefaultConfig(), `
+li t0, 0
+li t1, 1
+li t2, 20
+loop:
+  add t0, t0, t1
+  addi t1, t1, 1
+  bne t1, t2, loop
+`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100_000)
+	cr := m.EstimateCost()
+	if cr.TotalKGE <= 0 || cr.TotalNanoJ <= 0 {
+		t.Fatalf("cost report empty: %+v", cr)
+	}
+	text := cr.FormatText()
+	if !strings.Contains(text, "Chip area") || !strings.Contains(text, "average power") {
+		t.Errorf("cost text incomplete:\n%s", text)
+	}
+	// Area-only estimation without a run.
+	area := EstimateArea(Wide4Config())
+	if area.TotalKGE <= EstimateArea(ScalarConfig()).TotalKGE {
+		t.Error("wide core should cost more than scalar")
+	}
+}
+
+func TestPipelinedConfigThroughFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	for i := range cfg.Units {
+		cfg.Units[i].Pipelined = true
+	}
+	// Export/import preserves the flag.
+	data, err := cfg.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Units[0].Pipelined {
+		t.Error("Pipelined flag lost in config round trip")
+	}
+	m, err := NewFromC(cfg, "int main() { return 6 * 7; }", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100_000)
+	v, _ := m.IntReg("a0")
+	if v != 42 {
+		t.Errorf("a0 = %d, want 42", v)
+	}
+}

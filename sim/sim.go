@@ -1,0 +1,298 @@
+// Package sim is the public API of the superscalar RISC-V simulator: a
+// facade over the internal packages that assembles (or compiles) a
+// program, builds a processor from an architecture description, and runs
+// interactive or batch simulations with full runtime statistics.
+//
+// Quick start:
+//
+//	m, err := sim.NewFromAsm(sim.DefaultConfig(), src, "")
+//	m.Run(1_000_000)
+//	fmt.Println(m.Report().FormatText())
+package sim
+
+import (
+	"fmt"
+
+	"riscvsim/internal/asm"
+	"riscvsim/internal/compiler"
+	"riscvsim/internal/config"
+	"riscvsim/internal/core"
+	"riscvsim/internal/costmodel"
+	"riscvsim/internal/expr"
+	"riscvsim/internal/fault"
+	"riscvsim/internal/isa"
+	"riscvsim/internal/memory"
+	"riscvsim/internal/stats"
+)
+
+// Re-exported types so downstream users can name everything through this
+// package.
+type (
+	// Config is the complete processor architecture description (the
+	// paper's Architecture Settings JSON).
+	Config = config.CPU
+	// Report is the runtime-statistics document.
+	Report = stats.Report
+	// State is a full processor snapshot for display.
+	State = core.State
+	// Exception is a simulation fault (division by zero, bad access...).
+	Exception = fault.Exception
+	// CompileResult is C compiler output: assembly plus line links.
+	CompileResult = compiler.Result
+	// Program is an assembled program.
+	Program = asm.Program
+	// LogEntry is one timestamped debug-log message.
+	LogEntry = core.LogEntry
+)
+
+// DefaultConfig returns the standard 2-wide superscalar preset.
+func DefaultConfig() *Config { return config.Default() }
+
+// ScalarConfig returns the 1-wide scalar preset.
+func ScalarConfig() *Config { return config.Scalar() }
+
+// Wide4Config returns the aggressive 4-wide preset.
+func Wide4Config() *Config { return config.Wide4() }
+
+// WidthConfig returns a preset with the given fetch/commit width (1, 2, 4
+// or 8).
+func WidthConfig(width int) (*Config, error) { return config.WidthPreset(width) }
+
+// Presets returns all named architecture presets.
+func Presets() map[string]*Config { return config.Presets() }
+
+// ImportConfig parses and validates an architecture JSON document.
+func ImportConfig(data []byte) (*Config, error) { return config.Import(data) }
+
+// CompileC translates C source to RISC-V assembly at optimization level
+// 0..3, standing in for the paper's GCC interface.
+func CompileC(src string, opt int) (*CompileResult, error) {
+	return compiler.Compile(src, opt)
+}
+
+// FilterAssembly strips compiler noise from generated assembly (the
+// paper's output filter).
+func FilterAssembly(src string) string { return asm.FilterCompilerOutput(src) }
+
+// Machine is one simulation instance with everything needed to run,
+// inspect, and step it forward or backward.
+type Machine struct {
+	cfg   *Config
+	set   *isa.Set
+	regs  *isa.RegisterFile
+	prog  *asm.Program
+	sim   *core.Simulation
+	entry int
+}
+
+// NewFromAsm assembles RISC-V assembly source and builds a machine. entry
+// names the entry label; empty means the first instruction.
+func NewFromAsm(cfg *Config, src, entry string) (*Machine, error) {
+	set := isa.RV32IMF()
+	regs := isa.NewRegisterFile()
+	mem := memory.New(cfg.Memory)
+	prog, err := asm.Assemble(src, set, regs, mem)
+	if err != nil {
+		return nil, err
+	}
+	e, err := prog.EntryPoint(entry)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.New(cfg, set, regs, prog, mem, e)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg, set: set, regs: regs, prog: prog, sim: s, entry: e}, nil
+}
+
+// NewFromC compiles C source at the given optimization level, then
+// assembles and builds a machine starting at main (or the first
+// instruction when no main exists).
+func NewFromC(cfg *Config, csrc string, opt int) (*Machine, error) {
+	res, err := compiler.Compile(csrc, opt)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewFromAsm(cfg, res.Assembly, "")
+	if err != nil {
+		return nil, fmt.Errorf("sim: assembling compiler output: %w", err)
+	}
+	return m, nil
+}
+
+// Step advances one clock cycle.
+func (m *Machine) Step() { m.sim.Step() }
+
+// StepN advances up to n cycles, stopping early on halt. It returns the
+// cycles actually executed.
+func (m *Machine) StepN(n uint64) uint64 { return m.sim.Run(n) }
+
+// Run simulates until the program ends or maxCycles elapse.
+func (m *Machine) Run(maxCycles uint64) uint64 { return m.sim.Run(maxCycles) }
+
+// StepBack rewinds one cycle (the paper's backward simulation: a
+// deterministic forward re-run of t−1 cycles).
+func (m *Machine) StepBack() error {
+	ns, err := m.sim.StepBack()
+	if err != nil {
+		return err
+	}
+	m.sim = ns
+	return nil
+}
+
+// GotoCycle repositions the simulation at an arbitrary cycle (used by the
+// debug log's click-to-navigate).
+func (m *Machine) GotoCycle(target uint64) error {
+	if target >= m.sim.Cycle() {
+		m.sim.Run(target - m.sim.Cycle())
+		return nil
+	}
+	ns, err := m.sim.ReplayTo(target)
+	if err != nil {
+		return err
+	}
+	m.sim = ns
+	return nil
+}
+
+// Cycle returns the executed cycle count.
+func (m *Machine) Cycle() uint64 { return m.sim.Cycle() }
+
+// Halted reports whether the simulation ended.
+func (m *Machine) Halted() bool { return m.sim.Halted() }
+
+// HaltReason describes why the simulation ended.
+func (m *Machine) HaltReason() string { return m.sim.HaltReason() }
+
+// Exception returns the raised exception, or nil.
+func (m *Machine) Exception() *Exception { return m.sim.Exception() }
+
+// Report builds the full runtime-statistics document.
+func (m *Machine) Report() *Report { return m.sim.Report() }
+
+// State captures a complete processor snapshot.
+func (m *Machine) State(includeLog bool) *State { return m.sim.State(includeLog) }
+
+// Log returns the debug log.
+func (m *Machine) Log() []LogEntry { return m.sim.Log() }
+
+// Disassemble renders the loaded program.
+func (m *Machine) Disassemble() string { return m.prog.Disassemble() }
+
+// IntReg reads an architectural integer register by name or ABI alias.
+func (m *Machine) IntReg(name string) (int32, error) {
+	d, ok := m.regs.Lookup(name)
+	if !ok || d.Class != isa.RegInt {
+		return 0, fmt.Errorf("sim: no integer register %q", name)
+	}
+	return m.sim.Registers().ArchValue(isa.RegInt, d.Index).Int(), nil
+}
+
+// FloatReg reads an architectural float register by name or ABI alias.
+func (m *Machine) FloatReg(name string) (float64, error) {
+	d, ok := m.regs.Lookup(name)
+	if !ok || d.Class != isa.RegFloat {
+		return 0, fmt.Errorf("sim: no float register %q", name)
+	}
+	return m.sim.Registers().ArchValue(isa.RegFloat, d.Index).Double(), nil
+}
+
+// SetIntReg initializes an architectural integer register (before running).
+func (m *Machine) SetIntReg(name string, v int32) error {
+	d, ok := m.regs.Lookup(name)
+	if !ok || d.Class != isa.RegInt {
+		return fmt.Errorf("sim: no integer register %q", name)
+	}
+	m.sim.Registers().SetArchValue(isa.RegInt, d.Index, expr.NewInt(v))
+	return nil
+}
+
+// ReadMemory copies n bytes at addr from simulated memory.
+func (m *Machine) ReadMemory(addr, n int) ([]byte, error) {
+	b, exc := m.sim.Memory().ReadBytes(addr, n)
+	if exc != nil {
+		return nil, exc
+	}
+	return b, nil
+}
+
+// WriteMemory stores bytes into simulated memory (memory editor).
+func (m *Machine) WriteMemory(addr int, b []byte) error {
+	if exc := m.sim.Memory().WriteBytes(addr, b); exc != nil {
+		return exc
+	}
+	return nil
+}
+
+// LookupLabel resolves a data label to its address and size.
+func (m *Machine) LookupLabel(name string) (addr, size int, ok bool) {
+	p, ok := m.sim.Memory().Lookup(name)
+	if !ok {
+		return 0, 0, false
+	}
+	return p.Addr, p.Size, true
+}
+
+// HexDump renders memory for the memory window.
+func (m *Machine) HexDump(addr, n int) (string, error) {
+	return m.sim.Memory().HexDump(addr, n)
+}
+
+// Sim exposes the underlying core simulation for advanced integrations
+// (the render package, benches).
+func (m *Machine) Sim() *core.Simulation { return m.sim }
+
+// ---------------------------------------------------------------------------
+// Debugging (paper §V future work: breakpoints and watches)
+// ---------------------------------------------------------------------------
+
+// AddBreakpoint pauses the simulation when the instruction at pc is about
+// to commit.
+func (m *Machine) AddBreakpoint(pc int) error { return m.sim.AddBreakpoint(pc) }
+
+// RemoveBreakpoint deletes a breakpoint.
+func (m *Machine) RemoveBreakpoint(pc int) { m.sim.RemoveBreakpoint(pc) }
+
+// AddWatch pauses the simulation when a committed store touches
+// [addr, addr+size).
+func (m *Machine) AddWatch(addr, size int) error { return m.sim.AddWatch(addr, size) }
+
+// Paused reports whether a breakpoint or watch paused the simulation.
+func (m *Machine) Paused() bool { return m.sim.Paused() }
+
+// PauseReason describes what paused the simulation.
+func (m *Machine) PauseReason() string { return m.sim.PauseReason() }
+
+// Resume continues past a breakpoint/watch trigger.
+func (m *Machine) Resume() { m.sim.Resume() }
+
+// RunToBreak runs until a breakpoint/watch pauses, the program halts, or
+// maxCycles elapse. It reports whether the machine is paused at a trigger.
+func (m *Machine) RunToBreak(maxCycles uint64) bool {
+	m.sim.Run(maxCycles)
+	return m.sim.Paused()
+}
+
+// ---------------------------------------------------------------------------
+// Cost model (paper §V future work: chip area and power estimation)
+// ---------------------------------------------------------------------------
+
+// CostReport is the chip-area and energy/power estimate.
+type CostReport = costmodel.Report
+
+// EstimateCost prices the machine's architecture and, using the current
+// run's statistics, its energy and average power.
+func (m *Machine) EstimateCost() *CostReport {
+	return costmodel.Estimate(m.cfg, m.Report())
+}
+
+// EstimateArea prices an architecture without running anything.
+func EstimateArea(cfg *Config) *CostReport { return costmodel.EstimateArea(cfg) }
+
+// EstimateCostFor prices an architecture with an existing statistics report
+// (e.g. one received over the server API).
+func EstimateCostFor(cfg *Config, rep *Report) *CostReport {
+	return costmodel.Estimate(cfg, rep)
+}

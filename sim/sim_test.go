@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	m, err := NewFromAsm(DefaultConfig(), `
+li a0, 40
+addi a0, a0, 2
+`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(10_000)
+	if !m.Halted() {
+		t.Fatal("not halted")
+	}
+	v, err := m.IntReg("a0")
+	if err != nil || v != 42 {
+		t.Errorf("a0 = %d, %v", v, err)
+	}
+	r := m.Report()
+	if r.Committed != 2 {
+		t.Errorf("committed = %d", r.Committed)
+	}
+}
+
+func TestCFlow(t *testing.T) {
+	m, err := NewFromC(DefaultConfig(), `
+int square(int x) { return x * x; }
+int main() { return square(7); }`, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100_000)
+	v, _ := m.IntReg("a0")
+	if v != 49 {
+		t.Errorf("a0 = %d, want 49", v)
+	}
+}
+
+func TestBackwardAPI(t *testing.T) {
+	m, err := NewFromAsm(DefaultConfig(), "li t0, 1\nli t1, 2\nli t2, 3\n", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StepN(3)
+	if err := m.StepBack(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycle() != 2 {
+		t.Errorf("cycle = %d, want 2", m.Cycle())
+	}
+	if err := m.GotoCycle(5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycle() != 5 && !m.Halted() {
+		t.Errorf("cycle = %d, want 5", m.Cycle())
+	}
+}
+
+func TestRegisterAndMemoryAccess(t *testing.T) {
+	m, err := NewFromAsm(DefaultConfig(), `
+la t0, buf
+lw a0, 0(t0)
+.data
+buf: .word 99
+`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, size, ok := m.LookupLabel("buf")
+	if !ok || size != 4 {
+		t.Fatalf("LookupLabel: ok=%v size=%d", ok, size)
+	}
+	// Overwrite via the memory editor before running.
+	if err := m.WriteMemory(addr, []byte{42, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(10_000)
+	v, _ := m.IntReg("a0")
+	if v != 42 {
+		t.Errorf("a0 = %d, want 42", v)
+	}
+	b, err := m.ReadMemory(addr, 4)
+	if err != nil || b[0] != 42 {
+		t.Errorf("ReadMemory = %v, %v", b, err)
+	}
+	dump, err := m.HexDump(addr, 16)
+	if err != nil || !strings.Contains(dump, "2a") {
+		t.Errorf("HexDump = %q, %v", dump, err)
+	}
+}
+
+func TestSetIntRegBeforeRun(t *testing.T) {
+	m, err := NewFromAsm(DefaultConfig(), "add a0, a1, a2\n", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetIntReg("a1", 30)
+	m.SetIntReg("a2", 12)
+	m.Run(1000)
+	v, _ := m.IntReg("a0")
+	if v != 42 {
+		t.Errorf("a0 = %d, want 42", v)
+	}
+}
+
+func TestCompileAndFilter(t *testing.T) {
+	res, err := CompileC("int main() { return 3; }", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Assembly, "main:") {
+		t.Error("no main label")
+	}
+	if FilterAssembly(res.Assembly) == "" {
+		t.Error("filter produced empty output")
+	}
+}
+
+func TestPresetsAvailable(t *testing.T) {
+	if len(Presets()) < 3 {
+		t.Error("expected at least 3 presets")
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		if _, err := WidthConfig(w); err != nil {
+			t.Errorf("WidthConfig(%d): %v", w, err)
+		}
+	}
+}
+
+func TestConfigRoundTripThroughFacade(t *testing.T) {
+	cfg := Wide4Config()
+	data, err := cfg.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != cfg.Name {
+		t.Error("round trip changed config")
+	}
+}
+
+func TestDisassembleAndState(t *testing.T) {
+	m, err := NewFromAsm(DefaultConfig(), "main:\n  li a0, 5\n  ret\n", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := m.Disassemble()
+	if !strings.Contains(dis, "main:") || !strings.Contains(dis, "addi") {
+		t.Errorf("disassembly:\n%s", dis)
+	}
+	st := m.State(false)
+	if st.Cycle != 0 || len(st.IntRegs) != 32 {
+		t.Error("initial state wrong")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if _, err := NewFromAsm(DefaultConfig(), "bogus\n", ""); err == nil {
+		t.Error("bad asm should fail")
+	}
+	if _, err := NewFromAsm(DefaultConfig(), "nop\n", "missing"); err == nil {
+		t.Error("bad entry should fail")
+	}
+	if _, err := NewFromC(DefaultConfig(), "int main( {", 0); err == nil {
+		t.Error("bad C should fail")
+	}
+	m, _ := NewFromAsm(DefaultConfig(), "nop\n", "")
+	if _, err := m.IntReg("f5"); err == nil {
+		t.Error("IntReg(f5) should fail")
+	}
+	if _, err := m.FloatReg("x5"); err == nil {
+		t.Error("FloatReg(x5) should fail")
+	}
+}
