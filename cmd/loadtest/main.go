@@ -22,8 +22,14 @@ func main() {
 		users     = flag.String("users", "30,100", "comma-separated user counts")
 		timeScale = flag.Float64("time-scale", 1.0, "scale factor for ramp-up and think time (1.0 = the paper's real-time pacing)")
 		noDocker  = flag.Bool("skip-docker", false, "skip the Docker-shim scenarios")
+		batch     = flag.Int("batch", 0, "run an HPC sweep of N simulations via POST /api/v1/batch vs sequential /simulate and exit")
 	)
 	flag.Parse()
+
+	if *batch > 0 {
+		runBatchComparison(*url, *batch)
+		return
+	}
 
 	var counts []int
 	for _, f := range splitInts(*users) {
@@ -76,6 +82,38 @@ func main() {
 		runRow("Docker", tsDocker.URL, n)
 	}
 	tsDocker.Close()
+}
+
+// runBatchComparison demonstrates the v1 batch endpoint: the same N-way
+// width sweep as one /api/v1/batch round trip fanned out across the
+// server's cores versus N sequential /api/v1/simulate calls.
+func runBatchComparison(url string, n int) {
+	base := url
+	if base == "" {
+		srv := server.New(server.DefaultOptions())
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+	}
+	reqs := loadgen.WidthSweepRequests(n, loadgen.ProgramA, 100_000)
+
+	seq, err := loadgen.SequentialSweep(base, reqs, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadtest: sequential sweep: %v\n", err)
+		os.Exit(1)
+	}
+	bat, err := loadgen.BatchSweep(base, reqs, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadtest: batch sweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("HPC sweep, %d simulations:\n", n)
+	fmt.Printf("  sequential /api/v1/simulate: %10v  (%d failed)\n", seq.Wall, seq.Failed)
+	fmt.Printf("  one POST   /api/v1/batch:    %10v  (%d workers, server fan-out %v, %d failed)\n",
+		bat.Wall, bat.Workers, bat.ServerWall, bat.Failed)
+	if bat.Wall > 0 {
+		fmt.Printf("  speedup: %.2fx\n", float64(seq.Wall)/float64(bat.Wall))
+	}
 }
 
 func splitInts(s string) []int {

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"riscvsim/internal/api"
 	"riscvsim/internal/client"
 	"riscvsim/internal/server"
 	"riscvsim/sim"
@@ -67,7 +68,7 @@ func main() {
 		fatal("%v", err)
 	}
 
-	req := &server.SimulateRequest{
+	req := &api.SimulateRequest{
 		Code:         string(src),
 		Language:     lang,
 		Optimize:     *optimize,
@@ -87,7 +88,7 @@ func main() {
 		req.Config = &raw
 	}
 
-	var resp *server.SimulateResponse
+	var resp *api.SimulateResponse
 	if *host != "" {
 		c := client.New(*host, *port, *gzipOn)
 		resp, err = c.Simulate(req)
@@ -146,23 +147,23 @@ func main() {
 
 // runLocal executes the request in-process through the same code path the
 // server uses (via a loopback client), so behaviours match exactly.
-func runLocal(req *server.SimulateRequest) (*server.SimulateResponse, error) {
+func runLocal(req *api.SimulateRequest) (*api.SimulateResponse, error) {
 	c, closeFn := client.Local(server.DefaultOptions())
 	defer closeFn()
 	return c.Simulate(req)
 }
 
-func parseFills(spec string) ([]server.MemFill, error) {
+func parseFills(spec string) ([]api.MemFill, error) {
 	if spec == "" {
 		return nil, nil
 	}
-	var fills []server.MemFill
+	var fills []api.MemFill
 	for _, part := range strings.Split(spec, ";") {
 		eq := strings.IndexByte(part, '=')
 		if eq <= 0 {
 			return nil, fmt.Errorf("bad fill %q (want label=v1,v2,...)", part)
 		}
-		f := server.MemFill{Label: part[:eq]}
+		f := api.MemFill{Label: part[:eq]}
 		for _, vs := range strings.Split(part[eq+1:], ",") {
 			v, err := strconv.ParseInt(strings.TrimSpace(vs), 0, 64)
 			if err != nil {
@@ -176,7 +177,7 @@ func parseFills(spec string) ([]server.MemFill, error) {
 }
 
 // printDump re-runs the program in-process and prints a memory range.
-func printDump(req *server.SimulateRequest, spec string) error {
+func printDump(req *api.SimulateRequest, spec string) error {
 	cfg := sim.DefaultConfig()
 	if req.Preset != "" {
 		if p, ok := sim.Presets()[req.Preset]; ok {

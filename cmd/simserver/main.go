@@ -18,7 +18,8 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8042", "listen address")
-		maxSessions = flag.Int("max-sessions", 256, "interactive session cap")
+		maxSessions = flag.Int("max-sessions", 256, "interactive session cap (LRU eviction beyond it)")
+		sessionTTL  = flag.Duration("session-ttl", 15*time.Minute, "evict sessions idle longer than this (negative = never)")
 		noGzip      = flag.Bool("no-gzip", false, "disable response compression")
 		dockerShim  = flag.Bool("docker-shim", false, "simulate containerized deployment overhead (Table I 'Docker' rows)")
 		proxyDelay  = flag.Duration("shim-delay", 2*time.Millisecond, "docker shim per-request overhead")
@@ -28,6 +29,7 @@ func main() {
 
 	srv := server.New(server.Options{
 		MaxSessions: *maxSessions,
+		SessionTTL:  *sessionTTL,
 		DisableGzip: *noGzip,
 	})
 	var handler http.Handler = srv.Handler()
@@ -37,7 +39,8 @@ func main() {
 		fmt.Printf("docker shim enabled: delay=%v parallelism=%d\n", *proxyDelay, *parallelism)
 	}
 
-	fmt.Printf("simulation server listening on %s (gzip=%v)\n", *addr, !*noGzip)
+	fmt.Printf("simulation server listening on %s (gzip=%v, API /api/v1, legacy aliases deprecated)\n",
+		*addr, !*noGzip)
 	s := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

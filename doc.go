@@ -10,4 +10,13 @@
 // DESIGN.md for the system inventory. The benchmarks in bench_test.go
 // regenerate every table and figure of the paper's evaluation
 // (EXPERIMENTS.md records paper-vs-measured results).
+//
+// The simulation server speaks a versioned JSON protocol under /api/v1
+// (docs/api.md): typed request/response documents and a machine-readable
+// error envelope defined in riscvsim/internal/api, pluggable codecs
+// negotiated via Accept/Content-Type ("codec=pooled" selects the
+// pooled-buffer streaming codec), POST /api/v1/batch for fanning
+// independent simulations across a worker pool, and
+// POST /api/v1/session/stream for NDJSON push-streams of a running
+// simulation. The pre-v1 flat paths remain as deprecated aliases.
 package riscvsim

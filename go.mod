@@ -1,0 +1,3 @@
+module riscvsim
+
+go 1.24

@@ -1,0 +1,117 @@
+package api
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCodecsRoundTripIdentically(t *testing.T) {
+	doc := &SimulateRequest{
+		Code:     "li a0, 1",
+		Steps:    42,
+		MemFills: []MemFill{{Label: "data", Values: []int64{1, 2, 3}}},
+	}
+	for _, c := range []Codec{JSONCodec, PooledCodec} {
+		var buf bytes.Buffer
+		if err := c.Encode(&buf, doc); err != nil {
+			t.Fatalf("%s encode: %v", c.Name(), err)
+		}
+		var back SimulateRequest
+		if err := c.Decode(&buf, &back); err != nil {
+			t.Fatalf("%s decode: %v", c.Name(), err)
+		}
+		if back.Code != doc.Code || back.Steps != doc.Steps || len(back.MemFills) != 1 {
+			t.Errorf("%s round trip mangled the document: %+v", c.Name(), back)
+		}
+	}
+}
+
+func TestCodecsProduceSameWireFormat(t *testing.T) {
+	doc := &SimulateResponse{Halted: true, Cycles: 7}
+	var a, b bytes.Buffer
+	if err := JSONCodec.Encode(&a, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := PooledCodec.Encode(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	// json.Encoder appends a newline; the documents must match modulo that.
+	if strings.TrimSpace(a.String()) != strings.TrimSpace(b.String()) {
+		t.Errorf("wire formats differ:\njson:   %s\npooled: %s", a.String(), b.String())
+	}
+}
+
+func TestCodecsRejectTrailingData(t *testing.T) {
+	// Both codecs must accept exactly the same bodies: a document with
+	// trailing garbage is invalid everywhere.
+	for _, c := range []Codec{JSONCodec, PooledCodec} {
+		var v SimulateRequest
+		if err := c.Decode(strings.NewReader(`{"code":"nop"} trailing`), &v); err == nil {
+			t.Errorf("%s accepted trailing garbage", c.Name())
+		}
+		// Trailing whitespace is fine in both.
+		if err := c.Decode(strings.NewReader(`{"code":"nop"}`+"\n \t"), &v); err != nil {
+			t.Errorf("%s rejected trailing whitespace: %v", c.Name(), err)
+		}
+		// A second JSON document is also trailing data.
+		if err := c.Decode(strings.NewReader(`{"code":"a"}{"code":"b"}`), &v); err == nil {
+			t.Errorf("%s accepted a second document", c.Name())
+		}
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		contentType, accept string
+		wantReq, wantResp   string
+	}{
+		{"", "", "json", "json"},
+		{"application/json", "application/json", "json", "json"},
+		{"application/json; codec=pooled", "application/json", "pooled", "json"},
+		{"application/json", "application/json; codec=pooled", "json", "pooled"},
+		{"application/json; codec=nope", "garbage;;;", "json", "json"},
+	}
+	for _, c := range cases {
+		req, resp := Negotiate(c.contentType, c.accept)
+		if req.Name() != c.wantReq || resp.Name() != c.wantResp {
+			t.Errorf("Negotiate(%q, %q) = %s/%s, want %s/%s",
+				c.contentType, c.accept, req.Name(), resp.Name(), c.wantReq, c.wantResp)
+		}
+	}
+}
+
+func TestCodecByName(t *testing.T) {
+	for _, name := range CodecNames() {
+		c, ok := CodecByName(name)
+		if !ok || c.Name() != name {
+			t.Errorf("CodecByName(%q) = %v, %v", name, c, ok)
+		}
+	}
+	if _, ok := CodecByName("protobuf"); ok {
+		t.Error("unknown codec resolved")
+	}
+}
+
+func TestBufferPoolRecycles(t *testing.T) {
+	b := GetBuffer()
+	b.WriteString("payload")
+	PutBuffer(b)
+	b2 := GetBuffer()
+	defer PutBuffer(b2)
+	if b2.Len() != 0 {
+		t.Error("recycled buffer not reset")
+	}
+}
+
+func TestErrorHelpers(t *testing.T) {
+	e := Errorf(CodeBuildFailed, "line %d: %s", 3, "boom")
+	if e.Code != CodeBuildFailed || e.Message != "line 3: boom" || e.Error() != e.Message {
+		t.Errorf("Errorf = %+v", e)
+	}
+	// WrapError preserves an existing code.
+	w := WrapError(CodeInternal, e)
+	if w.Code != CodeBuildFailed {
+		t.Errorf("WrapError clobbered the code: %+v", w)
+	}
+}

@@ -1,0 +1,70 @@
+package api
+
+import "fmt"
+
+// Stable machine-readable error codes of the v1 protocol. Clients dispatch
+// on Code; Message is human-readable diagnostic text and carries no
+// stability guarantee.
+const (
+	// CodeBadJSON: the request body is not valid JSON for the expected
+	// document shape.
+	CodeBadJSON = "bad_json"
+	// CodeBadRequest: the request parsed but is semantically invalid
+	// (missing fields, out-of-range values).
+	CodeBadRequest = "bad_request"
+	// CodeBodyTooLarge: the request body exceeds the server's
+	// MaxBodyBytes limit.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeUnknownPreset: SimulateRequest.Preset names no known preset.
+	CodeUnknownPreset = "unknown_preset"
+	// CodeBadConfig: the architecture configuration document is invalid.
+	CodeBadConfig = "bad_config"
+	// CodeBuildFailed: the program failed to assemble or compile.
+	CodeBuildFailed = "build_failed"
+	// CodeMemFill: a MemFill entry is invalid or exceeds its allocation.
+	CodeMemFill = "mem_fill_failed"
+	// CodeUnknownSession: the session ID is unknown (closed or evicted).
+	CodeUnknownSession = "unknown_session"
+	// CodeBatchTooLarge: a batch carries more requests than the server
+	// accepts in one call.
+	CodeBatchTooLarge = "batch_too_large"
+	// CodeUnprocessable: a session operation failed on a valid session
+	// (e.g. goto past the end of the debug log).
+	CodeUnprocessable = "unprocessable"
+	// CodeInternal: the server failed to produce a response.
+	CodeInternal = "internal"
+)
+
+// Error is the v1 machine-readable error. It implements the error
+// interface so handlers can return it directly.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Message }
+
+// Errorf builds an *Error with a stable code and a formatted message.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WrapError attaches a stable code to an arbitrary error, preserving an
+// existing *Error's code.
+func WrapError(code string, err error) *Error {
+	if ae, ok := err.(*Error); ok {
+		return ae
+	}
+	return &Error{Code: code, Message: err.Error()}
+}
+
+// ErrorEnvelope is the uniform error response body:
+//
+//	{"error": {"code": "build_failed", "message": "line 3: ..."}}
+//
+// Every non-2xx v1 response (and every legacy-alias error response)
+// carries this shape.
+type ErrorEnvelope struct {
+	Err Error `json:"error"`
+}

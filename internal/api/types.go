@@ -1,0 +1,242 @@
+// Package api defines the simulator's versioned wire contract (v1): the
+// typed request/response documents served under /api/v1/, the
+// machine-readable error envelope with stable codes, and the Codec
+// abstraction that makes serialization cost a measured, swappable
+// component (the paper profiles JSON handling at ~60% of request time,
+// §IV-A).
+//
+// The package is imported by both the server and the client, so the two
+// sides can never drift: the contract is these Go types. docs/api.md
+// documents the HTTP surface for non-Go clients.
+package api
+
+import (
+	"encoding/json"
+
+	"riscvsim/sim"
+)
+
+// V1Prefix is the path prefix of the versioned API.
+const V1Prefix = "/api/v1"
+
+// MemFill populates a labelled allocation before simulation, mirroring the
+// Memory Settings window (user values, repeated constants or random
+// values; paper §II-C).
+type MemFill struct {
+	Label    string  `json:"label"`
+	Values   []int64 `json:"values,omitempty"`
+	ElemSize int     `json:"elemSize,omitempty"` // 1, 2, 4 or 8; default 4
+	Repeat   int     `json:"repeat,omitempty"`   // repeat Values[0] n times
+	Random   int     `json:"random,omitempty"`   // n random values
+	Seed     int64   `json:"seed,omitempty"`     // deterministic seed
+}
+
+// SimulateRequest runs a batch simulation.
+type SimulateRequest struct {
+	// Code is RISC-V assembly, or C when Language == "c".
+	Code     string `json:"code"`
+	Language string `json:"language,omitempty"`
+	Optimize int    `json:"optimize,omitempty"`
+	// Entry is the entry label ("" = first instruction / main for C).
+	Entry string `json:"entry,omitempty"`
+	// Preset selects a named architecture; Config overrides it with a
+	// full architecture document.
+	Preset string           `json:"preset,omitempty"`
+	Config *json.RawMessage `json:"config,omitempty"`
+	// Steps limits the simulation (0 = run to completion).
+	Steps uint64 `json:"steps,omitempty"`
+	// MemFills populate data arrays before the run.
+	MemFills []MemFill `json:"memFills,omitempty"`
+	// IncludeState requests the full processor snapshot.
+	IncludeState bool `json:"includeState,omitempty"`
+	// IncludeLog requests the debug log.
+	IncludeLog bool `json:"includeLog,omitempty"`
+}
+
+// SimulateResponse carries results.
+type SimulateResponse struct {
+	Halted     bool           `json:"halted"`
+	HaltReason string         `json:"haltReason,omitempty"`
+	Cycles     uint64         `json:"cycles"`
+	Stats      *sim.Report    `json:"stats"`
+	State      *sim.State     `json:"state,omitempty"`
+	Log        []sim.LogEntry `json:"log,omitempty"`
+}
+
+// CompileRequest compiles C to assembly.
+type CompileRequest struct {
+	Code     string `json:"code"`
+	Optimize int    `json:"optimize"`
+	Filter   bool   `json:"filter,omitempty"`
+}
+
+// CompileResponse mirrors the paper's compiler round trip: assembly plus a
+// log of potential compiler errors (§III-C).
+type CompileResponse struct {
+	Assembly string `json:"assembly,omitempty"`
+	LineMap  []int  `json:"lineMap,omitempty"`
+	Errors   string `json:"errors,omitempty"`
+}
+
+// ParseAsmRequest validates assembly (editor squiggles).
+type ParseAsmRequest struct {
+	Code string `json:"code"`
+}
+
+// ParseAsmResponse lists diagnostics. It doubles as the /checkConfig
+// response (same OK/diagnostics shape).
+type ParseAsmResponse struct {
+	OK     bool   `json:"ok"`
+	Errors string `json:"errors,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+// SessionNewRequest starts an interactive session (one web-client tab).
+type SessionNewRequest struct {
+	SimulateRequest
+}
+
+// SessionNewResponse returns the session handle and the initial state.
+type SessionNewResponse struct {
+	SessionID string     `json:"sessionId"`
+	State     *sim.State `json:"state"`
+}
+
+// SessionStepRequest advances or rewinds a session. Negative steps rewind
+// (the paper's backward simulation, available only interactively and
+// intended for small programs, §III-B).
+type SessionStepRequest struct {
+	SessionID string `json:"sessionId"`
+	Steps     int64  `json:"steps"`
+	// IncludeLog attaches the debug log to the state.
+	IncludeLog bool `json:"includeLog,omitempty"`
+}
+
+// SessionStateResponse returns the post-step state.
+type SessionStateResponse struct {
+	State *sim.State `json:"state"`
+}
+
+// SessionGotoRequest jumps to an absolute cycle (debug-log navigation:
+// "clicking on the message number navigates the simulation to that
+// specific cycle", paper §II-A).
+type SessionGotoRequest struct {
+	SessionID string `json:"sessionId"`
+	Cycle     uint64 `json:"cycle"`
+}
+
+// SessionCloseRequest ends a session.
+type SessionCloseRequest struct {
+	SessionID string `json:"sessionId"`
+}
+
+// SessionCloseResponse acknowledges the close.
+type SessionCloseResponse struct {
+	Closed bool `json:"closed"`
+}
+
+// RenderResponse wraps the text schematic.
+type RenderResponse struct {
+	Schematic string `json:"schematic"`
+}
+
+// ---------------------------------------------------------------------------
+// Batch simulation (POST /api/v1/batch)
+// ---------------------------------------------------------------------------
+
+// BatchRequest carries N independent simulations to run in one round
+// trip. The server fans them out across a bounded worker pool, which is
+// how sweep workloads (issue widths, cache studies, load generation)
+// exploit a multi-core host without N round trips.
+type BatchRequest struct {
+	Requests []SimulateRequest `json:"requests"`
+}
+
+// BatchResult is the outcome of one batch entry. Exactly one of Response
+// and Error is set; Index ties the result back to the request (results
+// are returned in request order regardless of completion order).
+type BatchResult struct {
+	Index    int               `json:"index"`
+	Response *SimulateResponse `json:"response,omitempty"`
+	Error    *Error            `json:"error,omitempty"`
+}
+
+// BatchResponse carries all results plus fan-out accounting. Individual
+// failures do not fail the batch: the HTTP status is 200 whenever the
+// batch itself was well-formed.
+type BatchResponse struct {
+	Results   []BatchResult `json:"results"`
+	Succeeded int           `json:"succeeded"`
+	Failed    int           `json:"failed"`
+	// Workers is the size of the worker pool that executed the batch.
+	Workers int `json:"workers"`
+	// WallNanos is the wall-clock time of the fan-out (all simulations,
+	// not including request decode / response encode).
+	WallNanos uint64 `json:"wallNanos"`
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sessions (POST /api/v1/session/stream)
+// ---------------------------------------------------------------------------
+
+// StreamRequest opens a one-shot streaming simulation: the server builds
+// the machine, then pushes one NDJSON StreamEvent per step burst until
+// the program halts or the cycle limit is reached. Interactive clients
+// use it to watch a run without polling /session/step.
+type StreamRequest struct {
+	SimulateRequest
+	// StepBurst is how many cycles to advance between events (default 32).
+	StepBurst uint64 `json:"stepBurst,omitempty"`
+	// MaxEvents caps the number of state events (default 10000); when
+	// the cap is hit the remainder of the run completes without
+	// intermediate events and only the final event follows.
+	MaxEvents int `json:"maxEvents,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of a streaming session. Events carry
+// monotonically increasing Seq; the last event has Done == true and
+// carries final Stats (or Error if the stream failed mid-run).
+type StreamEvent struct {
+	Seq        int         `json:"seq"`
+	Cycle      uint64      `json:"cycle"`
+	Halted     bool        `json:"halted"`
+	HaltReason string      `json:"haltReason,omitempty"`
+	Done       bool        `json:"done,omitempty"`
+	State      *sim.State  `json:"state,omitempty"`
+	Stats      *sim.Report `json:"stats,omitempty"`
+	Error      *Error      `json:"error,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+// CodecMetrics is the per-codec serialization accounting: how much of
+// the server's time each codec implementation spent encoding and
+// decoding, so a codec swap shows up as a measured delta.
+type CodecMetrics struct {
+	EncodeNanos uint64  `json:"encodeNanos"`
+	DecodeNanos uint64  `json:"decodeNanos"`
+	Share       float64 `json:"share"` // (enc+dec) / total handling time
+}
+
+// Metrics aggregates the server's self-instrumentation.
+type Metrics struct {
+	Requests       uint64  `json:"requests"`
+	TotalNanos     uint64  `json:"totalHandlingNanos"`
+	JSONNanos      uint64  `json:"jsonNanos"`
+	SimNanos       uint64  `json:"simulationNanos"`
+	JSONShare      float64 `json:"jsonShare"`
+	ActiveSessions int     `json:"activeSessions"`
+	// Codecs breaks JSONNanos down per codec implementation.
+	Codecs map[string]CodecMetrics `json:"codecs,omitempty"`
+	// BatchRequests counts /api/v1/batch calls; BatchSimulations counts
+	// the simulations fanned out by them.
+	BatchRequests    uint64 `json:"batchRequests"`
+	BatchSimulations uint64 `json:"batchSimulations"`
+	// StreamEvents counts NDJSON events pushed by /api/v1/session/stream.
+	StreamEvents uint64 `json:"streamEvents"`
+}

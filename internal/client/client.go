@@ -1,10 +1,17 @@
 // Package client implements the simulator's client side: a thin typed
-// wrapper over the server's JSON API used by the CLI (paper §II-E: "The
-// CLI must be connected to the server using host and port parameters").
-// An in-process mode (Local) runs the same code path without a network.
+// wrapper over the server's versioned JSON API (/api/v1) used by the CLI
+// (paper §II-E: "The CLI must be connected to the server using host and
+// port parameters"). An in-process mode (Local) runs the same code path
+// without a network.
+//
+// The client speaks the v1 contract from riscvsim/internal/api: it
+// negotiates the pooled codec, understands the machine-readable error
+// envelope, fans sweeps out through Client.SimulateBatch, and consumes
+// NDJSON streams through Client.Stream.
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
@@ -14,36 +21,38 @@ import (
 	"net/http/httptest"
 	"time"
 
+	"riscvsim/internal/api"
 	"riscvsim/internal/server"
 )
 
 // Client talks to a simulation server.
 type Client struct {
-	base string
-	http *http.Client
-	gzip bool
+	base  string
+	http  *http.Client
+	gzip  bool
+	codec string // codec negotiated via Accept/Content-Type
 }
 
 // New builds a client for the given host/port. useGzip compresses request
 // bodies and advertises gzip responses.
 func New(host string, port int, useGzip bool) *Client {
-	tr := &http.Transport{DisableCompression: !useGzip}
-	return &Client{
-		base: fmt.Sprintf("http://%s:%d", host, port),
-		http: &http.Client{Transport: tr, Timeout: 120 * time.Second},
-		gzip: useGzip,
-	}
+	return NewForURL(fmt.Sprintf("http://%s:%d", host, port), useGzip)
 }
 
 // NewForURL builds a client for a full base URL (tests, load generator).
 func NewForURL(base string, useGzip bool) *Client {
 	tr := &http.Transport{DisableCompression: !useGzip, MaxIdleConnsPerHost: 256}
 	return &Client{
-		base: base,
-		http: &http.Client{Transport: tr, Timeout: 120 * time.Second},
-		gzip: useGzip,
+		base:  base,
+		http:  &http.Client{Transport: tr, Timeout: 120 * time.Second},
+		gzip:  useGzip,
+		codec: api.PooledCodec.Name(),
 	}
 }
+
+// UseCodec selects the server-side codec ("json" or "pooled") the client
+// asks for; unknown names fall back to the server default.
+func (c *Client) UseCodec(name string) { c.codec = name }
 
 // Local builds a client wired directly to an in-process server — the same
 // JSON code path without a real socket.
@@ -54,17 +63,25 @@ func Local(opts server.Options) (*Client, func()) {
 	return c, ts.Close
 }
 
-// post sends a JSON request and decodes the JSON response.
-func (c *Client) post(path string, req, resp any) error {
+// mediaType is the Content-Type/Accept value carrying codec negotiation.
+func (c *Client) mediaType() string {
+	if c.codec == "" {
+		return api.MediaTypeJSON
+	}
+	return api.MediaTypeJSON + "; " + api.CodecParam + "=" + c.codec
+}
+
+// newRequest builds a POST with the encoded body and protocol headers.
+func (c *Client) newRequest(path string, req any) (*http.Request, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return fmt.Errorf("client: encoding request: %w", err)
+		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	var rd io.Reader = bytes.NewReader(body)
 	hreq, err := http.NewRequest(http.MethodPost, c.base+path, nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	var rd io.Reader = bytes.NewReader(body)
 	if c.gzip {
 		var buf bytes.Buffer
 		gz := gzip.NewWriter(&buf)
@@ -74,7 +91,34 @@ func (c *Client) post(path string, req, resp any) error {
 		hreq.Header.Set("Content-Encoding", "gzip")
 	}
 	hreq.Body = io.NopCloser(rd)
-	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Content-Type", c.mediaType())
+	hreq.Header.Set("Accept", c.mediaType())
+	return hreq, nil
+}
+
+// decodeError turns a non-200 response into an error carrying the v1
+// envelope's stable code when present.
+func decodeError(path string, status int, data []byte) error {
+	var env api.ErrorEnvelope
+	if json.Unmarshal(data, &env) == nil && env.Err.Message != "" {
+		return fmt.Errorf("client: %s: [%s] %s", path, env.Err.Code, env.Err.Message)
+	}
+	// Pre-v1 servers used a bare string envelope.
+	var legacy struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &legacy) == nil && legacy.Error != "" {
+		return fmt.Errorf("client: %s: %s", path, legacy.Error)
+	}
+	return fmt.Errorf("client: %s: HTTP %d", path, status)
+}
+
+// post sends a JSON request and decodes the JSON response.
+func (c *Client) post(path string, req, resp any) error {
+	hreq, err := c.newRequest(path, req)
+	if err != nil {
+		return err
+	}
 	hresp, err := c.http.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", path, err)
@@ -85,13 +129,7 @@ func (c *Client) post(path string, req, resp any) error {
 		return fmt.Errorf("client: reading %s response: %w", path, err)
 	}
 	if hresp.StatusCode != http.StatusOK {
-		var apiErr struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("client: %s: %s", path, apiErr.Error)
-		}
-		return fmt.Errorf("client: %s: HTTP %d", path, hresp.StatusCode)
+		return decodeError(path, hresp.StatusCode, data)
 	}
 	if resp == nil {
 		return nil
@@ -103,36 +141,91 @@ func (c *Client) post(path string, req, resp any) error {
 }
 
 // Simulate runs a batch simulation.
-func (c *Client) Simulate(req *server.SimulateRequest) (*server.SimulateResponse, error) {
-	var resp server.SimulateResponse
-	if err := c.post("/simulate", req, &resp); err != nil {
+func (c *Client) Simulate(req *api.SimulateRequest) (*api.SimulateResponse, error) {
+	var resp api.SimulateResponse
+	if err := c.post(api.V1Prefix+"/simulate", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
+// SimulateBatch fans N independent simulations out in one round trip;
+// the server runs them on a bounded worker pool. Per-item failures come
+// back inside BatchResponse.Results, not as a call error.
+func (c *Client) SimulateBatch(reqs []api.SimulateRequest) (*api.BatchResponse, error) {
+	var resp api.BatchResponse
+	if err := c.post(api.V1Prefix+"/batch", &api.BatchRequest{Requests: reqs}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stream opens an NDJSON streaming simulation and calls fn for every
+// event. It returns the final (Done) event. fn returning an error aborts
+// the stream and surfaces that error.
+func (c *Client) Stream(req *api.StreamRequest, fn func(*api.StreamEvent) error) (*api.StreamEvent, error) {
+	path := api.V1Prefix + "/session/stream"
+	hreq, err := c.newRequest(path, req)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(hresp.Body)
+		return nil, decodeError(path, hresp.StatusCode, data)
+	}
+	dec := json.NewDecoder(bufio.NewReader(hresp.Body))
+	var last *api.StreamEvent
+	for {
+		var ev api.StreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("client: decoding %s event: %w", path, err)
+		}
+		last = &ev
+		if fn != nil {
+			if err := fn(&ev); err != nil {
+				return nil, err
+			}
+		}
+		if ev.Done {
+			break
+		}
+	}
+	if last == nil || !last.Done {
+		return nil, fmt.Errorf("client: %s: stream ended without a final event", path)
+	}
+	return last, nil
+}
+
 // Compile translates C to assembly on the server.
-func (c *Client) Compile(req *server.CompileRequest) (*server.CompileResponse, error) {
-	var resp server.CompileResponse
-	if err := c.post("/compile", req, &resp); err != nil {
+func (c *Client) Compile(req *api.CompileRequest) (*api.CompileResponse, error) {
+	var resp api.CompileResponse
+	if err := c.post(api.V1Prefix+"/compile", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // NewSession opens an interactive session.
-func (c *Client) NewSession(req *server.SessionNewRequest) (*server.SessionNewResponse, error) {
-	var resp server.SessionNewResponse
-	if err := c.post("/session/new", req, &resp); err != nil {
+func (c *Client) NewSession(req *api.SessionNewRequest) (*api.SessionNewResponse, error) {
+	var resp api.SessionNewResponse
+	if err := c.post(api.V1Prefix+"/session/new", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // Step advances (or rewinds, with negative steps) a session.
-func (c *Client) Step(id string, steps int64) (*server.SessionStateResponse, error) {
-	var resp server.SessionStateResponse
-	err := c.post("/session/step", &server.SessionStepRequest{SessionID: id, Steps: steps}, &resp)
+func (c *Client) Step(id string, steps int64) (*api.SessionStateResponse, error) {
+	var resp api.SessionStateResponse
+	err := c.post(api.V1Prefix+"/session/step", &api.SessionStepRequest{SessionID: id, Steps: steps}, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -140,9 +233,9 @@ func (c *Client) Step(id string, steps int64) (*server.SessionStateResponse, err
 }
 
 // Goto jumps a session to an absolute cycle.
-func (c *Client) Goto(id string, cycle uint64) (*server.SessionStateResponse, error) {
-	var resp server.SessionStateResponse
-	err := c.post("/session/goto", &server.SessionGotoRequest{SessionID: id, Cycle: cycle}, &resp)
+func (c *Client) Goto(id string, cycle uint64) (*api.SessionStateResponse, error) {
+	var resp api.SessionStateResponse
+	err := c.post(api.V1Prefix+"/session/goto", &api.SessionGotoRequest{SessionID: id, Cycle: cycle}, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -151,17 +244,17 @@ func (c *Client) Goto(id string, cycle uint64) (*server.SessionStateResponse, er
 
 // CloseSession ends a session.
 func (c *Client) CloseSession(id string) error {
-	return c.post("/session/close", &server.SessionCloseRequest{SessionID: id}, nil)
+	return c.post(api.V1Prefix+"/session/close", &api.SessionCloseRequest{SessionID: id}, nil)
 }
 
 // Metrics fetches the server's instrumentation counters.
-func (c *Client) Metrics() (*server.Metrics, error) {
-	hresp, err := c.http.Get(c.base + "/metrics")
+func (c *Client) Metrics() (*api.Metrics, error) {
+	hresp, err := c.http.Get(c.base + api.V1Prefix + "/metrics")
 	if err != nil {
 		return nil, err
 	}
 	defer hresp.Body.Close()
-	var m server.Metrics
+	var m api.Metrics
 	if err := json.NewDecoder(hresp.Body).Decode(&m); err != nil {
 		return nil, err
 	}

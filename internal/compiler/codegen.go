@@ -1083,14 +1083,14 @@ func (g *codegen) genIntBinary(e *Expr) {
 		g.emit("sub t0, t0, t1")
 		g.emit("snez t0, t0")
 	case "<":
-		g.emit(pick(lUns, "sltu t0, t0, t1", "slt t0, t0, t1"))
+		g.emit("%s", pick(lUns, "sltu t0, t0, t1", "slt t0, t0, t1"))
 	case ">":
-		g.emit(pick(lUns, "sltu t0, t1, t0", "slt t0, t1, t0"))
+		g.emit("%s", pick(lUns, "sltu t0, t1, t0", "slt t0, t1, t0"))
 	case "<=":
-		g.emit(pick(lUns, "sltu t0, t1, t0", "slt t0, t1, t0"))
+		g.emit("%s", pick(lUns, "sltu t0, t1, t0", "slt t0, t1, t0"))
 		g.emit("xori t0, t0, 1")
 	case ">=":
-		g.emit(pick(lUns, "sltu t0, t0, t1", "slt t0, t0, t1"))
+		g.emit("%s", pick(lUns, "sltu t0, t0, t1", "slt t0, t0, t1"))
 		g.emit("xori t0, t0, 1")
 	}
 }

@@ -1,0 +1,68 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"riscvsim/internal/api"
+	"riscvsim/internal/client"
+)
+
+// SweepResult compares the two ways of running N independent simulations:
+// one /api/v1/batch round trip fanned out across the server's cores
+// versus N sequential /api/v1/simulate calls.
+type SweepResult struct {
+	Requests   int           `json:"requests"`
+	Failed     int           `json:"failed"`
+	Workers    int           `json:"workers"`
+	Wall       time.Duration `json:"wall"`
+	ServerWall time.Duration `json:"serverWall"` // batch only: fan-out time on the server
+}
+
+// BatchSweep sends reqs in a single /api/v1/batch round trip.
+func BatchSweep(baseURL string, reqs []api.SimulateRequest, gz bool) (*SweepResult, error) {
+	c := client.NewForURL(baseURL, gz)
+	start := time.Now()
+	resp, err := c.SimulateBatch(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: batch sweep: %w", err)
+	}
+	return &SweepResult{
+		Requests:   len(reqs),
+		Failed:     resp.Failed,
+		Workers:    resp.Workers,
+		Wall:       time.Since(start),
+		ServerWall: time.Duration(resp.WallNanos),
+	}, nil
+}
+
+// SequentialSweep runs the same requests one /api/v1/simulate call at a
+// time — the pre-batch baseline a client had to settle for.
+func SequentialSweep(baseURL string, reqs []api.SimulateRequest, gz bool) (*SweepResult, error) {
+	c := client.NewForURL(baseURL, gz)
+	res := &SweepResult{Requests: len(reqs), Workers: 1}
+	start := time.Now()
+	for i := range reqs {
+		if _, err := c.Simulate(&reqs[i]); err != nil {
+			res.Failed++
+		}
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// WidthSweepRequests builds the HPC width-study workload: the same
+// program simulated across issue widths, repeated until n requests exist
+// — the shape of sweep the batch endpoint is for.
+func WidthSweepRequests(n int, code string, steps uint64) []api.SimulateRequest {
+	presets := []string{"scalar", "default", "wide4"}
+	reqs := make([]api.SimulateRequest, n)
+	for i := range reqs {
+		reqs[i] = api.SimulateRequest{
+			Code:   code,
+			Preset: presets[i%len(presets)],
+			Steps:  steps,
+		}
+	}
+	return reqs
+}

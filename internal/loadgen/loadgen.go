@@ -11,8 +11,8 @@ import (
 	"sync"
 	"time"
 
+	"riscvsim/internal/api"
 	"riscvsim/internal/client"
-	"riscvsim/internal/server"
 )
 
 // Scenario describes one load test. The paper's Table I scenarios are 30
@@ -141,8 +141,8 @@ func Run(baseURL string, sc Scenario) (*Result, error) {
 			time.Sleep(delay)
 			c := client.NewForURL(baseURL, sc.Gzip)
 			t0 := time.Now()
-			sess, err := c.NewSession(&server.SessionNewRequest{
-				SimulateRequest: server.SimulateRequest{Code: prog},
+			sess, err := c.NewSession(&api.SessionNewRequest{
+				SimulateRequest: api.SimulateRequest{Code: prog},
 			})
 			latCh <- time.Since(t0)
 			if err != nil {

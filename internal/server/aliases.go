@@ -1,0 +1,24 @@
+package server
+
+import "riscvsim/internal/api"
+
+// The wire contract moved to riscvsim/internal/api when the protocol was
+// versioned (/api/v1). These aliases keep the pre-v1 names importable
+// from this package; new code should import riscvsim/internal/api
+// directly.
+type (
+	MemFill              = api.MemFill
+	SimulateRequest      = api.SimulateRequest
+	SimulateResponse     = api.SimulateResponse
+	CompileRequest       = api.CompileRequest
+	CompileResponse      = api.CompileResponse
+	ParseAsmRequest      = api.ParseAsmRequest
+	ParseAsmResponse     = api.ParseAsmResponse
+	SessionNewRequest    = api.SessionNewRequest
+	SessionNewResponse   = api.SessionNewResponse
+	SessionStepRequest   = api.SessionStepRequest
+	SessionStateResponse = api.SessionStateResponse
+	SessionGotoRequest   = api.SessionGotoRequest
+	SessionCloseRequest  = api.SessionCloseRequest
+	Metrics              = api.Metrics
+)

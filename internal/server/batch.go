@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"riscvsim/internal/api"
+)
+
+// maxBatchRequests bounds one /api/v1/batch call.
+const maxBatchRequests = 256
+
+// handleBatch fans N independent simulations out across a bounded worker
+// pool (one goroutine per core). Sweep workloads — issue widths, cache
+// studies, load generation — get the whole study in a single round trip
+// instead of N, and the host's cores instead of one.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req api.BatchRequest
+	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
+	}
+	n := len(req.Requests)
+	if n == 0 {
+		return nil, 0, api.Errorf(api.CodeBadRequest, "batch: no requests")
+	}
+	if n > maxBatchRequests {
+		return nil, 0, api.Errorf(api.CodeBatchTooLarge,
+			"batch of %d requests exceeds the limit of %d", n, maxBatchRequests)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	ctx := r.Context()
+	results := make([]api.BatchResult, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wstart := time.Now()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i] = s.runBatchItem(i, &req.Requests[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// Client went away mid-batch; nobody is listening for results.
+		return nil, 0, api.WrapError(api.CodeInternal, err)
+	}
+
+	resp := &api.BatchResponse{
+		Results:   results,
+		Workers:   workers,
+		WallNanos: uint64(time.Since(wstart)),
+	}
+	for i := range results {
+		if results[i].Error != nil {
+			resp.Failed++
+		} else {
+			resp.Succeeded++
+		}
+	}
+	s.batchReqs.Add(1)
+	s.batchSims.Add(uint64(n))
+	return resp, 0, nil
+}
+
+// runBatchItem executes one batch entry, converting a simulator panic
+// into a per-item error: unlike handler goroutines, worker goroutines
+// get no recovery from net/http, so without this one crafted entry
+// could kill the whole process.
+func (s *Server) runBatchItem(i int, req *api.SimulateRequest) (res api.BatchResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = api.BatchResult{Index: i, Error: api.Errorf(api.CodeInternal, "simulation panicked: %v", r)}
+		}
+	}()
+	resp, aerr := s.runSimulate(req)
+	return api.BatchResult{Index: i, Response: resp, Error: aerr}
+}

@@ -1,33 +1,45 @@
-// Package server implements the simulation server: an HTTP JSON API that
-// carries all simulator logic server-side, exactly like the paper's
-// client–server split (§III). The web client and the CLI both speak this
-// protocol. Responses are gzip-compressed when the client accepts it
-// (gzip raised the paper's measured throughput by 40%, §IV-A).
+// Package server implements the simulation server: a versioned HTTP JSON
+// API (/api/v1) that carries all simulator logic server-side, exactly like
+// the paper's client–server split (§III). The web client and the CLI both
+// speak this protocol. Responses are gzip-compressed when the client
+// accepts it (gzip raised the paper's measured throughput by 40%, §IV-A).
+//
+// The wire contract — request/response documents, the error envelope with
+// stable codes, and the Codec negotiation — lives in riscvsim/internal/api;
+// this package binds it to HTTP. The pre-v1 flat paths (/simulate,
+// /session/step, ...) remain mounted as deprecated aliases of their v1
+// successors.
 //
 // The server instruments its own request handling: it records the share of
 // time spent encoding/decoding JSON versus total handling time, which the
-// paper profiles at "about 60% of the request handling time" (§IV-A); see
-// the /metrics endpoint and the E2 bench.
+// paper profiles at "about 60% of the request handling time" (§IV-A),
+// broken down per codec implementation; see /api/v1/metrics and the E2
+// bench.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"riscvsim/internal/api"
 	"riscvsim/internal/isa"
 	"riscvsim/sim"
 )
 
 // Options configures the server.
 type Options struct {
-	// MaxSessions bounds the interactive session store.
+	// MaxSessions bounds the interactive session store; the least
+	// recently used session is evicted when a new one would exceed it.
 	MaxSessions int
+	// SessionTTL expires sessions idle longer than this (0 = default;
+	// negative = never expire).
+	SessionTTL time.Duration
 	// MaxBodyBytes bounds request bodies.
 	MaxBodyBytes int64
 	// DisableGzip turns off response compression (for the E3 bench).
@@ -36,17 +48,13 @@ type Options struct {
 
 // DefaultOptions returns production defaults.
 func DefaultOptions() Options {
-	return Options{MaxSessions: 256, MaxBodyBytes: 4 << 20}
+	return Options{MaxSessions: 256, MaxBodyBytes: 4 << 20, SessionTTL: 15 * time.Minute}
 }
 
-// Metrics aggregates the server's self-instrumentation.
-type Metrics struct {
-	Requests       uint64  `json:"requests"`
-	TotalNanos     uint64  `json:"totalHandlingNanos"`
-	JSONNanos      uint64  `json:"jsonNanos"`
-	SimNanos       uint64  `json:"simulationNanos"`
-	JSONShare      float64 `json:"jsonShare"`
-	ActiveSessions int     `json:"activeSessions"`
+// codecCounter tracks one codec's encode/decode time.
+type codecCounter struct {
+	enc atomic.Uint64
+	dec atomic.Uint64
 }
 
 // Server is the simulation server.
@@ -54,22 +62,17 @@ type Server struct {
 	opts Options
 	mux  *http.ServeMux
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	nextID   uint64
+	store *sessionStore
 
 	// instrumentation counters (atomics: handlers run concurrently)
-	reqCount atomic.Uint64
-	totalNs  atomic.Uint64
-	jsonNs   atomic.Uint64
-	simNs    atomic.Uint64
-}
-
-// session is one interactive simulation (web client tab).
-type session struct {
-	mu       sync.Mutex
-	machine  *sim.Machine
-	lastUsed time.Time
+	reqCount     atomic.Uint64
+	totalNs      atomic.Uint64
+	jsonNs       atomic.Uint64
+	simNs        atomic.Uint64
+	batchReqs    atomic.Uint64
+	batchSims    atomic.Uint64
+	streamEvents atomic.Uint64
+	codecNs      map[string]*codecCounter // fixed key set; values are atomic
 }
 
 // New builds a server.
@@ -80,28 +83,75 @@ func New(opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 4 << 20
 	}
-	s := &Server{
-		opts:     opts,
-		mux:      http.NewServeMux(),
-		sessions: make(map[string]*session),
+	if opts.SessionTTL == 0 {
+		opts.SessionTTL = 15 * time.Minute
 	}
-	s.mux.HandleFunc("/simulate", s.wrap(s.handleSimulate))
-	s.mux.HandleFunc("/compile", s.wrap(s.handleCompile))
-	s.mux.HandleFunc("/parseAsm", s.wrap(s.handleParseAsm))
-	s.mux.HandleFunc("/checkConfig", s.wrap(s.handleCheckConfig))
-	s.mux.HandleFunc("/schema", s.wrap(s.handleSchema))
-	s.mux.HandleFunc("/instructionDescriptions", s.handleInstructionDescriptions)
-	s.mux.HandleFunc("/session/new", s.wrap(s.handleSessionNew))
-	s.mux.HandleFunc("/session/step", s.wrap(s.handleSessionStep))
-	s.mux.HandleFunc("/session/goto", s.wrap(s.handleSessionGoto))
-	s.mux.HandleFunc("/session/close", s.wrap(s.handleSessionClose))
-	s.mux.HandleFunc("/session/render", s.wrap(s.handleSessionRender))
-	s.mux.HandleFunc("/metrics", s.wrap(s.handleMetrics))
-	s.mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	ttl := opts.SessionTTL
+	if ttl < 0 {
+		ttl = 0 // sentinel: never expire
+	}
+	s := &Server{
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		store:   newSessionStore(opts.MaxSessions, ttl),
+		codecNs: make(map[string]*codecCounter),
+	}
+	for _, name := range api.CodecNames() {
+		s.codecNs[name] = &codecCounter{}
+	}
+	s.routes()
 	return s
+}
+
+// routes mounts the versioned API and the deprecated legacy aliases.
+func (s *Server) routes() {
+	// The v1 surface. Method-scoped patterns: mutations are POST,
+	// reads are GET. v1Only marks endpoints born after the versioning
+	// (no pre-v1 path existed).
+	routes := []struct {
+		method, path string
+		handler      http.HandlerFunc
+		v1Only       bool
+	}{
+		{http.MethodPost, "/simulate", s.wrap(s.handleSimulate), false},
+		{http.MethodPost, "/batch", s.wrap(s.handleBatch), true},
+		{http.MethodPost, "/compile", s.wrap(s.handleCompile), false},
+		{http.MethodPost, "/parseAsm", s.wrap(s.handleParseAsm), false},
+		{http.MethodPost, "/checkConfig", s.wrap(s.handleCheckConfig), false},
+		{http.MethodGet, "/schema", s.wrap(s.handleSchema), false},
+		{http.MethodGet, "/instructionDescriptions", s.handleInstructionDescriptions, false},
+		{http.MethodPost, "/session/new", s.wrap(s.handleSessionNew), false},
+		{http.MethodPost, "/session/step", s.wrap(s.handleSessionStep), false},
+		{http.MethodPost, "/session/goto", s.wrap(s.handleSessionGoto), false},
+		{http.MethodPost, "/session/close", s.wrap(s.handleSessionClose), false},
+		{http.MethodGet, "/session/render", s.wrap(s.handleSessionRender), false},
+		{http.MethodPost, "/session/stream", s.handleSessionStream, true},
+		{http.MethodGet, "/metrics", s.wrap(s.handleMetrics), false},
+		{http.MethodGet, "/health", s.handleHealth, false},
+	}
+	for _, r := range routes {
+		s.mux.HandleFunc(r.method+" "+api.V1Prefix+r.path, r.handler)
+		if r.v1Only {
+			continue
+		}
+		// Legacy alias: same handler on the flat pre-v1 path,
+		// method-unrestricted as it always was, marked deprecated.
+		s.mux.HandleFunc(r.path, deprecated(api.V1Prefix+r.path, r.handler))
+	}
+}
+
+// deprecated marks a legacy alias response with its v1 successor.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
 }
 
 // Handler returns the HTTP handler (with gzip support).
@@ -113,19 +163,27 @@ func (s *Server) Handler() http.Handler {
 }
 
 // Metrics returns the accumulated instrumentation.
-func (s *Server) Metrics() Metrics {
-	s.mu.Lock()
-	active := len(s.sessions)
-	s.mu.Unlock()
-	m := Metrics{
-		Requests:       s.reqCount.Load(),
-		TotalNanos:     s.totalNs.Load(),
-		JSONNanos:      s.jsonNs.Load(),
-		SimNanos:       s.simNs.Load(),
-		ActiveSessions: active,
+func (s *Server) Metrics() api.Metrics {
+	m := api.Metrics{
+		Requests:         s.reqCount.Load(),
+		TotalNanos:       s.totalNs.Load(),
+		JSONNanos:        s.jsonNs.Load(),
+		SimNanos:         s.simNs.Load(),
+		ActiveSessions:   s.store.Len(),
+		BatchRequests:    s.batchReqs.Load(),
+		BatchSimulations: s.batchSims.Load(),
+		StreamEvents:     s.streamEvents.Load(),
+		Codecs:           make(map[string]api.CodecMetrics, len(s.codecNs)),
 	}
 	if m.TotalNanos > 0 {
 		m.JSONShare = float64(m.JSONNanos) / float64(m.TotalNanos)
+	}
+	for name, c := range s.codecNs {
+		cm := api.CodecMetrics{EncodeNanos: c.enc.Load(), DecodeNanos: c.dec.Load()}
+		if m.TotalNanos > 0 {
+			cm.Share = float64(cm.EncodeNanos+cm.DecodeNanos) / float64(m.TotalNanos)
+		}
+		m.Codecs[name] = cm
 	}
 	return m
 }
@@ -136,122 +194,136 @@ func (s *Server) ResetMetrics() {
 	s.totalNs.Store(0)
 	s.jsonNs.Store(0)
 	s.simNs.Store(0)
+	s.batchReqs.Store(0)
+	s.batchSims.Store(0)
+	s.streamEvents.Store(0)
+	for _, c := range s.codecNs {
+		c.enc.Store(0)
+		c.dec.Store(0)
+	}
 }
 
-// apiError is the JSON error envelope.
-type apiError struct {
-	Error string `json:"error"`
+// addCodecTime books serialization time both into the aggregate jsonNs
+// (the paper's §IV-A metric) and the per-codec breakdown.
+func (s *Server) addCodecTime(name string, d time.Duration, encode bool) {
+	ns := uint64(d)
+	s.jsonNs.Add(ns)
+	if c, ok := s.codecNs[name]; ok {
+		if encode {
+			c.enc.Add(ns)
+		} else {
+			c.dec.Add(ns)
+		}
+	}
+}
+
+// statusForCode maps stable v1 error codes onto HTTP statuses.
+func statusForCode(code string) int {
+	switch code {
+	case api.CodeBadJSON, api.CodeBadRequest:
+		return http.StatusBadRequest
+	case api.CodeBodyTooLarge, api.CodeBatchTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case api.CodeUnknownPreset, api.CodeBadConfig, api.CodeBuildFailed,
+		api.CodeMemFill, api.CodeUnprocessable:
+		return http.StatusUnprocessableEntity
+	case api.CodeUnknownSession:
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // handlerFunc handles a decoded request and returns a response value to
-// encode, or an error with an HTTP status.
+// encode, or an error with an optional HTTP status override (0 derives
+// the status from the error's code).
 type handlerFunc func(w http.ResponseWriter, r *http.Request) (any, int, error)
 
-// wrap adds timing instrumentation and JSON envelope handling.
+// reqCodecKey carries the negotiated request codec through the request
+// context, so the Accept/Content-Type headers are parsed once per
+// request (in wrap) rather than again in decode.
+type reqCodecKey struct{}
+
+// wrap adds timing instrumentation, codec negotiation and the uniform
+// envelope.
 func (s *Server) wrap(h handlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqCodec, respCodec := api.Negotiate(r.Header.Get("Content-Type"), r.Header.Get("Accept"))
+		r = r.WithContext(context.WithValue(r.Context(), reqCodecKey{}, reqCodec))
 		resp, status, err := h(w, r)
 		if err != nil {
-			resp = apiError{Error: err.Error()}
+			ae := api.WrapError(api.CodeBadRequest, err)
+			resp = &api.ErrorEnvelope{Err: *ae}
 			if status == 0 {
-				status = http.StatusBadRequest
+				status = statusForCode(ae.Code)
 			}
 		} else if status == 0 {
 			status = http.StatusOK
 		}
+		buf := api.GetBuffer()
 		jstart := time.Now()
-		body, merr := json.Marshal(resp)
-		s.jsonNs.Add(uint64(time.Since(jstart)))
+		merr := respCodec.Encode(buf, resp)
+		s.addCodecTime(respCodec.Name(), time.Since(jstart), true)
 		if merr != nil {
 			status = http.StatusInternalServerError
-			body = []byte(`{"error":"response encoding failed"}`)
+			buf.Reset()
+			buf.WriteString(`{"error":{"code":"internal","message":"response encoding failed"}}`)
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", api.MediaTypeJSON)
+		w.Header().Set("X-Codec", respCodec.Name())
 		w.WriteHeader(status)
-		w.Write(body)
+		w.Write(buf.Bytes())
+		api.PutBuffer(buf)
 		s.reqCount.Add(1)
 		s.totalNs.Add(uint64(time.Since(start)))
 	}
 }
 
-// decode reads a JSON request body with instrumentation.
-func (s *Server) decode(r *http.Request, into any) error {
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes))
-	if err != nil {
-		return fmt.Errorf("reading request: %w", err)
+// writeError emits the error envelope outside wrap (streaming paths).
+func (s *Server) writeError(w http.ResponseWriter, ae *api.Error) {
+	w.Header().Set("Content-Type", api.MediaTypeJSON)
+	w.WriteHeader(statusForCode(ae.Code))
+	json.NewEncoder(w).Encode(&api.ErrorEnvelope{Err: *ae})
+}
+
+// decode reads a request body through the negotiated codec, enforcing
+// MaxBodyBytes, with instrumentation. The codec comes from the request
+// context when wrap (or the stream handler) already negotiated it.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) *api.Error {
+	reqCodec, ok := r.Context().Value(reqCodecKey{}).(api.Codec)
+	if !ok {
+		reqCodec, _ = api.Negotiate(r.Header.Get("Content-Type"), r.Header.Get("Accept"))
 	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	jstart := time.Now()
-	err = json.Unmarshal(body, into)
-	s.jsonNs.Add(uint64(time.Since(jstart)))
+	err := reqCodec.Decode(body, into)
+	s.addCodecTime(reqCodec.Name(), time.Since(jstart), false)
 	if err != nil {
-		return fmt.Errorf("bad JSON request: %w", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return api.Errorf(api.CodeBodyTooLarge, "request body exceeds %d bytes", s.opts.MaxBodyBytes)
+		}
+		return api.Errorf(api.CodeBadJSON, "bad JSON request: %v", err)
 	}
 	return nil
 }
 
-// ---------------------------------------------------------------------------
-// Request/response types (the JSON API contract)
-// ---------------------------------------------------------------------------
-
-// MemFill populates a labelled allocation before simulation, mirroring the
-// Memory Settings window (user values, repeated constants or random
-// values; paper §II-C).
-type MemFill struct {
-	Label    string  `json:"label"`
-	Values   []int64 `json:"values,omitempty"`
-	ElemSize int     `json:"elemSize,omitempty"` // 1, 2, 4 or 8; default 4
-	Repeat   int     `json:"repeat,omitempty"`   // repeat Values[0] n times
-	Random   int     `json:"random,omitempty"`   // n random values
-	Seed     int64   `json:"seed,omitempty"`     // deterministic seed
-}
-
-// SimulateRequest runs a batch simulation.
-type SimulateRequest struct {
-	// Code is RISC-V assembly, or C when Language == "c".
-	Code     string `json:"code"`
-	Language string `json:"language,omitempty"`
-	Optimize int    `json:"optimize,omitempty"`
-	// Entry is the entry label ("" = first instruction / main for C).
-	Entry string `json:"entry,omitempty"`
-	// Preset selects a named architecture; Config overrides it with a
-	// full architecture document.
-	Preset string           `json:"preset,omitempty"`
-	Config *json.RawMessage `json:"config,omitempty"`
-	// Steps limits the simulation (0 = run to completion).
-	Steps uint64 `json:"steps,omitempty"`
-	// MemFills populate data arrays before the run.
-	MemFills []MemFill `json:"memFills,omitempty"`
-	// IncludeState requests the full processor snapshot.
-	IncludeState bool `json:"includeState,omitempty"`
-	// IncludeLog requests the debug log.
-	IncludeLog bool `json:"includeLog,omitempty"`
-}
-
-// SimulateResponse carries results.
-type SimulateResponse struct {
-	Halted     bool           `json:"halted"`
-	HaltReason string         `json:"haltReason,omitempty"`
-	Cycles     uint64         `json:"cycles"`
-	Stats      *sim.Report    `json:"stats"`
-	State      *sim.State     `json:"state,omitempty"`
-	Log        []sim.LogEntry `json:"log,omitempty"`
-}
-
-// buildMachine constructs a machine from request fields.
-func (s *Server) buildMachine(req *SimulateRequest) (*sim.Machine, error) {
+// buildMachine constructs a machine from request fields, attaching the
+// stable error code of whichever stage failed.
+func (s *Server) buildMachine(req *api.SimulateRequest) (*sim.Machine, *api.Error) {
 	cfg := sim.DefaultConfig()
 	if req.Preset != "" {
 		p, ok := sim.Presets()[req.Preset]
 		if !ok {
-			return nil, fmt.Errorf("unknown preset %q", req.Preset)
+			return nil, api.Errorf(api.CodeUnknownPreset, "unknown preset %q", req.Preset)
 		}
 		cfg = p
 	}
 	if req.Config != nil {
 		c, err := sim.ImportConfig(*req.Config)
 		if err != nil {
-			return nil, err
+			return nil, api.WrapError(api.CodeBadConfig, err)
 		}
 		cfg = c
 	}
@@ -263,18 +335,18 @@ func (s *Server) buildMachine(req *SimulateRequest) (*sim.Machine, error) {
 		m, err = sim.NewFromAsm(cfg, req.Code, req.Entry)
 	}
 	if err != nil {
-		return nil, err
+		return nil, api.WrapError(api.CodeBuildFailed, err)
 	}
 	for _, f := range req.MemFills {
 		if err := applyMemFill(m, f); err != nil {
-			return nil, err
+			return nil, api.WrapError(api.CodeMemFill, err)
 		}
 	}
 	return m, nil
 }
 
 // applyMemFill writes array contents by label.
-func applyMemFill(m *sim.Machine, f MemFill) error {
+func applyMemFill(m *sim.Machine, f api.MemFill) error {
 	addr, size, ok := m.LookupLabel(f.Label)
 	if !ok {
 		return fmt.Errorf("memory fill: no allocation labelled %q", f.Label)
@@ -327,14 +399,12 @@ func applyMemFill(m *sim.Machine, f MemFill) error {
 // maxBatchCycles bounds batch simulations.
 const maxBatchCycles = 50_000_000
 
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, int, error) {
-	var req SimulateRequest
-	if err := s.decode(r, &req); err != nil {
-		return nil, http.StatusBadRequest, err
-	}
-	m, err := s.buildMachine(&req)
-	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err
+// runSimulate executes one SimulateRequest start-to-finish: the shared
+// core of /api/v1/simulate and each /api/v1/batch entry.
+func (s *Server) runSimulate(req *api.SimulateRequest) (*api.SimulateResponse, *api.Error) {
+	m, aerr := s.buildMachine(req)
+	if aerr != nil {
+		return nil, aerr
 	}
 	steps := req.Steps
 	if steps == 0 || steps > maxBatchCycles {
@@ -343,7 +413,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, in
 	sstart := time.Now()
 	m.Run(steps)
 	s.simNs.Add(uint64(time.Since(sstart)))
-	resp := &SimulateResponse{
+	resp := &api.SimulateResponse{
 		Halted:     m.Halted(),
 		HaltReason: m.HaltReason(),
 		Cycles:     m.Cycle(),
@@ -354,72 +424,66 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, in
 	} else if req.IncludeLog {
 		resp.Log = m.Log()
 	}
+	return resp, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req api.SimulateRequest
+	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
+	}
+	resp, aerr := s.runSimulate(&req)
+	if aerr != nil {
+		return nil, 0, aerr
+	}
 	return resp, 0, nil
 }
 
-// CompileRequest compiles C to assembly.
-type CompileRequest struct {
-	Code     string `json:"code"`
-	Optimize int    `json:"optimize"`
-	Filter   bool   `json:"filter,omitempty"`
-}
-
-// CompileResponse mirrors the paper's compiler round trip: assembly plus a
-// log of potential compiler errors (§III-C).
-type CompileResponse struct {
-	Assembly string `json:"assembly,omitempty"`
-	LineMap  []int  `json:"lineMap,omitempty"`
-	Errors   string `json:"errors,omitempty"`
-}
-
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) (any, int, error) {
-	var req CompileRequest
-	if err := s.decode(r, &req); err != nil {
-		return nil, http.StatusBadRequest, err
+	var req api.CompileRequest
+	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
 	}
 	res, err := sim.CompileC(req.Code, req.Optimize)
 	if err != nil {
 		// Compiler diagnostics are data, not transport errors.
-		return &CompileResponse{Errors: err.Error()}, http.StatusOK, nil
+		return &api.CompileResponse{Errors: err.Error()}, http.StatusOK, nil
 	}
 	out := res.Assembly
 	if req.Filter {
 		out = sim.FilterAssembly(out)
 	}
-	return &CompileResponse{Assembly: out, LineMap: res.LineMap}, 0, nil
-}
-
-// ParseAsmRequest validates assembly (editor squiggles).
-type ParseAsmRequest struct {
-	Code string `json:"code"`
-}
-
-// ParseAsmResponse lists diagnostics.
-type ParseAsmResponse struct {
-	OK     bool   `json:"ok"`
-	Errors string `json:"errors,omitempty"`
+	return &api.CompileResponse{Assembly: out, LineMap: res.LineMap}, 0, nil
 }
 
 func (s *Server) handleParseAsm(w http.ResponseWriter, r *http.Request) (any, int, error) {
-	var req ParseAsmRequest
-	if err := s.decode(r, &req); err != nil {
-		return nil, http.StatusBadRequest, err
+	var req api.ParseAsmRequest
+	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
 	}
 	if _, err := sim.NewFromAsm(sim.DefaultConfig(), req.Code, ""); err != nil {
-		return &ParseAsmResponse{OK: false, Errors: err.Error()}, 0, nil
+		return &api.ParseAsmResponse{OK: false, Errors: err.Error()}, 0, nil
 	}
-	return &ParseAsmResponse{OK: true}, 0, nil
+	return &api.ParseAsmResponse{OK: true}, 0, nil
 }
 
+// handleCheckConfig validates an architecture document. The body is the
+// raw configuration JSON; it flows through the codec layer like every
+// other request, so its parse time lands in the jsonNs metric and
+// MaxBodyBytes applies.
 func (s *Server) handleCheckConfig(w http.ResponseWriter, r *http.Request) (any, int, error) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes))
-	if err != nil {
-		return nil, http.StatusBadRequest, err
+	var raw json.RawMessage
+	if aerr := s.decode(w, r, &raw); aerr != nil {
+		if aerr.Code == api.CodeBodyTooLarge {
+			return nil, 0, aerr
+		}
+		// Config syntax problems are diagnostics, not transport errors.
+		return &api.ParseAsmResponse{OK: false, Errors: aerr.Message}, 0, nil
 	}
-	if _, err := sim.ImportConfig(body); err != nil {
-		return &ParseAsmResponse{OK: false, Errors: err.Error()}, 0, nil
+	if _, err := sim.ImportConfig(raw); err != nil {
+		return &api.ParseAsmResponse{OK: false, Errors: err.Error()}, 0, nil
 	}
-	return &ParseAsmResponse{OK: true}, 0, nil
+	return &api.ParseAsmResponse{OK: true}, 0, nil
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) (any, int, error) {
@@ -436,12 +500,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (any, int
 func (s *Server) handleInstructionDescriptions(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	data, err := isa.RV32IMF().MarshalJSON()
-	s.jsonNs.Add(uint64(time.Since(start)))
+	s.addCodecTime(api.JSONCodec.Name(), time.Since(start), true)
 	if err != nil {
-		http.Error(w, `{"error":"encoding instruction set failed"}`, http.StatusInternalServerError)
+		http.Error(w, `{"error":{"code":"internal","message":"encoding instruction set failed"}}`,
+			http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", api.MediaTypeJSON)
 	w.Write(data)
 	s.reqCount.Add(1)
 	s.totalNs.Add(uint64(time.Since(start)))

@@ -1,109 +1,46 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
 	"time"
 
+	"riscvsim/internal/api"
 	"riscvsim/internal/render"
-	"riscvsim/sim"
 )
-
-// SessionNewRequest starts an interactive session (one web-client tab).
-type SessionNewRequest struct {
-	SimulateRequest
-}
-
-// SessionNewResponse returns the session handle and the initial state.
-type SessionNewResponse struct {
-	SessionID string     `json:"sessionId"`
-	State     *sim.State `json:"state"`
-}
-
-// SessionStepRequest advances or rewinds a session. Negative steps rewind
-// (the paper's backward simulation, available only interactively and
-// intended for small programs, §III-B).
-type SessionStepRequest struct {
-	SessionID string `json:"sessionId"`
-	Steps     int64  `json:"steps"`
-	// IncludeLog attaches the debug log to the state.
-	IncludeLog bool `json:"includeLog,omitempty"`
-}
-
-// SessionStateResponse returns the post-step state.
-type SessionStateResponse struct {
-	State *sim.State `json:"state"`
-}
-
-// SessionGotoRequest jumps to an absolute cycle (debug-log navigation:
-// "clicking on the message number navigates the simulation to that
-// specific cycle", paper §II-A).
-type SessionGotoRequest struct {
-	SessionID string `json:"sessionId"`
-	Cycle     uint64 `json:"cycle"`
-}
-
-// SessionCloseRequest ends a session.
-type SessionCloseRequest struct {
-	SessionID string `json:"sessionId"`
-}
 
 // maxInteractiveStep bounds one interactive request.
 const maxInteractiveStep = 10_000_000
 
 func (s *Server) handleSessionNew(w http.ResponseWriter, r *http.Request) (any, int, error) {
-	var req SessionNewRequest
-	if err := s.decode(r, &req); err != nil {
-		return nil, http.StatusBadRequest, err
+	var req api.SessionNewRequest
+	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
 	}
-	m, err := s.buildMachine(&req.SimulateRequest)
-	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err
+	m, aerr := s.buildMachine(&req.SimulateRequest)
+	if aerr != nil {
+		return nil, 0, aerr
 	}
-	s.mu.Lock()
-	if len(s.sessions) >= s.opts.MaxSessions {
-		s.evictOldestLocked()
-	}
-	s.nextID++
-	id := fmt.Sprintf("s%08d", s.nextID)
-	s.sessions[id] = &session{machine: m, lastUsed: time.Now()}
-	s.mu.Unlock()
-	return &SessionNewResponse{SessionID: id, State: m.State(false)}, 0, nil
+	id := s.store.Add(m)
+	return &api.SessionNewResponse{SessionID: id, State: m.State(false)}, 0, nil
 }
 
-// evictOldestLocked drops the least recently used session (store is full).
-func (s *Server) evictOldestLocked() {
-	var oldestID string
-	var oldest time.Time
-	for id, sess := range s.sessions {
-		if oldestID == "" || sess.lastUsed.Before(oldest) {
-			oldestID, oldest = id, sess.lastUsed
-		}
-	}
-	if oldestID != "" {
-		delete(s.sessions, oldestID)
-	}
-}
-
-func (s *Server) getSession(id string) (*session, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
+func (s *Server) getSession(id string) (*session, *api.Error) {
+	sess, ok := s.store.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("unknown session %q (it may have been evicted)", id)
+		return nil, api.Errorf(api.CodeUnknownSession,
+			"unknown session %q (it may have been closed, evicted or expired)", id)
 	}
-	sess.lastUsed = time.Now()
 	return sess, nil
 }
 
 func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) (any, int, error) {
-	var req SessionStepRequest
-	if err := s.decode(r, &req); err != nil {
-		return nil, http.StatusBadRequest, err
+	var req api.SessionStepRequest
+	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
 	}
-	sess, err := s.getSession(req.SessionID)
-	if err != nil {
-		return nil, http.StatusNotFound, err
+	sess, aerr := s.getSession(req.SessionID)
+	if aerr != nil {
+		return nil, 0, aerr
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -123,58 +60,49 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) (any,
 		}
 		if err := sess.machine.GotoCycle(uint64(target)); err != nil {
 			s.simNs.Add(uint64(time.Since(sstart)))
-			return nil, http.StatusUnprocessableEntity, err
+			return nil, 0, api.WrapError(api.CodeUnprocessable, err)
 		}
 	}
 	s.simNs.Add(uint64(time.Since(sstart)))
-	return &SessionStateResponse{State: sess.machine.State(req.IncludeLog)}, 0, nil
+	return &api.SessionStateResponse{State: sess.machine.State(req.IncludeLog)}, 0, nil
 }
 
 func (s *Server) handleSessionGoto(w http.ResponseWriter, r *http.Request) (any, int, error) {
-	var req SessionGotoRequest
-	if err := s.decode(r, &req); err != nil {
-		return nil, http.StatusBadRequest, err
+	var req api.SessionGotoRequest
+	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
 	}
-	sess, err := s.getSession(req.SessionID)
-	if err != nil {
-		return nil, http.StatusNotFound, err
+	sess, aerr := s.getSession(req.SessionID)
+	if aerr != nil {
+		return nil, 0, aerr
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sstart := time.Now()
 	if err := sess.machine.GotoCycle(req.Cycle); err != nil {
 		s.simNs.Add(uint64(time.Since(sstart)))
-		return nil, http.StatusUnprocessableEntity, err
+		return nil, 0, api.WrapError(api.CodeUnprocessable, err)
 	}
 	s.simNs.Add(uint64(time.Since(sstart)))
-	return &SessionStateResponse{State: sess.machine.State(false)}, 0, nil
+	return &api.SessionStateResponse{State: sess.machine.State(false)}, 0, nil
 }
 
 func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) (any, int, error) {
-	var req SessionCloseRequest
-	if err := s.decode(r, &req); err != nil {
-		return nil, http.StatusBadRequest, err
+	var req api.SessionCloseRequest
+	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
 	}
-	s.mu.Lock()
-	_, ok := s.sessions[req.SessionID]
-	delete(s.sessions, req.SessionID)
-	s.mu.Unlock()
-	if !ok {
-		return nil, http.StatusNotFound, fmt.Errorf("unknown session %q", req.SessionID)
+	if !s.store.Remove(req.SessionID) {
+		return nil, 0, api.Errorf(api.CodeUnknownSession, "unknown session %q", req.SessionID)
 	}
-	return map[string]bool{"closed": true}, 0, nil
-}
-
-// renderResponse wraps the text schematic.
-type renderResponse struct {
-	Schematic string `json:"schematic"`
+	return &api.SessionCloseResponse{Closed: true}, 0, nil
 }
 
 func (s *Server) handleSessionRender(w http.ResponseWriter, r *http.Request) (any, int, error) {
 	id := r.URL.Query().Get("session")
-	sess, err := s.getSession(id)
-	if err != nil {
-		return nil, http.StatusNotFound, err
+	sess, aerr := s.getSession(id)
+	if aerr != nil {
+		return nil, 0, aerr
 	}
 	sess.mu.Lock()
 	st := sess.machine.State(false)
@@ -182,5 +110,5 @@ func (s *Server) handleSessionRender(w http.ResponseWriter, r *http.Request) (an
 	sstart := time.Now()
 	text := render.Schematic(st)
 	s.simNs.Add(uint64(time.Since(sstart)))
-	return &renderResponse{Schematic: text}, 0, nil
+	return &api.RenderResponse{Schematic: text}, 0, nil
 }

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"riscvsim/sim"
+)
+
+// session is one interactive simulation (web client tab).
+type session struct {
+	id      string
+	mu      sync.Mutex
+	machine *sim.Machine
+
+	// lastUsed is guarded by the owning store's mutex, not session.mu.
+	lastUsed time.Time
+}
+
+// sessionStore is the interactive session table: an LRU-ordered map with
+// a capacity bound and an idle TTL. When the store is full the least
+// recently used session is evicted (new users always get a slot); idle
+// sessions past the TTL are swept opportunistically on every operation,
+// so no janitor goroutine is needed.
+type sessionStore struct {
+	mu     sync.Mutex
+	max    int
+	ttl    time.Duration // 0 = no idle expiry
+	byID   map[string]*list.Element
+	lru    *list.List // front = most recent, back = least recent
+	nextID uint64
+	now    func() time.Time // injectable clock for tests
+}
+
+func newSessionStore(max int, ttl time.Duration) *sessionStore {
+	return &sessionStore{
+		max:  max,
+		ttl:  ttl,
+		byID: make(map[string]*list.Element),
+		lru:  list.New(),
+		now:  time.Now,
+	}
+}
+
+// Add stores a new session, evicting the least recently used one if the
+// store is at capacity, and returns its ID.
+func (st *sessionStore) Add(m *sim.Machine) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	st.sweepLocked(now)
+	for len(st.byID) >= st.max {
+		st.evictLRULocked()
+	}
+	st.nextID++
+	id := fmt.Sprintf("s%08d", st.nextID)
+	sess := &session{id: id, machine: m, lastUsed: now}
+	st.byID[id] = st.lru.PushFront(sess)
+	return id
+}
+
+// Get looks up a session and marks it most recently used.
+func (st *sessionStore) Get(id string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(st.now())
+	el, ok := st.byID[id]
+	if !ok {
+		return nil, false
+	}
+	sess := el.Value.(*session)
+	sess.lastUsed = st.now()
+	st.lru.MoveToFront(el)
+	return sess, true
+}
+
+// Remove deletes a session; it reports whether the session existed.
+func (st *sessionStore) Remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.byID[id]
+	if ok {
+		st.lru.Remove(el)
+		delete(st.byID, id)
+	}
+	return ok
+}
+
+// Len returns the number of live sessions, sweeping expired ones first
+// so an idle server's metrics don't report (or retain) dead sessions.
+func (st *sessionStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(st.now())
+	return len(st.byID)
+}
+
+// Sweep removes idle-expired sessions and returns how many were dropped.
+func (st *sessionStore) Sweep() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sweepLocked(st.now())
+}
+
+// sweepLocked walks from the LRU end removing sessions idle past the
+// TTL. The list is recency-ordered, so it stops at the first live one.
+func (st *sessionStore) sweepLocked(now time.Time) int {
+	if st.ttl <= 0 {
+		return 0
+	}
+	n := 0
+	for el := st.lru.Back(); el != nil; {
+		sess := el.Value.(*session)
+		if now.Sub(sess.lastUsed) < st.ttl {
+			break
+		}
+		prev := el.Prev()
+		st.lru.Remove(el)
+		delete(st.byID, sess.id)
+		el = prev
+		n++
+	}
+	return n
+}
+
+// evictLRULocked drops the least recently used session (store is full).
+func (st *sessionStore) evictLRULocked() {
+	el := st.lru.Back()
+	if el == nil {
+		return
+	}
+	st.lru.Remove(el)
+	delete(st.byID, el.Value.(*session).id)
+}

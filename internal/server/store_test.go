@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"riscvsim/sim"
+)
+
+func testMachine(t testing.TB) *sim.Machine {
+	t.Helper()
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), "li a0, 1\n", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStoreEvictsLeastRecentlyUsed(t *testing.T) {
+	st := newSessionStore(3, 0)
+	a := st.Add(testMachine(t))
+	b := st.Add(testMachine(t))
+	c := st.Add(testMachine(t))
+
+	// Touch a so b becomes the least recently used.
+	if _, ok := st.Get(a); !ok {
+		t.Fatal("a missing")
+	}
+	d := st.Add(testMachine(t)) // evicts b, not a
+
+	if _, ok := st.Get(b); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	for _, id := range []string{a, c, d} {
+		if _, ok := st.Get(id); !ok {
+			t.Errorf("%s should have survived", id)
+		}
+	}
+	if st.Len() != 3 {
+		t.Errorf("len = %d, want 3", st.Len())
+	}
+}
+
+func TestStoreEvictionOrderIsRecency(t *testing.T) {
+	st := newSessionStore(2, 0)
+	ids := []string{st.Add(testMachine(t)), st.Add(testMachine(t))}
+	for i := 0; i < 4; i++ {
+		ids = append(ids, st.Add(testMachine(t)))
+	}
+	// Only the last two can remain; every earlier one must be gone.
+	for _, id := range ids[:len(ids)-2] {
+		if _, ok := st.Get(id); ok {
+			t.Errorf("%s should have been evicted", id)
+		}
+	}
+	for _, id := range ids[len(ids)-2:] {
+		if _, ok := st.Get(id); !ok {
+			t.Errorf("%s should remain", id)
+		}
+	}
+}
+
+func TestStoreIdleTTLSweep(t *testing.T) {
+	now := time.Unix(1000, 0)
+	st := newSessionStore(10, time.Minute)
+	st.now = func() time.Time { return now }
+
+	old := st.Add(testMachine(t))
+	now = now.Add(30 * time.Second)
+	fresh := st.Add(testMachine(t))
+
+	// 40 more seconds: old is 70s idle (expired), fresh 40s (alive).
+	now = now.Add(40 * time.Second)
+	if n := st.Sweep(); n != 1 {
+		t.Errorf("sweep removed %d, want 1", n)
+	}
+	if _, ok := st.Get(old); ok {
+		t.Error("idle session survived its TTL")
+	}
+	if _, ok := st.Get(fresh); !ok {
+		t.Error("live session swept")
+	}
+
+	// Touching refreshes the TTL.
+	now = now.Add(50 * time.Second)
+	if _, ok := st.Get(fresh); !ok {
+		t.Fatal("fresh expired too early")
+	}
+	now = now.Add(50 * time.Second) // 50s since touch, alive
+	if _, ok := st.Get(fresh); !ok {
+		t.Error("touched session must survive a full TTL from the touch")
+	}
+}
+
+func TestStoreSweepsOpportunistically(t *testing.T) {
+	now := time.Unix(1000, 0)
+	st := newSessionStore(10, time.Minute)
+	st.now = func() time.Time { return now }
+	old := st.Add(testMachine(t))
+	now = now.Add(2 * time.Minute)
+	// A plain Add must sweep the expired session as a side effect.
+	st.Add(testMachine(t))
+	if st.Len() != 1 {
+		t.Errorf("len = %d, want 1 (expired session not swept on Add)", st.Len())
+	}
+	if _, ok := st.Get(old); ok {
+		t.Error("expired session still reachable")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	st := newSessionStore(16, time.Minute)
+	var wg sync.WaitGroup
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = st.Add(testMachine(t))
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					st.Add(testMachine(t))
+				case 1:
+					st.Get(ids[(g+i)%len(ids)])
+				case 2:
+					st.Remove(fmt.Sprintf("s%08d", i))
+				default:
+					st.Sweep()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Len() > 16 {
+		t.Errorf("store overflowed its cap: %d", st.Len())
+	}
+}
