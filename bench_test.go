@@ -77,6 +77,9 @@ func TestTableIShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load test")
 	}
+	if raceDetectorEnabled {
+		t.Skip("timing-shape test; race instrumentation distorts latencies")
+	}
 	direct := httptest.NewServer(server.New(server.DefaultOptions()).Handler())
 	defer direct.Close()
 	docker := httptest.NewServer(loadgen.DefaultDockerShim(server.New(server.DefaultOptions()).Handler()))
@@ -166,6 +169,9 @@ func BenchmarkJSONShare(b *testing.B) {
 // here, but the JSON-vs-simulation ordering — the actionable finding —
 // reproduces (see EXPERIMENTS.md E2).
 func TestJSONShareDominates(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("timing-shape test; race instrumentation distorts latencies")
+	}
 	srv := server.New(server.DefaultOptions())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -239,12 +245,112 @@ func BenchmarkBatchSimulate(b *testing.B) {
 	})
 }
 
+// BenchmarkBatchFromCheckpoint measures the checkpoint-fork path: a
+// 32-way sweep forking from one warm checkpoint (50k cycles of shared
+// prefix already executed) with a 2k-cycle tail per variant, against the
+// same sweep replaying the warm-up from cycle zero. The fork path's
+// per-entry cost is restore (proportional to state size) plus the tail,
+// not the prefix — that delta is the whole point of checkpoints.
+func BenchmarkBatchFromCheckpoint(b *testing.B) {
+	// The heavy loop halts at ~40k cycles; fork at 35k so the shared
+	// prefix dominates each variant's 2k-cycle tail.
+	const warmCycles = 35_000
+	const tailCycles = 2_000
+
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), batchHeavyLoop, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run(warmCycles)
+	if m.Halted() {
+		b.Fatal("warm-up ran to completion; no prefix to skip")
+	}
+	var base bytes.Buffer
+	if err := m.Checkpoint(&base); err != nil {
+		b.Fatal(err)
+	}
+
+	srv := server.New(server.DefaultOptions())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.NewForURL(ts.URL, false)
+
+	tails := make([]api.SimulateRequest, batchSweepSize)
+	for i := range tails {
+		tails[i] = api.SimulateRequest{Steps: tailCycles}
+	}
+	replays := make([]api.SimulateRequest, batchSweepSize)
+	for i := range replays {
+		replays[i] = api.SimulateRequest{Code: batchHeavyLoop, Steps: warmCycles + tailCycles}
+	}
+
+	b.Run("Forked32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := c.SimulateBatchFrom(base.Bytes(), tails)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Failed != 0 {
+				b.Fatalf("%d forks failed", resp.Failed)
+			}
+		}
+		b.ReportMetric(float64(base.Len()), "ckpt_bytes")
+	})
+	b.Run("ReplayWarmup32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := c.SimulateBatch(replays)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Failed != 0 {
+				b.Fatalf("%d replays failed", resp.Failed)
+			}
+		}
+	})
+}
+
+// BenchmarkCheckpointCodec measures the snapshot primitives themselves:
+// encoding a warm machine and restoring it.
+func BenchmarkCheckpointCodec(b *testing.B) {
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), batchHeavyLoop, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run(35_000)
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	b.Run("Encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var out bytes.Buffer
+			if err := m.Checkpoint(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(data)))
+	})
+	b.Run("Restore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Restore(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(data)))
+	})
+}
+
 // TestBatchFasterThanSequential is the acceptance check: on a multi-core
 // host, one POST /api/v1/batch with 32 simulations completes in less
 // wall time than 32 sequential /simulate calls.
 func TestBatchFasterThanSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load test")
+	}
+	if raceDetectorEnabled {
+		t.Skip("timing-shape test; race instrumentation distorts latencies")
 	}
 	if runtime.GOMAXPROCS(0) < 2 {
 		t.Skip("needs a multi-core host")

@@ -35,31 +35,38 @@ func main() {
 		dump     = flag.String("dump", "", "memory dump range after the run: label or addr:len")
 		cost     = flag.Bool("cost", false, "print the chip-area and power estimate after the run")
 		memFill  = flag.String("fill", "", "memory fills label=v1,v2,... (semicolon separated)")
+		ckptOut  = flag.String("checkpoint", "", "write a machine checkpoint to this file after the run (in-process only)")
+		ckptIn   = flag.String("restore", "", "resume from a checkpoint file instead of building from source")
 		host     = flag.String("host", "", "server host (empty = in-process simulation)")
 		port     = flag.Int("port", 8042, "server port")
 		gzipOn   = flag.Bool("gzip", true, "use gzip when talking to a server")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: riscvsim [flags] program.{s,c}\n\nFlags:\n")
+		fmt.Fprintf(os.Stderr, "usage: riscvsim [flags] program.{s,c}\n       riscvsim [flags] -restore state.ckpt\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	// A checkpoint to resume from replaces the program argument.
+	if (*ckptIn == "" && flag.NArg() != 1) || (*ckptIn != "" && flag.NArg() != 0) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	srcPath := flag.Arg(0)
-	src, err := os.ReadFile(srcPath)
-	if err != nil {
-		fatal("reading program: %v", err)
-	}
 
+	var src []byte
 	lang := *language
-	if lang == "" {
-		if strings.HasSuffix(srcPath, ".c") {
-			lang = "c"
-		} else {
-			lang = "asm"
+	if *ckptIn == "" {
+		srcPath := flag.Arg(0)
+		var err error
+		src, err = os.ReadFile(srcPath)
+		if err != nil {
+			fatal("reading program: %v", err)
+		}
+		if lang == "" {
+			if strings.HasSuffix(srcPath, ".c") {
+				lang = "c"
+			} else {
+				lang = "asm"
+			}
 		}
 	}
 
@@ -79,6 +86,13 @@ func main() {
 		IncludeState: *verbose >= 3,
 		IncludeLog:   *verbose >= 2,
 	}
+	if *ckptIn != "" {
+		data, err := os.ReadFile(*ckptIn)
+		if err != nil {
+			fatal("reading checkpoint: %v", err)
+		}
+		req.Checkpoint = data
+	}
 	if *archPath != "" {
 		arch, err := os.ReadFile(*archPath)
 		if err != nil {
@@ -89,13 +103,24 @@ func main() {
 	}
 
 	var resp *api.SimulateResponse
-	if *host != "" {
+	switch {
+	case *host != "":
+		if *ckptOut != "" {
+			fatal("-checkpoint needs the in-process machine; omit -host (servers expose POST /api/v1/session/checkpoint instead)")
+		}
 		c := client.New(*host, *port, *gzipOn)
 		resp, err = c.Simulate(req)
 		if err != nil {
 			fatal("%v", err)
 		}
-	} else {
+	case *ckptOut != "":
+		// Saving a checkpoint needs the machine itself, so this path
+		// simulates directly instead of through the loopback client.
+		resp, err = runAndCheckpoint(req, *ckptOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+	default:
 		resp, err = runLocal(req)
 		if err != nil {
 			fatal("%v", err)
@@ -153,6 +178,57 @@ func runLocal(req *api.SimulateRequest) (*api.SimulateResponse, error) {
 	return c.Simulate(req)
 }
 
+// buildLocalMachine constructs the in-process machine a request
+// describes — restored from a checkpoint or built from source — with
+// exactly the server's semantics (shared builder, including memory
+// fills and preset/config validation).
+func buildLocalMachine(req *api.SimulateRequest) (*sim.Machine, error) {
+	m, aerr := server.BuildMachine(req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	return m, nil
+}
+
+// runAndCheckpoint simulates in-process and saves the machine state to
+// ckptPath afterwards — the warm-prefix producer for forked sweeps
+// (restore it with -restore, POST /api/v1/session/restore, or as a
+// /api/v1/batch base checkpoint).
+func runAndCheckpoint(req *api.SimulateRequest, ckptPath string) (*api.SimulateResponse, error) {
+	m, err := buildLocalMachine(req)
+	if err != nil {
+		return nil, err
+	}
+	steps := req.Steps
+	if steps == 0 {
+		steps = 50_000_000
+	}
+	m.Run(steps)
+	f, err := os.Create(ckptPath)
+	if err != nil {
+		return nil, fmt.Errorf("creating checkpoint file: %w", err)
+	}
+	if err := m.Checkpoint(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("writing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	resp := &api.SimulateResponse{
+		Halted:     m.Halted(),
+		HaltReason: m.HaltReason(),
+		Cycles:     m.Cycle(),
+		Stats:      m.Report(),
+	}
+	if req.IncludeState {
+		resp.State = m.State(req.IncludeLog)
+	} else if req.IncludeLog {
+		resp.Log = m.Log()
+	}
+	return resp, nil
+}
+
 func parseFills(spec string) ([]api.MemFill, error) {
 	if spec == "" {
 		return nil, nil
@@ -178,26 +254,7 @@ func parseFills(spec string) ([]api.MemFill, error) {
 
 // printDump re-runs the program in-process and prints a memory range.
 func printDump(req *api.SimulateRequest, spec string) error {
-	cfg := sim.DefaultConfig()
-	if req.Preset != "" {
-		if p, ok := sim.Presets()[req.Preset]; ok {
-			cfg = p
-		}
-	}
-	if req.Config != nil {
-		c, err := sim.ImportConfig(*req.Config)
-		if err != nil {
-			return err
-		}
-		cfg = c
-	}
-	var m *sim.Machine
-	var err error
-	if strings.EqualFold(req.Language, "c") {
-		m, err = sim.NewFromC(cfg, req.Code, req.Optimize)
-	} else {
-		m, err = sim.NewFromAsm(cfg, req.Code, req.Entry)
-	}
+	m, err := buildLocalMachine(req)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"riscvsim/internal/loadgen"
@@ -20,6 +25,10 @@ func main() {
 		addr        = flag.String("addr", ":8042", "listen address")
 		maxSessions = flag.Int("max-sessions", 256, "interactive session cap (LRU eviction beyond it)")
 		sessionTTL  = flag.Duration("session-ttl", 15*time.Minute, "evict sessions idle longer than this (negative = never)")
+		spillDir    = flag.String("spill-dir", "auto",
+			"checkpoint evicted sessions into this directory and rehydrate them on the next touch; \"auto\" scopes a temp directory to -addr so instances don't share session namespaces (empty = evictions lose sessions)")
+		spillTTL    = flag.Duration("spill-ttl", 24*time.Hour, "garbage-collect spilled checkpoints older than this (negative = keep forever)")
+		debug       = flag.Bool("debug", false, "debug-level logging (session spill/eviction events)")
 		noGzip      = flag.Bool("no-gzip", false, "disable response compression")
 		dockerShim  = flag.Bool("docker-shim", false, "simulate containerized deployment overhead (Table I 'Docker' rows)")
 		proxyDelay  = flag.Duration("shim-delay", 2*time.Millisecond, "docker shim per-request overhead")
@@ -27,10 +36,21 @@ func main() {
 	)
 	flag.Parse()
 
+	if *spillDir == "auto" {
+		// Scope the default by listen address: two instances on one host
+		// must not share a spill namespace (their s%08d session IDs would
+		// collide and rehydrate each other's machines).
+		safe := strings.NewReplacer(":", "_", "/", "_").Replace(*addr)
+		*spillDir = filepath.Join(os.TempDir(), "riscvsim-spill-"+safe)
+	}
+
 	srv := server.New(server.Options{
 		MaxSessions: *maxSessions,
 		SessionTTL:  *sessionTTL,
 		DisableGzip: *noGzip,
+		SpillDir:    *spillDir,
+		SpillTTL:    *spillTTL,
+		Debug:       *debug,
 	})
 	var handler http.Handler = srv.Handler()
 	if *dockerShim {
@@ -45,6 +65,19 @@ func main() {
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful restart: spill every live session to disk on SIGINT/TERM
+	// so the next process (same -spill-dir) resumes them transparently.
+	if *spillDir != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			n := srv.SpillSessions()
+			fmt.Printf("spilled %d live sessions to %s; shutting down\n", n, *spillDir)
+			os.Exit(0)
+		}()
 	}
 	log.Fatal(s.ListenAndServe())
 }

@@ -1,6 +1,11 @@
 package api
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+
+	"riscvsim/internal/ckpt"
+)
 
 // Stable machine-readable error codes of the v1 protocol. Clients dispatch
 // on Code; Message is human-readable diagnostic text and carries no
@@ -33,7 +38,37 @@ const (
 	CodeUnprocessable = "unprocessable"
 	// CodeInternal: the server failed to produce a response.
 	CodeInternal = "internal"
+
+	// Checkpoint codes (POST /api/v1/session/{checkpoint,restore} and
+	// checkpoint-carrying simulate/batch requests).
+
+	// CodeBadCheckpoint: the stream is not a checkpoint (bad magic) or
+	// its structure is corrupt.
+	CodeBadCheckpoint = "bad_checkpoint"
+	// CodeCheckpointVersion: the checkpoint's format version is newer
+	// than this server supports.
+	CodeCheckpointVersion = "checkpoint_version_unsupported"
+	// CodeCheckpointConfig: the embedded architecture document fails its
+	// integrity hash.
+	CodeCheckpointConfig = "checkpoint_config_mismatch"
+	// CodeCheckpointTruncated: the checkpoint stream ended early.
+	CodeCheckpointTruncated = "checkpoint_truncated"
 )
+
+// CheckpointError maps a sim.Restore / Machine.Checkpoint failure onto
+// the stable checkpoint error codes via the ckpt sentinel errors.
+func CheckpointError(err error) *Error {
+	code := CodeBadCheckpoint
+	switch {
+	case errors.Is(err, ckpt.ErrVersion):
+		code = CodeCheckpointVersion
+	case errors.Is(err, ckpt.ErrConfigHash):
+		code = CodeCheckpointConfig
+	case errors.Is(err, ckpt.ErrTruncated):
+		code = CodeCheckpointTruncated
+	}
+	return &Error{Code: code, Message: err.Error()}
+}
 
 // Error is the v1 machine-readable error. It implements the error
 // interface so handlers can return it directly.

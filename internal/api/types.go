@@ -51,6 +51,11 @@ type SimulateRequest struct {
 	IncludeState bool `json:"includeState,omitempty"`
 	// IncludeLog requests the debug log.
 	IncludeLog bool `json:"includeLog,omitempty"`
+	// Checkpoint, when set, restores the machine from a binary snapshot
+	// (base64 in JSON) instead of building it from Code/Preset/Config;
+	// MemFills still apply afterwards, so sweeps can fork one warm
+	// checkpoint into N variants.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
 }
 
 // SimulateResponse carries results.
@@ -143,6 +148,28 @@ type RenderResponse struct {
 	Schematic string `json:"schematic"`
 }
 
+// SessionCheckpointRequest snapshots a live session.
+type SessionCheckpointRequest struct {
+	SessionID string `json:"sessionId"`
+}
+
+// SessionCheckpointResponse carries the versioned binary snapshot
+// (base64 in JSON). The document is self-contained: POSTing it back to
+// /api/v1/session/restore — on this server or any other running a
+// compatible format version — reproduces the machine exactly.
+type SessionCheckpointResponse struct {
+	SessionID  string `json:"sessionId"`
+	Cycle      uint64 `json:"cycle"`
+	Checkpoint []byte `json:"checkpoint"`
+}
+
+// SessionRestoreRequest opens a new interactive session from a
+// checkpoint. The response is a SessionNewResponse (fresh session ID,
+// restored state).
+type SessionRestoreRequest struct {
+	Checkpoint []byte `json:"checkpoint"`
+}
+
 // ---------------------------------------------------------------------------
 // Batch simulation (POST /api/v1/batch)
 // ---------------------------------------------------------------------------
@@ -153,6 +180,11 @@ type RenderResponse struct {
 // exploit a multi-core host without N round trips.
 type BatchRequest struct {
 	Requests []SimulateRequest `json:"requests"`
+	// BaseCheckpoint, when set, is the warm starting point for every
+	// entry that carries no checkpoint of its own: the server forks each
+	// simulation from this snapshot instead of replaying the warm-up
+	// prefix from cycle zero.
+	BaseCheckpoint []byte `json:"baseCheckpoint,omitempty"`
 }
 
 // BatchResult is the outcome of one batch entry. Exactly one of Response
@@ -239,4 +271,12 @@ type Metrics struct {
 	BatchSimulations uint64 `json:"batchSimulations"`
 	// StreamEvents counts NDJSON events pushed by /api/v1/session/stream.
 	StreamEvents uint64 `json:"streamEvents"`
+	// Session lifecycle accounting: sessions_spilled counts sessions
+	// serialized to disk on LRU/TTL eviction, sessions_rehydrated counts
+	// spilled sessions transparently restored on their next touch, and
+	// sessions_lost counts sessions evicted with spilling unavailable
+	// (no spill directory, or the spill failed).
+	SessionsSpilled    uint64 `json:"sessions_spilled"`
+	SessionsRehydrated uint64 `json:"sessions_rehydrated"`
+	SessionsLost       uint64 `json:"sessions_lost"`
 }

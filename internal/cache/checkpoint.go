@@ -1,0 +1,95 @@
+package cache
+
+import "riscvsim/internal/ckpt"
+
+// EncodeState writes the cache's dynamic state: the replacement clocks,
+// the deterministic RNG, the statistics and every valid line with its
+// buffered data (dirty write-back lines hold data newer than memory, so
+// they are part of the machine state, not a derivable optimization).
+func (c *Cache) EncodeState(w *ckpt.Writer) {
+	w.Section(ckpt.SecCache)
+	w.Bool(c.cfg.Enabled)
+	w.U64(c.tick)
+	w.U64(c.rng)
+	w.U64(c.stats.Accesses)
+	w.U64(c.stats.Hits)
+	w.U64(c.stats.Misses)
+	w.U64(c.stats.Evictions)
+	w.U64(c.stats.Writebacks)
+	w.U64(c.stats.BytesWritten)
+	if !c.cfg.Enabled {
+		return
+	}
+	w.Int(c.numSets)
+	w.Int(c.cfg.Associativity)
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			ln := &c.sets[si][wi]
+			w.Bool(ln.valid)
+			if !ln.valid {
+				continue
+			}
+			w.Bool(ln.dirty)
+			w.Int(ln.tag)
+			w.U64(ln.lastUse)
+			w.U64(ln.loadedAt)
+			w.Bytes(ln.data)
+		}
+	}
+}
+
+// DecodeState applies an encoded cache state onto c, which must have been
+// built from the same configuration (same geometry).
+func (c *Cache) DecodeState(r *ckpt.Reader) {
+	r.Section(ckpt.SecCache)
+	enabled := r.Bool()
+	if r.Err() == nil && enabled != c.cfg.Enabled {
+		r.Corrupt("cache enabled=%v, machine has %v", enabled, c.cfg.Enabled)
+		return
+	}
+	c.tick = r.U64()
+	c.rng = r.U64()
+	c.stats.Accesses = r.U64()
+	c.stats.Hits = r.U64()
+	c.stats.Misses = r.U64()
+	c.stats.Evictions = r.U64()
+	c.stats.Writebacks = r.U64()
+	c.stats.BytesWritten = r.U64()
+	if !enabled || r.Err() != nil {
+		return
+	}
+	if sets := r.Int(); r.Err() == nil && sets != c.numSets {
+		r.Corrupt("cache has %d sets, machine has %d", sets, c.numSets)
+		return
+	}
+	if ways := r.Int(); r.Err() == nil && ways != c.cfg.Associativity {
+		r.Corrupt("cache has %d ways, machine has %d", ways, c.cfg.Associativity)
+		return
+	}
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			ln := &c.sets[si][wi]
+			ln.valid = r.Bool()
+			if !ln.valid {
+				ln.dirty = false
+				ln.tag = 0
+				ln.lastUse = 0
+				ln.loadedAt = 0
+				continue
+			}
+			ln.dirty = r.Bool()
+			ln.tag = r.Int()
+			ln.lastUse = r.U64()
+			ln.loadedAt = r.U64()
+			data := r.Bytes(c.cfg.LineSize)
+			if r.Err() != nil {
+				return
+			}
+			if len(data) != c.cfg.LineSize {
+				r.Corrupt("cache line of %d bytes, want %d", len(data), c.cfg.LineSize)
+				return
+			}
+			copy(ln.data, data)
+		}
+	}
+}

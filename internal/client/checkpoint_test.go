@@ -1,0 +1,99 @@
+package client
+
+// Tests of the client checkpoint surface: session snapshot/restore round
+// trips and checkpoint-forked batch sweeps.
+
+import (
+	"testing"
+
+	"riscvsim/internal/api"
+	"riscvsim/internal/server"
+)
+
+const longProg = `
+	li   t0, 500
+loop:
+	addi t0, t0, -1
+	bne  t0, x0, loop
+	ret
+`
+
+func TestClientCheckpointRestoreRoundTrip(t *testing.T) {
+	c, closeFn := Local(server.DefaultOptions())
+	defer closeFn()
+
+	sess, err := c.NewSession(&api.SessionNewRequest{
+		SimulateRequest: api.SimulateRequest{Code: longProg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(sess.SessionID, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := c.Checkpoint(sess.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Cycle != 200 || len(cp.Checkpoint) == 0 {
+		t.Fatalf("checkpoint: cycle=%d, %d bytes", cp.Cycle, len(cp.Checkpoint))
+	}
+
+	restored, err := c.RestoreSession(cp.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.State.Cycle != 200 {
+		t.Errorf("restored at cycle %d, want 200", restored.State.Cycle)
+	}
+
+	// Both sessions advance identically.
+	s1, err := c.Step(sess.SessionID, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Step(restored.SessionID, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.State.Cycle != s2.State.Cycle || s1.State.PC != s2.State.PC {
+		t.Errorf("sessions diverged: cycle %d/%d pc %d/%d",
+			s1.State.Cycle, s2.State.Cycle, s1.State.PC, s2.State.PC)
+	}
+}
+
+func TestClientSimulateBatchFrom(t *testing.T) {
+	c, closeFn := Local(server.DefaultOptions())
+	defer closeFn()
+
+	sess, err := c.NewSession(&api.SessionNewRequest{
+		SimulateRequest: api.SimulateRequest{Code: longProg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(sess.SessionID, 300); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := c.Checkpoint(sess.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.SimulateBatchFrom(cp.Checkpoint, []api.SimulateRequest{
+		{Steps: 10}, {Steps: 25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Succeeded != 2 {
+		t.Fatalf("batch: %+v", resp)
+	}
+	if got := resp.Results[0].Response.Cycles; got != 310 {
+		t.Errorf("fork 0 at cycle %d, want 310", got)
+	}
+	if got := resp.Results[1].Response.Cycles; got != 325 {
+		t.Errorf("fork 1 at cycle %d, want 325", got)
+	}
+}

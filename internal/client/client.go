@@ -247,6 +247,41 @@ func (c *Client) CloseSession(id string) error {
 	return c.post(api.V1Prefix+"/session/close", &api.SessionCloseRequest{SessionID: id}, nil)
 }
 
+// Checkpoint snapshots a session into the self-contained binary format.
+// The returned bytes restore on this server, another server running a
+// compatible format version, or locally through sim.Restore.
+func (c *Client) Checkpoint(id string) (*api.SessionCheckpointResponse, error) {
+	var resp api.SessionCheckpointResponse
+	err := c.post(api.V1Prefix+"/session/checkpoint", &api.SessionCheckpointRequest{SessionID: id}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// RestoreSession opens a fresh interactive session from a checkpoint,
+// resuming exactly where the snapshot left off.
+func (c *Client) RestoreSession(checkpoint []byte) (*api.SessionNewResponse, error) {
+	var resp api.SessionNewResponse
+	err := c.post(api.V1Prefix+"/session/restore", &api.SessionRestoreRequest{Checkpoint: checkpoint}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SimulateBatchFrom fans N simulations out like SimulateBatch, but forks
+// every entry from the shared base checkpoint instead of replaying the
+// warm-up prefix from cycle zero.
+func (c *Client) SimulateBatchFrom(base []byte, reqs []api.SimulateRequest) (*api.BatchResponse, error) {
+	var resp api.BatchResponse
+	req := &api.BatchRequest{Requests: reqs, BaseCheckpoint: base}
+	if err := c.post(api.V1Prefix+"/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Metrics fetches the server's instrumentation counters.
 func (c *Client) Metrics() (*api.Metrics, error) {
 	hresp, err := c.http.Get(c.base + api.V1Prefix + "/metrics")

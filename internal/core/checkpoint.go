@@ -1,0 +1,487 @@
+package core
+
+import (
+	"sort"
+
+	"riscvsim/internal/ckpt"
+	"riscvsim/internal/isa"
+	"riscvsim/internal/rename"
+)
+
+// Checkpoint support: explicit serialization of every pipeline structure.
+//
+// The in-memory model is a graph of *SimInstr shared by the ROB, the issue
+// windows, the functional units, the LSU buffers, the decode buffer and
+// the fetch unit. The wire format replaces that pointer identity with
+// index-based encoding: every live dynamic instruction is assigned an
+// index in a single instruction table (ROB order, then decode buffer,
+// then committed stores draining in the LSU — a disjoint cover of the
+// live set, since everything else aliases into it), and each structure
+// serializes references as table indices. A restored machine is
+// cycle-for-cycle deterministic with the original: same State, same
+// Report, at every future step.
+
+// liveInstrs collects every live dynamic instruction exactly once, in a
+// canonical order, and returns the table plus an index lookup.
+func (s *Simulation) liveInstrs() ([]*SimInstr, map[*SimInstr]int) {
+	var table []*SimInstr
+	s.rob.Walk(func(si *SimInstr, done bool) { table = append(table, si) })
+	table = append(table, s.decodeBuf...)
+	table = append(table, s.lsu.committed...)
+	idx := make(map[*SimInstr]int, len(table))
+	for i, si := range table {
+		idx[si] = i
+	}
+	return table, idx
+}
+
+// instrRef encodes a nullable instruction reference as a table index. A
+// live instruction missing from the table means the disjoint-cover
+// invariant of liveInstrs broke (a pipeline change left an instruction
+// reachable outside ROB/decode/committed-stores); that must fail the
+// checkpoint loudly, never encode a wrong-but-decodable reference.
+func instrRef(w *ckpt.Writer, idx map[*SimInstr]int, si *SimInstr) {
+	if si == nil {
+		w.Int(-1)
+		return
+	}
+	i, ok := idx[si]
+	if !ok {
+		w.Failf("pipeline references instruction %s outside the live table", si)
+		return
+	}
+	w.Int(i)
+}
+
+// readRef resolves a table index back to an instruction (or nil for -1).
+func readRef(r *ckpt.Reader, table []*SimInstr) *SimInstr {
+	i := r.Int()
+	if r.Err() != nil || i == -1 {
+		return nil
+	}
+	if i < 0 || i >= len(table) {
+		r.Corrupt("instruction reference %d outside table of %d", i, len(table))
+		return nil
+	}
+	return table[i]
+}
+
+// encodeInstr writes one dynamic instruction. The static instruction is
+// referenced by its code index (PC); srcs rename references are tag
+// indices into the rename file.
+func encodeInstr(w *ckpt.Writer, si *SimInstr) {
+	w.U64(si.ID)
+	w.Int(si.PC)
+	w.Byte(byte(si.Phase))
+	w.U64(si.FetchedAt)
+	w.U64(si.DecodedAt)
+	w.U64(si.IssuedAt)
+	w.U64(si.ExecutedAt)
+	w.U64(si.MemoryAt)
+	w.U64(si.CommittedAt)
+	w.Len(len(si.srcs))
+	for i := range si.srcs {
+		src := &si.srcs[i]
+		w.String(src.name)
+		w.Byte(byte(src.class))
+		w.Int(src.reg)
+		w.Int(src.ref.Tag)
+		w.Value(src.ref.Value)
+		w.Bool(src.ref.Valid)
+		w.Bool(src.captured)
+		w.Value(src.value)
+	}
+	w.Bool(si.hasDest)
+	if si.hasDest {
+		w.Byte(byte(si.destClass))
+		w.Int(si.destReg)
+		w.Int(si.destTag)
+		w.Int(si.destPrev)
+	}
+	w.Value(si.result)
+	w.Bool(si.resultReady)
+	w.Bool(si.predTaken)
+	w.Int(si.predTarget)
+	w.Bool(si.predStall)
+	w.Bool(si.actualTaken)
+	w.Int(si.actualTgt)
+	w.Bool(si.mispredict)
+	w.Int(si.effAddr)
+	w.Bool(si.addrReady)
+	w.U64(si.storeData)
+	w.Bool(si.memIssued)
+	w.U64(si.memDoneAt)
+	w.Exception(si.Exc)
+	w.Bool(si.Squashed)
+}
+
+// decodeInstr reads one dynamic instruction, resolving its static
+// instruction from the program.
+func (s *Simulation) decodeInstr(r *ckpt.Reader) *SimInstr {
+	si := &SimInstr{}
+	si.ID = r.U64()
+	si.PC = r.Int()
+	if r.Err() != nil {
+		return si
+	}
+	if si.PC < 0 || si.PC >= len(s.prog.Instructions) {
+		r.Corrupt("instruction pc %d outside code of %d", si.PC, len(s.prog.Instructions))
+		return si
+	}
+	si.Static = s.prog.Instructions[si.PC]
+	si.Phase = Phase(r.Byte())
+	si.FetchedAt = r.U64()
+	si.DecodedAt = r.U64()
+	si.IssuedAt = r.U64()
+	si.ExecutedAt = r.U64()
+	si.MemoryAt = r.U64()
+	si.CommittedAt = r.U64()
+	nsrc := r.Len(8)
+	for i := 0; i < nsrc && r.Err() == nil; i++ {
+		var src srcOperand
+		src.name = r.String(64)
+		src.class = isa.RegClass(r.Byte())
+		src.reg = r.Int()
+		src.ref.Tag = r.Int()
+		src.ref.Value = r.Value()
+		src.ref.Valid = r.Bool()
+		src.captured = r.Bool()
+		src.value = r.Value()
+		if r.Err() != nil {
+			break
+		}
+		if src.ref.Tag != rename.NoTag && (src.ref.Tag < 0 || src.ref.Tag >= s.rf.Size()) {
+			r.Corrupt("source rename tag %d outside file of %d", src.ref.Tag, s.rf.Size())
+			break
+		}
+		si.srcs = append(si.srcs, src)
+	}
+	si.hasDest = r.Bool()
+	if si.hasDest {
+		si.destClass = isa.RegClass(r.Byte())
+		si.destReg = r.Int()
+		si.destTag = r.Int()
+		si.destPrev = r.Int()
+		if r.Err() == nil && (si.destTag < 0 || si.destTag >= s.rf.Size()) {
+			r.Corrupt("destination rename tag %d outside file of %d", si.destTag, s.rf.Size())
+			return si
+		}
+	}
+	si.result = r.Value()
+	si.resultReady = r.Bool()
+	si.predTaken = r.Bool()
+	si.predTarget = r.Int()
+	si.predStall = r.Bool()
+	si.actualTaken = r.Bool()
+	si.actualTgt = r.Int()
+	si.mispredict = r.Bool()
+	si.effAddr = r.Int()
+	si.addrReady = r.Bool()
+	si.storeData = r.U64()
+	si.memIssued = r.Bool()
+	si.memDoneAt = r.U64()
+	si.Exc = r.Exception()
+	si.Squashed = r.Bool()
+	return si
+}
+
+// EncodeState serializes the complete simulation state (everything below
+// the configuration/program level, which the caller's header carries).
+func (s *Simulation) EncodeState(w *ckpt.Writer) {
+	w.Section(ckpt.SecCore)
+	w.U64(s.cycle)
+	w.U64(s.nextID)
+	w.Bool(s.halted)
+	w.String(s.haltReason)
+	w.Exception(s.exception)
+	w.Bool(s.VerboseLog)
+	w.U64(s.committedCount)
+	w.U64(s.squashedCount)
+	w.U64(s.flops)
+	w.U64(s.robFlushes)
+	w.U64(s.decodeStalls)
+	w.U64(s.commitStalls)
+	w.U64(s.renameStalls)
+	w.U64(s.robOccSum)
+	// Dynamic mix in sorted key order (the only map in the core state).
+	keys := make([]int, 0, len(s.dynMix))
+	for t := range s.dynMix {
+		keys = append(keys, int(t))
+	}
+	sort.Ints(keys)
+	w.Len(len(keys))
+	for _, k := range keys {
+		w.Int(k)
+		w.U64(s.dynMix[isa.InstrType(k)])
+	}
+
+	table, idx := s.liveInstrs()
+	w.Section(ckpt.SecInstrs)
+	w.Len(len(table))
+	for _, si := range table {
+		encodeInstr(w, si)
+	}
+
+	w.Section(ckpt.SecROB)
+	w.Int(s.rob.head)
+	w.Int(s.rob.count)
+	s.rob.Walk(func(si *SimInstr, done bool) {
+		instrRef(w, idx, si)
+		w.Bool(done)
+	})
+
+	// Decode buffer.
+	w.Len(len(s.decodeBuf))
+	for _, si := range s.decodeBuf {
+		instrRef(w, idx, si)
+	}
+
+	w.Section(ckpt.SecWindows)
+	for _, win := range s.windows {
+		w.U64(win.occupancySum)
+		w.U64(win.fullStalls)
+		w.Len(len(win.waiting))
+		for _, si := range win.waiting {
+			instrRef(w, idx, si)
+		}
+	}
+
+	w.Section(ckpt.SecFUs)
+	w.Int(len(s.fus))
+	for _, fu := range s.fus {
+		w.Bool(fu.hasAccept)
+		w.U64(fu.lastAccept)
+		w.U64(fu.busyCycles)
+		w.U64(fu.execCount)
+		w.U64(fu.totalCycles)
+		w.Len(len(fu.inflight))
+		for _, op := range fu.inflight {
+			instrRef(w, idx, op.si)
+			w.U64(op.doneAt)
+		}
+	}
+
+	w.Section(ckpt.SecLSU)
+	l := s.lsu
+	for _, q := range [][]*SimInstr{l.loads, l.stores, l.committed} {
+		w.Len(len(q))
+		for _, si := range q {
+			instrRef(w, idx, si)
+		}
+	}
+	w.U64(l.loadCount)
+	w.U64(l.storeCount)
+	w.U64(l.forwardCount)
+	w.U64(l.stallUnknown)
+	w.U64(l.stallPartial)
+	w.U64(l.busCycles)
+	w.U64(l.fullStallsLd)
+	w.U64(l.fullStallsSt)
+	w.U64(l.drainedStores)
+
+	w.Section(ckpt.SecFetch)
+	w.Int(s.fetch.pc)
+	w.U64(s.fetch.stalledUntil)
+	instrRef(w, idx, s.fetch.waitBranch)
+	w.U64(s.fetch.fetched)
+	w.U64(s.fetch.stallCycles)
+
+	s.rf.EncodeState(w)
+	s.pred.EncodeState(w)
+	s.l1.EncodeState(w)
+	s.mem.EncodeState(w, s.initialMem)
+
+	w.Section(ckpt.SecLog)
+	w.Len(len(s.log))
+	for _, e := range s.log {
+		w.U64(e.Cycle)
+		w.String(e.Msg)
+	}
+
+	w.Section(ckpt.SecDebug)
+	bps := s.Breakpoints() // sorted
+	w.Len(len(bps))
+	for _, pc := range bps {
+		w.Int(pc)
+	}
+	w.Len(len(s.watches))
+	for _, wr := range s.watches {
+		w.Int(wr.addr)
+		w.Int(wr.size)
+	}
+	w.Bool(s.paused)
+	w.String(s.pauseReason)
+	w.U64(s.bpSkipID)
+}
+
+// DecodeState restores an encoded simulation state onto s, which must be
+// freshly built by New from the same configuration and program the
+// checkpoint was taken from (the sim facade re-assembles them from the
+// checkpoint header). On any decode error the reader's error is set and
+// s must be discarded.
+func (s *Simulation) DecodeState(r *ckpt.Reader) {
+	r.Section(ckpt.SecCore)
+	s.cycle = r.U64()
+	s.nextID = r.U64()
+	s.halted = r.Bool()
+	s.haltReason = r.String(1 << 16)
+	s.exception = r.Exception()
+	s.VerboseLog = r.Bool()
+	s.committedCount = r.U64()
+	s.squashedCount = r.U64()
+	s.flops = r.U64()
+	s.robFlushes = r.U64()
+	s.decodeStalls = r.U64()
+	s.commitStalls = r.U64()
+	s.renameStalls = r.U64()
+	s.robOccSum = r.U64()
+	nmix := r.Len(256)
+	s.dynMix = make(map[isa.InstrType]uint64, nmix)
+	for i := 0; i < nmix && r.Err() == nil; i++ {
+		k := r.Int()
+		s.dynMix[isa.InstrType(k)] = r.U64()
+	}
+
+	r.Section(ckpt.SecInstrs)
+	n := r.Len(1 << 20)
+	table := make([]*SimInstr, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		table = append(table, s.decodeInstr(r))
+	}
+	if r.Err() != nil {
+		return
+	}
+
+	r.Section(ckpt.SecROB)
+	head := r.Int()
+	count := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if head < 0 || head >= s.rob.Cap() || count < 0 || count > s.rob.Cap() {
+		r.Corrupt("ROB head %d / count %d outside capacity %d", head, count, s.rob.Cap())
+		return
+	}
+	s.rob.head = head
+	s.rob.count = count
+	s.rob.tail = (head + count) % s.rob.Cap()
+	for i := range s.rob.entries {
+		s.rob.entries[i] = robEntry{}
+	}
+	for i := 0; i < count && r.Err() == nil; i++ {
+		si := readRef(r, table)
+		done := r.Bool()
+		if si == nil {
+			r.Corrupt("nil instruction in ROB slot %d", i)
+			return
+		}
+		pos := (head + i) % s.rob.Cap()
+		si.robIndex = pos
+		s.rob.entries[pos] = robEntry{instr: si, done: done}
+	}
+
+	ndec := r.Len(s.decodeCap)
+	s.decodeBuf = s.decodeBuf[:0]
+	for i := 0; i < ndec && r.Err() == nil; i++ {
+		if si := readRef(r, table); si != nil {
+			s.decodeBuf = append(s.decodeBuf, si)
+		}
+	}
+
+	r.Section(ckpt.SecWindows)
+	for _, win := range s.windows {
+		win.occupancySum = r.U64()
+		win.fullStalls = r.U64()
+		nw := r.Len(win.capacity)
+		win.waiting = win.waiting[:0]
+		for i := 0; i < nw && r.Err() == nil; i++ {
+			if si := readRef(r, table); si != nil {
+				win.waiting = append(win.waiting, si)
+			}
+		}
+	}
+
+	r.Section(ckpt.SecFUs)
+	if nf := r.Int(); r.Err() == nil && nf != len(s.fus) {
+		r.Corrupt("%d functional units, machine has %d", nf, len(s.fus))
+		return
+	}
+	for _, fu := range s.fus {
+		fu.hasAccept = r.Bool()
+		fu.lastAccept = r.U64()
+		fu.busyCycles = r.U64()
+		fu.execCount = r.U64()
+		fu.totalCycles = r.U64()
+		ni := r.Len(len(table))
+		fu.inflight = fu.inflight[:0]
+		for i := 0; i < ni && r.Err() == nil; i++ {
+			si := readRef(r, table)
+			doneAt := r.U64()
+			if si != nil {
+				fu.inflight = append(fu.inflight, inflightOp{si: si, doneAt: doneAt})
+			}
+		}
+	}
+
+	r.Section(ckpt.SecLSU)
+	l := s.lsu
+	for _, q := range []*[]*SimInstr{&l.loads, &l.stores, &l.committed} {
+		nq := r.Len(len(table))
+		*q = (*q)[:0]
+		for i := 0; i < nq && r.Err() == nil; i++ {
+			if si := readRef(r, table); si != nil {
+				*q = append(*q, si)
+			}
+		}
+	}
+	l.loadCount = r.U64()
+	l.storeCount = r.U64()
+	l.forwardCount = r.U64()
+	l.stallUnknown = r.U64()
+	l.stallPartial = r.U64()
+	l.busCycles = r.U64()
+	l.fullStallsLd = r.U64()
+	l.fullStallsSt = r.U64()
+	l.drainedStores = r.U64()
+
+	r.Section(ckpt.SecFetch)
+	s.fetch.pc = r.Int()
+	s.fetch.stalledUntil = r.U64()
+	s.fetch.waitBranch = readRef(r, table)
+	s.fetch.fetched = r.U64()
+	s.fetch.stallCycles = r.U64()
+
+	s.rf.DecodeState(r)
+	s.pred.DecodeState(r)
+	s.l1.DecodeState(r)
+	s.mem.DecodeState(r)
+
+	r.Section(ckpt.SecLog)
+	nlog := r.Len(maxLogEntries)
+	s.log = s.log[:0]
+	for i := 0; i < nlog && r.Err() == nil; i++ {
+		e := LogEntry{Cycle: r.U64(), Msg: r.String(1 << 16)}
+		s.log = append(s.log, e)
+	}
+
+	r.Section(ckpt.SecDebug)
+	nbp := r.Len(len(s.prog.Instructions))
+	s.breakpoints = nil
+	for i := 0; i < nbp && r.Err() == nil; i++ {
+		pc := r.Int()
+		if r.Err() == nil {
+			if s.breakpoints == nil {
+				s.breakpoints = make(map[int]bool, nbp)
+			}
+			s.breakpoints[pc] = true
+		}
+	}
+	nwatch := r.Len(1 << 16)
+	s.watches = s.watches[:0]
+	for i := 0; i < nwatch && r.Err() == nil; i++ {
+		s.watches = append(s.watches, watchRange{addr: r.Int(), size: r.Int()})
+	}
+	s.paused = r.Bool()
+	s.pauseReason = r.String(1 << 16)
+	s.bpSkipID = r.U64()
+}

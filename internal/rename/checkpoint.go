@@ -1,0 +1,112 @@
+package rename
+
+import (
+	"riscvsim/internal/ckpt"
+	"riscvsim/internal/isa"
+)
+
+// EncodeState writes the complete rename state: both architectural files,
+// every speculative register (value, validity, back-pointer, reference
+// count, lifecycle flags), the free list and both rename maps. Tags are
+// plain indices into the speculative file, so the encoding carries no
+// pointer identity.
+func (f *File) EncodeState(w *ckpt.Writer) {
+	w.Section(ckpt.SecRename)
+	for i := range f.archInt {
+		w.Value(f.archInt[i])
+	}
+	for i := range f.archFloat {
+		w.Value(f.archFloat[i])
+	}
+	w.Int(len(f.spec))
+	for i := range f.spec {
+		s := &f.spec[i]
+		w.Bool(s.inUse)
+		if !s.inUse {
+			continue
+		}
+		w.Value(s.value)
+		w.Bool(s.valid)
+		w.Byte(byte(s.archClass))
+		w.Int(s.archIndex)
+		w.Int(s.refs)
+		w.Bool(s.committed)
+		w.Bool(s.squashed)
+	}
+	w.Len(len(f.free))
+	for _, tag := range f.free {
+		w.Int(tag)
+	}
+	for i := range f.mapInt {
+		w.Int(f.mapInt[i])
+	}
+	for i := range f.mapFloat {
+		w.Int(f.mapFloat[i])
+	}
+	w.U64(f.allocs)
+	w.U64(f.stallsEmpty)
+}
+
+// DecodeState applies an encoded rename state onto f, which must have
+// been built with the same speculative file size.
+func (f *File) DecodeState(r *ckpt.Reader) {
+	r.Section(ckpt.SecRename)
+	for i := range f.archInt {
+		f.archInt[i] = r.Value()
+	}
+	for i := range f.archFloat {
+		f.archFloat[i] = r.Value()
+	}
+	if n := r.Int(); r.Err() == nil && n != len(f.spec) {
+		r.Corrupt("rename file of %d registers, machine has %d", n, len(f.spec))
+		return
+	}
+	for i := range f.spec {
+		s := &f.spec[i]
+		*s = specReg{inUse: r.Bool()}
+		if !s.inUse {
+			continue
+		}
+		s.value = r.Value()
+		s.valid = r.Bool()
+		s.archClass = isa.RegClass(r.Byte())
+		s.archIndex = r.Int()
+		s.refs = r.Int()
+		s.committed = r.Bool()
+		s.squashed = r.Bool()
+		if r.Err() != nil {
+			return
+		}
+		if s.archIndex < 0 || s.archIndex >= isa.NumRegs || s.refs < 0 {
+			r.Corrupt("speculative register %d: arch index %d / refs %d out of range", i, s.archIndex, s.refs)
+			return
+		}
+	}
+	nfree := r.Len(len(f.spec))
+	f.free = f.free[:0]
+	for i := 0; i < nfree && r.Err() == nil; i++ {
+		tag := r.Int()
+		if tag < 0 || tag >= len(f.spec) {
+			r.Corrupt("free-list tag %d out of range", tag)
+			return
+		}
+		f.free = append(f.free, tag)
+	}
+	readMap := func(m *[isa.NumRegs]int) {
+		for i := range m {
+			tag := r.Int()
+			if r.Err() != nil {
+				return
+			}
+			if tag != NoTag && (tag < 0 || tag >= len(f.spec)) {
+				r.Corrupt("rename map tag %d out of range", tag)
+				return
+			}
+			m[i] = tag
+		}
+	}
+	readMap(&f.mapInt)
+	readMap(&f.mapFloat)
+	f.allocs = r.U64()
+	f.stallsEmpty = r.U64()
+}

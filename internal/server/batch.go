@@ -30,6 +30,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (any, int, 
 		return nil, 0, api.Errorf(api.CodeBatchTooLarge,
 			"batch of %d requests exceeds the limit of %d", n, maxBatchRequests)
 	}
+	if len(req.BaseCheckpoint) > 0 {
+		// Fork every entry without its own snapshot from the shared warm
+		// checkpoint: each worker restores an independent machine from
+		// the same bytes, so N-variant sweeps skip the warm-up replay.
+		for i := range req.Requests {
+			if len(req.Requests[i].Checkpoint) == 0 {
+				req.Requests[i].Checkpoint = req.BaseCheckpoint
+			}
+		}
+	}
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {

@@ -35,14 +35,14 @@ func TestMemFillRepeatWithEmptyValues(t *testing.T) {
 	// Repeat with no Values repeats the implicit zero — it must fill,
 	// not crash or error.
 	m := memFillMachine(t, "buf: .zero 16\n")
-	if err := applyMemFill(m, api.MemFill{Label: "buf", Repeat: 4}); err != nil {
+	if err := ApplyMemFill(m, api.MemFill{Label: "buf", Repeat: 4}); err != nil {
 		t.Fatalf("repeat with empty values: %v", err)
 	}
 	if got := readLabel(t, m, "buf"); !bytes.Equal(got, make([]byte, 16)) {
 		t.Errorf("buffer = % x, want zeros", got)
 	}
 	// And with a value it repeats that value.
-	if err := applyMemFill(m, api.MemFill{Label: "buf", Repeat: 4, Values: []int64{7}}); err != nil {
+	if err := ApplyMemFill(m, api.MemFill{Label: "buf", Repeat: 4, Values: []int64{7}}); err != nil {
 		t.Fatal(err)
 	}
 	got := readLabel(t, m, "buf")
@@ -56,7 +56,7 @@ func TestMemFillRepeatWithEmptyValues(t *testing.T) {
 func TestMemFillRandomSeedDeterminism(t *testing.T) {
 	fill := func(seed int64) []byte {
 		m := memFillMachine(t, "buf: .zero 32\n")
-		if err := applyMemFill(m, api.MemFill{Label: "buf", Random: 8, Seed: seed}); err != nil {
+		if err := ApplyMemFill(m, api.MemFill{Label: "buf", Random: 8, Seed: seed}); err != nil {
 			t.Fatal(err)
 		}
 		return readLabel(t, m, "buf")
@@ -77,22 +77,22 @@ func TestMemFillRandomSeedDeterminism(t *testing.T) {
 func TestMemFillElemSize8Overflow(t *testing.T) {
 	m := memFillMachine(t, "buf: .zero 8\n")
 	// One 8-byte element fits exactly.
-	if err := applyMemFill(m, api.MemFill{Label: "buf", ElemSize: 8, Values: []int64{-1}}); err != nil {
+	if err := ApplyMemFill(m, api.MemFill{Label: "buf", ElemSize: 8, Values: []int64{-1}}); err != nil {
 		t.Fatalf("exact fit rejected: %v", err)
 	}
 	if got := readLabel(t, m, "buf"); !bytes.Equal(got, bytes.Repeat([]byte{0xff}, 8)) {
 		t.Errorf("8-byte little-endian write wrong: % x", got)
 	}
 	// Two 8-byte elements overflow the labelled allocation.
-	err := applyMemFill(m, api.MemFill{Label: "buf", ElemSize: 8, Values: []int64{1, 2}})
+	err := ApplyMemFill(m, api.MemFill{Label: "buf", ElemSize: 8, Values: []int64{1, 2}})
 	if err == nil || !strings.Contains(err.Error(), "exceed") {
 		t.Errorf("overflow not caught: %v", err)
 	}
 	// Repeat and Random are also bounded by elemSize accounting.
-	if err := applyMemFill(m, api.MemFill{Label: "buf", ElemSize: 8, Repeat: 2}); err == nil {
+	if err := ApplyMemFill(m, api.MemFill{Label: "buf", ElemSize: 8, Repeat: 2}); err == nil {
 		t.Error("repeat overflow not caught")
 	}
-	if err := applyMemFill(m, api.MemFill{Label: "buf", ElemSize: 8, Random: 2}); err == nil {
+	if err := ApplyMemFill(m, api.MemFill{Label: "buf", ElemSize: 8, Random: 2}); err == nil {
 		t.Error("random overflow not caught")
 	}
 }

@@ -18,10 +18,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -44,6 +46,18 @@ type Options struct {
 	MaxBodyBytes int64
 	// DisableGzip turns off response compression (for the E3 bench).
 	DisableGzip bool
+	// SpillDir, when non-empty, enables transparent session spill: a
+	// session evicted by LRU pressure or the idle TTL is checkpointed
+	// into this directory and rehydrated on its next touch (including
+	// after a server restart). Empty disables spilling; evictions then
+	// lose sessions (counted in the sessions_lost metric).
+	SpillDir string
+	// SpillTTL garbage-collects spilled checkpoints older than this so
+	// abandoned sessions cannot grow SpillDir without bound (0 =
+	// default 24h; negative = keep forever).
+	SpillTTL time.Duration
+	// Debug enables debug-level logging (session eviction/spill events).
+	Debug bool
 }
 
 // DefaultOptions returns production defaults.
@@ -90,10 +104,23 @@ func New(opts Options) *Server {
 	if ttl < 0 {
 		ttl = 0 // sentinel: never expire
 	}
+	if opts.SpillTTL == 0 {
+		opts.SpillTTL = 24 * time.Hour
+	}
+	spillTTL := opts.SpillTTL
+	if spillTTL < 0 {
+		spillTTL = 0 // sentinel: never GC
+	}
+	var debugf func(string, ...any)
+	if opts.Debug {
+		debugf = func(format string, args ...any) {
+			log.Printf("[debug] "+format, args...)
+		}
+	}
 	s := &Server{
 		opts:    opts,
 		mux:     http.NewServeMux(),
-		store:   newSessionStore(opts.MaxSessions, ttl),
+		store:   newSessionStore(opts.MaxSessions, ttl, opts.SpillDir, spillTTL, debugf),
 		codecNs: make(map[string]*codecCounter),
 	}
 	for _, name := range api.CodecNames() {
@@ -126,6 +153,8 @@ func (s *Server) routes() {
 		{http.MethodPost, "/session/close", s.wrap(s.handleSessionClose), false},
 		{http.MethodGet, "/session/render", s.wrap(s.handleSessionRender), false},
 		{http.MethodPost, "/session/stream", s.handleSessionStream, true},
+		{http.MethodPost, "/session/checkpoint", s.wrap(s.handleSessionCheckpoint), true},
+		{http.MethodPost, "/session/restore", s.wrap(s.handleSessionRestore), true},
 		{http.MethodGet, "/metrics", s.wrap(s.handleMetrics), false},
 		{http.MethodGet, "/health", s.handleHealth, false},
 	}
@@ -162,6 +191,12 @@ func (s *Server) Handler() http.Handler {
 	return gzipMiddleware(s.mux)
 }
 
+// SpillSessions checkpoints every live interactive session into the
+// spill directory and drops it from memory (the graceful shutdown path:
+// a new server process with the same SpillDir picks the sessions back up
+// transparently). It returns how many sessions were processed.
+func (s *Server) SpillSessions() int { return s.store.SpillAll() }
+
 // Metrics returns the accumulated instrumentation.
 func (s *Server) Metrics() api.Metrics {
 	m := api.Metrics{
@@ -175,6 +210,7 @@ func (s *Server) Metrics() api.Metrics {
 		StreamEvents:     s.streamEvents.Load(),
 		Codecs:           make(map[string]api.CodecMetrics, len(s.codecNs)),
 	}
+	m.SessionsSpilled, m.SessionsRehydrated, m.SessionsLost = s.store.Counters()
 	if m.TotalNanos > 0 {
 		m.JSONShare = float64(m.JSONNanos) / float64(m.TotalNanos)
 	}
@@ -225,8 +261,11 @@ func statusForCode(code string) int {
 	case api.CodeBodyTooLarge, api.CodeBatchTooLarge:
 		return http.StatusRequestEntityTooLarge
 	case api.CodeUnknownPreset, api.CodeBadConfig, api.CodeBuildFailed,
-		api.CodeMemFill, api.CodeUnprocessable:
+		api.CodeMemFill, api.CodeUnprocessable,
+		api.CodeCheckpointVersion, api.CodeCheckpointConfig:
 		return http.StatusUnprocessableEntity
+	case api.CodeBadCheckpoint, api.CodeCheckpointTruncated:
+		return http.StatusBadRequest
 	case api.CodeUnknownSession:
 		return http.StatusNotFound
 	default:
@@ -309,9 +348,30 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) *api.E
 	return nil
 }
 
-// buildMachine constructs a machine from request fields, attaching the
-// stable error code of whichever stage failed.
+// buildMachine binds BuildMachine as the handlers' build step.
 func (s *Server) buildMachine(req *api.SimulateRequest) (*sim.Machine, *api.Error) {
+	return BuildMachine(req)
+}
+
+// BuildMachine constructs a machine from request fields, attaching the
+// stable error code of whichever stage failed. A request carrying a
+// checkpoint restores from it (forking the snapshot) instead of building
+// from source; memory fills still apply afterwards. Exported so the
+// CLI's in-process paths (checkpoint save, memory dumps) build machines
+// with exactly the server's semantics.
+func BuildMachine(req *api.SimulateRequest) (*sim.Machine, *api.Error) {
+	if len(req.Checkpoint) > 0 {
+		m, err := sim.Restore(bytes.NewReader(req.Checkpoint))
+		if err != nil {
+			return nil, api.CheckpointError(err)
+		}
+		for _, f := range req.MemFills {
+			if err := ApplyMemFill(m, f); err != nil {
+				return nil, api.WrapError(api.CodeMemFill, err)
+			}
+		}
+		return m, nil
+	}
 	cfg := sim.DefaultConfig()
 	if req.Preset != "" {
 		p, ok := sim.Presets()[req.Preset]
@@ -338,15 +398,17 @@ func (s *Server) buildMachine(req *api.SimulateRequest) (*sim.Machine, *api.Erro
 		return nil, api.WrapError(api.CodeBuildFailed, err)
 	}
 	for _, f := range req.MemFills {
-		if err := applyMemFill(m, f); err != nil {
+		if err := ApplyMemFill(m, f); err != nil {
 			return nil, api.WrapError(api.CodeMemFill, err)
 		}
 	}
 	return m, nil
 }
 
-// applyMemFill writes array contents by label.
-func applyMemFill(m *sim.Machine, f api.MemFill) error {
+// ApplyMemFill writes array contents by label (the Memory Settings
+// windows fills). Exported so the CLIs in-process checkpoint path
+// applies the same semantics as the server.
+func ApplyMemFill(m *sim.Machine, f api.MemFill) error {
 	addr, size, ok := m.LookupLabel(f.Label)
 	if !ok {
 		return fmt.Errorf("memory fill: no allocation labelled %q", f.Label)

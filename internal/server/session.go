@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"net/http"
 	"time"
 
 	"riscvsim/internal/api"
 	"riscvsim/internal/render"
+	"riscvsim/sim"
 )
 
 // maxInteractiveStep bounds one interactive request.
@@ -33,16 +35,36 @@ func (s *Server) getSession(id string) (*session, *api.Error) {
 	return sess, nil
 }
 
+// lockSession looks a session up and returns it with its mutex held.
+// If the session was retired (evicted and spilled) between the lookup
+// and the lock, the handler would otherwise mutate an orphaned machine
+// whose state the spill already captured — so it retries through the
+// store, which rehydrates the spilled copy.
+func (s *Server) lockSession(id string) (*session, *api.Error) {
+	for tries := 0; tries < 3; tries++ {
+		sess, aerr := s.getSession(id)
+		if aerr != nil {
+			return nil, aerr
+		}
+		sess.mu.Lock()
+		if !sess.gone {
+			return sess, nil
+		}
+		sess.mu.Unlock()
+	}
+	return nil, api.Errorf(api.CodeUnknownSession,
+		"session %q kept being evicted mid-operation (server under heavy session churn)", id)
+}
+
 func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) (any, int, error) {
 	var req api.SessionStepRequest
 	if aerr := s.decode(w, r, &req); aerr != nil {
 		return nil, 0, aerr
 	}
-	sess, aerr := s.getSession(req.SessionID)
+	sess, aerr := s.lockSession(req.SessionID)
 	if aerr != nil {
 		return nil, 0, aerr
 	}
-	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sstart := time.Now()
 	switch {
@@ -72,11 +94,10 @@ func (s *Server) handleSessionGoto(w http.ResponseWriter, r *http.Request) (any,
 	if aerr := s.decode(w, r, &req); aerr != nil {
 		return nil, 0, aerr
 	}
-	sess, aerr := s.getSession(req.SessionID)
+	sess, aerr := s.lockSession(req.SessionID)
 	if aerr != nil {
 		return nil, 0, aerr
 	}
-	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sstart := time.Now()
 	if err := sess.machine.GotoCycle(req.Cycle); err != nil {
@@ -98,13 +119,60 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) (any
 	return &api.SessionCloseResponse{Closed: true}, 0, nil
 }
 
-func (s *Server) handleSessionRender(w http.ResponseWriter, r *http.Request) (any, int, error) {
-	id := r.URL.Query().Get("session")
-	sess, aerr := s.getSession(id)
+// handleSessionCheckpoint serializes a live session into the versioned
+// binary snapshot format (base64 over JSON). The document is
+// self-contained: restore it here, on another server, or from the CLI.
+func (s *Server) handleSessionCheckpoint(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req api.SessionCheckpointRequest
+	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
+	}
+	sess, aerr := s.lockSession(req.SessionID)
 	if aerr != nil {
 		return nil, 0, aerr
 	}
-	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sstart := time.Now()
+	var buf bytes.Buffer
+	if err := sess.machine.Checkpoint(&buf); err != nil {
+		s.simNs.Add(uint64(time.Since(sstart)))
+		return nil, 0, api.WrapError(api.CodeInternal, err)
+	}
+	s.simNs.Add(uint64(time.Since(sstart)))
+	return &api.SessionCheckpointResponse{
+		SessionID:  req.SessionID,
+		Cycle:      sess.machine.Cycle(),
+		Checkpoint: buf.Bytes(),
+	}, 0, nil
+}
+
+// handleSessionRestore opens a fresh interactive session from a
+// checkpoint document, picking the simulation up exactly where the
+// snapshot left it.
+func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req api.SessionRestoreRequest
+	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
+	}
+	if len(req.Checkpoint) == 0 {
+		return nil, 0, api.Errorf(api.CodeBadRequest, "restore: empty checkpoint")
+	}
+	sstart := time.Now()
+	m, err := sim.Restore(bytes.NewReader(req.Checkpoint))
+	s.simNs.Add(uint64(time.Since(sstart)))
+	if err != nil {
+		return nil, 0, api.CheckpointError(err)
+	}
+	id := s.store.Add(m)
+	return &api.SessionNewResponse{SessionID: id, State: m.State(false)}, 0, nil
+}
+
+func (s *Server) handleSessionRender(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	id := r.URL.Query().Get("session")
+	sess, aerr := s.lockSession(id)
+	if aerr != nil {
+		return nil, 0, aerr
+	}
 	st := sess.machine.State(false)
 	sess.mu.Unlock()
 	sstart := time.Now()

@@ -1,8 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"container/list"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -14,6 +19,11 @@ type session struct {
 	id      string
 	mu      sync.Mutex
 	machine *sim.Machine
+	// gone (guarded by mu) marks a session retired from the store: a
+	// handler that looked it up before eviction but locked it after must
+	// not mutate the orphaned machine (the spill already captured it) —
+	// it re-fetches through the store, rehydrating the spilled copy.
+	gone bool
 
 	// lastUsed is guarded by the owning store's mutex, not session.mu.
 	lastUsed time.Time
@@ -24,23 +34,128 @@ type session struct {
 // recently used session is evicted (new users always get a slot); idle
 // sessions past the TTL are swept opportunistically on every operation,
 // so no janitor goroutine is needed.
+//
+// With a spill directory configured, eviction is no longer lossy: the
+// evicted session's machine is checkpointed to disk, and the next touch
+// of its ID transparently rehydrates it (also across server restarts,
+// since the checkpoint format is self-contained). Without one, evictions
+// drop live sessions and are counted as lost.
+//
+// Locking: st.mu guards only the in-memory table. Serialization, file
+// I/O and machine reconstruction all run outside it (eviction removes
+// the session from the table under the lock, then spills it after
+// release), so one session's disk work never stalls the others. The
+// window between removal and the spill file appearing can surface as a
+// transient miss — the same outcome an eviction always had before
+// spilling existed.
 type sessionStore struct {
-	mu     sync.Mutex
-	max    int
-	ttl    time.Duration // 0 = no idle expiry
-	byID   map[string]*list.Element
-	lru    *list.List // front = most recent, back = least recent
-	nextID uint64
-	now    func() time.Time // injectable clock for tests
+	mu       sync.Mutex
+	max      int
+	ttl      time.Duration // 0 = no idle expiry
+	spillDir string        // "" = spilling disabled
+	spillTTL time.Duration // age at which spilled files are GC'd (0 = never)
+	byID     map[string]*list.Element
+	lru      *list.List // front = most recent, back = least recent
+	nextID   uint64
+	now      func() time.Time     // injectable clock for tests
+	debugf   func(string, ...any) // debug-level logger (may be nil)
+	lastGC   time.Time
+
+	// Lifecycle counters, guarded by mu (served by /api/v1/metrics).
+	spilled    uint64
+	rehydrated uint64
+	lost       uint64
 }
 
-func newSessionStore(max int, ttl time.Duration) *sessionStore {
-	return &sessionStore{
-		max:  max,
-		ttl:  ttl,
-		byID: make(map[string]*list.Element),
-		lru:  list.New(),
-		now:  time.Now,
+func newSessionStore(max int, ttl time.Duration, spillDir string, spillTTL time.Duration, debugf func(string, ...any)) *sessionStore {
+	st := &sessionStore{
+		max:      max,
+		ttl:      ttl,
+		spillDir: spillDir,
+		spillTTL: spillTTL,
+		byID:     make(map[string]*list.Element),
+		lru:      list.New(),
+		now:      time.Now,
+		debugf:   debugf,
+	}
+	if spillDir != "" {
+		os.MkdirAll(spillDir, 0o755)
+		// Resume ID allocation past any checkpoints a previous process
+		// left behind, so fresh IDs never collide with spilled sessions.
+		if entries, err := os.ReadDir(spillDir); err == nil {
+			for _, e := range entries {
+				name := strings.TrimSuffix(e.Name(), spillExt)
+				if name == e.Name() || !validSessionID(name) {
+					continue
+				}
+				if n, err := strconv.ParseUint(name[1:], 10, 64); err == nil && n > st.nextID {
+					st.nextID = n
+				}
+			}
+		}
+		st.lastGC = st.now()
+		st.gcSpillDir(st.lastGC)
+	}
+	return st
+}
+
+// spillExt is the on-disk suffix of spilled session checkpoints.
+const spillExt = ".ckpt"
+
+// spillGCInterval bounds how often the opportunistic spill-directory
+// scan runs.
+const spillGCInterval = time.Hour
+
+// validSessionID guards disk lookups against path traversal: IDs are
+// always of the generated s%08d form.
+func validSessionID(id string) bool {
+	if len(id) != 9 || id[0] != 's' {
+		return false
+	}
+	for i := 1; i < len(id); i++ {
+		if id[i] < '0' || id[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *sessionStore) spillPath(id string) string {
+	return filepath.Join(st.spillDir, id+spillExt)
+}
+
+func (st *sessionStore) logf(format string, args ...any) {
+	if st.debugf != nil {
+		st.debugf(format, args...)
+	}
+}
+
+// gcSpillDir deletes spilled checkpoints older than spillTTL so
+// abandoned sessions (spilled by the idle sweep, never touched again)
+// cannot grow the directory without bound. Runs at startup and then at
+// most once per spillGCInterval, amortized over Add calls; it touches
+// only immutable fields, so it needs no lock.
+func (st *sessionStore) gcSpillDir(now time.Time) {
+	if st.spillDir == "" || st.spillTTL <= 0 {
+		return
+	}
+	entries, err := os.ReadDir(st.spillDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), spillExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if now.Sub(info.ModTime()) > st.spillTTL {
+			if os.Remove(filepath.Join(st.spillDir, e.Name())) == nil {
+				st.logf("spill GC: removed %s (idle > %v)", e.Name(), st.spillTTL)
+			}
+		}
 	}
 }
 
@@ -48,69 +163,162 @@ func newSessionStore(max int, ttl time.Duration) *sessionStore {
 // store is at capacity, and returns its ID.
 func (st *sessionStore) Add(m *sim.Machine) string {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	now := st.now()
-	st.sweepLocked(now)
-	for len(st.byID) >= st.max {
-		st.evictLRULocked()
+	expired := st.sweepLocked(now)
+	runGC := st.spillDir != "" && st.spillTTL > 0 && now.Sub(st.lastGC) > spillGCInterval
+	if runGC {
+		st.lastGC = now
 	}
+	evicted := st.makeRoomLocked()
 	st.nextID++
 	id := fmt.Sprintf("s%08d", st.nextID)
 	sess := &session{id: id, machine: m, lastUsed: now}
 	st.byID[id] = st.lru.PushFront(sess)
+	st.mu.Unlock()
+
+	st.retire(expired, "idle TTL")
+	st.retire(evicted, "LRU capacity")
+	if runGC {
+		st.gcSpillDir(now)
+	}
 	return id
 }
 
-// Get looks up a session and marks it most recently used.
+// Get looks up a session and marks it most recently used. A session that
+// was spilled to disk (eviction or a previous server process) is
+// transparently rehydrated.
 func (st *sessionStore) Get(id string) (*session, bool) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.sweepLocked(st.now())
-	el, ok := st.byID[id]
-	if !ok {
+	now := st.now()
+	expired := st.sweepLocked(now)
+	if el, ok := st.byID[id]; ok {
+		sess := el.Value.(*session)
+		sess.lastUsed = now
+		st.lru.MoveToFront(el)
+		st.mu.Unlock()
+		st.retire(expired, "idle TTL")
+		return sess, true
+	}
+	st.mu.Unlock()
+	st.retire(expired, "idle TTL")
+	return st.rehydrate(id)
+}
+
+// rehydrate restores a spilled session from disk under its original ID.
+// File I/O and machine reconstruction run without the store lock; only
+// the table re-insertion takes it.
+func (st *sessionStore) rehydrate(id string) (*session, bool) {
+	if st.spillDir == "" || !validSessionID(id) {
 		return nil, false
 	}
-	sess := el.Value.(*session)
-	sess.lastUsed = st.now()
-	st.lru.MoveToFront(el)
+	path := st.spillPath(id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	m, err := sim.Restore(bytes.NewReader(data))
+	if err != nil {
+		st.logf("session %s: spilled checkpoint unusable: %v", id, err)
+		os.Remove(path)
+		return nil, false
+	}
+
+	st.mu.Lock()
+	// A concurrent request may have rehydrated the session already; the
+	// in-memory copy wins (it may have advanced past our snapshot).
+	if el, ok := st.byID[id]; ok {
+		sess := el.Value.(*session)
+		sess.lastUsed = st.now()
+		st.lru.MoveToFront(el)
+		st.mu.Unlock()
+		return sess, true
+	}
+	evicted := st.makeRoomLocked()
+	sess := &session{id: id, machine: m, lastUsed: st.now()}
+	el := st.lru.PushFront(sess)
+	st.byID[id] = el
+	st.rehydrated++
+	st.mu.Unlock()
+
+	os.Remove(path)
+	st.retire(evicted, "LRU capacity")
+	st.logf("session %s: rehydrated from spill at cycle %d", id, m.Cycle())
 	return sess, true
 }
 
-// Remove deletes a session; it reports whether the session existed.
+// Remove deletes a session (and any spilled copy); it reports whether
+// the session existed in memory or on disk.
 func (st *sessionStore) Remove(id string) bool {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	el, ok := st.byID[id]
 	if ok {
 		st.lru.Remove(el)
 		delete(st.byID, id)
 	}
+	st.mu.Unlock()
+	if st.spillDir != "" && validSessionID(id) {
+		if os.Remove(st.spillPath(id)) == nil {
+			ok = true
+		}
+	}
 	return ok
 }
 
-// Len returns the number of live sessions, sweeping expired ones first
-// so an idle server's metrics don't report (or retain) dead sessions.
+// Len returns the number of live in-memory sessions, sweeping expired
+// ones first so an idle server's metrics don't report (or retain) dead
+// sessions.
 func (st *sessionStore) Len() int {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.sweepLocked(st.now())
-	return len(st.byID)
+	expired := st.sweepLocked(st.now())
+	n := len(st.byID)
+	st.mu.Unlock()
+	st.retire(expired, "idle TTL")
+	return n
 }
 
-// Sweep removes idle-expired sessions and returns how many were dropped.
+// Sweep removes idle-expired sessions and returns how many were dropped
+// from memory.
 func (st *sessionStore) Sweep() int {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.sweepLocked(st.now())
+	expired := st.sweepLocked(st.now())
+	st.mu.Unlock()
+	st.retire(expired, "idle TTL")
+	return len(expired)
 }
 
-// sweepLocked walks from the LRU end removing sessions idle past the
-// TTL. The list is recency-ordered, so it stops at the first live one.
-func (st *sessionStore) sweepLocked(now time.Time) int {
-	if st.ttl <= 0 {
-		return 0
+// SpillAll retires every live session (spilling each to disk when a
+// spill directory is configured) and returns how many were processed.
+// It is the graceful-shutdown path: a restarted server with the same
+// spill directory rehydrates all of them on their next touch.
+func (st *sessionStore) SpillAll() int {
+	st.mu.Lock()
+	var all []*session
+	for el := st.lru.Front(); el != nil; el = el.Next() {
+		all = append(all, el.Value.(*session))
 	}
-	n := 0
+	st.lru.Init()
+	st.byID = make(map[string]*list.Element)
+	st.mu.Unlock()
+	st.retire(all, "shutdown")
+	return len(all)
+}
+
+// Counters returns the lifecycle counters (spilled, rehydrated, lost).
+func (st *sessionStore) Counters() (spilled, rehydrated, lost uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.spilled, st.rehydrated, st.lost
+}
+
+// sweepLocked removes sessions idle past the TTL from the table,
+// walking from the LRU end (the list is recency-ordered, so it stops at
+// the first live one). The removed sessions are returned for the caller
+// to retire once the store lock is released.
+func (st *sessionStore) sweepLocked(now time.Time) []*session {
+	if st.ttl <= 0 {
+		return nil
+	}
+	var expired []*session
 	for el := st.lru.Back(); el != nil; {
 		sess := el.Value.(*session)
 		if now.Sub(sess.lastUsed) < st.ttl {
@@ -119,18 +327,86 @@ func (st *sessionStore) sweepLocked(now time.Time) int {
 		prev := el.Prev()
 		st.lru.Remove(el)
 		delete(st.byID, sess.id)
+		expired = append(expired, sess)
 		el = prev
-		n++
 	}
-	return n
+	return expired
 }
 
-// evictLRULocked drops the least recently used session (store is full).
-func (st *sessionStore) evictLRULocked() {
-	el := st.lru.Back()
-	if el == nil {
+// makeRoomLocked removes least-recently-used sessions from the table
+// until an Add fits, returning them for retirement outside the lock.
+func (st *sessionStore) makeRoomLocked() []*session {
+	var evicted []*session
+	for len(st.byID) >= st.max {
+		el := st.lru.Back()
+		if el == nil {
+			break
+		}
+		st.lru.Remove(el)
+		sess := el.Value.(*session)
+		delete(st.byID, sess.id)
+		evicted = append(evicted, sess)
+	}
+	return evicted
+}
+
+// retire spills each removed session to disk (or counts it lost when
+// spilling is unavailable). It runs WITHOUT the store lock: the only
+// locks taken are each session's own mutex (so a handler mid-step
+// finishes before serialization and the spill captures its result) and
+// a brief store-lock acquisition for the counters. sess.mu and st.mu
+// are never held together here, so no ordering cycle exists with the
+// handlers' store-then-session order.
+func (st *sessionStore) retire(retired []*session, cause string) {
+	for _, sess := range retired {
+		st.retireOne(sess, cause)
+	}
+}
+
+func (st *sessionStore) retireOne(sess *session, cause string) {
+	if st.spillDir == "" {
+		sess.mu.Lock()
+		sess.gone = true
+		sess.mu.Unlock()
+		st.mu.Lock()
+		st.lost++
+		st.mu.Unlock()
+		st.logf("session %s: evicted (%s) and lost — no spill directory", sess.id, cause)
 		return
 	}
-	st.lru.Remove(el)
-	delete(st.byID, el.Value.(*session).id)
+	sess.mu.Lock()
+	var buf bytes.Buffer
+	err := sess.machine.Checkpoint(&buf)
+	cycle := sess.machine.Cycle()
+	sess.gone = true
+	sess.mu.Unlock()
+	if err == nil {
+		err = writeFileAtomic(st.spillPath(sess.id), buf.Bytes())
+	}
+	st.mu.Lock()
+	if err != nil {
+		st.lost++
+	} else {
+		st.spilled++
+	}
+	st.mu.Unlock()
+	if err != nil {
+		st.logf("session %s: evicted (%s) and lost — spill failed: %v", sess.id, cause, err)
+		return
+	}
+	st.logf("session %s: spilled to disk at cycle %d (%s, %d bytes)", sess.id, cycle, cause, buf.Len())
+}
+
+// writeFileAtomic writes via a temp file + rename so a crash mid-write
+// never leaves a truncated checkpoint under a valid session ID.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }

@@ -19,7 +19,7 @@ func testMachine(t testing.TB) *sim.Machine {
 }
 
 func TestStoreEvictsLeastRecentlyUsed(t *testing.T) {
-	st := newSessionStore(3, 0)
+	st := newSessionStore(3, 0, "", 0, nil)
 	a := st.Add(testMachine(t))
 	b := st.Add(testMachine(t))
 	c := st.Add(testMachine(t))
@@ -44,7 +44,7 @@ func TestStoreEvictsLeastRecentlyUsed(t *testing.T) {
 }
 
 func TestStoreEvictionOrderIsRecency(t *testing.T) {
-	st := newSessionStore(2, 0)
+	st := newSessionStore(2, 0, "", 0, nil)
 	ids := []string{st.Add(testMachine(t)), st.Add(testMachine(t))}
 	for i := 0; i < 4; i++ {
 		ids = append(ids, st.Add(testMachine(t)))
@@ -64,7 +64,7 @@ func TestStoreEvictionOrderIsRecency(t *testing.T) {
 
 func TestStoreIdleTTLSweep(t *testing.T) {
 	now := time.Unix(1000, 0)
-	st := newSessionStore(10, time.Minute)
+	st := newSessionStore(10, time.Minute, "", 0, nil)
 	st.now = func() time.Time { return now }
 
 	old := st.Add(testMachine(t))
@@ -96,7 +96,7 @@ func TestStoreIdleTTLSweep(t *testing.T) {
 
 func TestStoreSweepsOpportunistically(t *testing.T) {
 	now := time.Unix(1000, 0)
-	st := newSessionStore(10, time.Minute)
+	st := newSessionStore(10, time.Minute, "", 0, nil)
 	st.now = func() time.Time { return now }
 	old := st.Add(testMachine(t))
 	now = now.Add(2 * time.Minute)
@@ -111,7 +111,7 @@ func TestStoreSweepsOpportunistically(t *testing.T) {
 }
 
 func TestStoreConcurrentAccess(t *testing.T) {
-	st := newSessionStore(16, time.Minute)
+	st := newSessionStore(16, time.Minute, "", 0, nil)
 	var wg sync.WaitGroup
 	ids := make([]string, 8)
 	for i := range ids {

@@ -1,0 +1,6 @@
+//go:build !race
+
+package riscvsim
+
+// raceDetectorEnabled mirrors race_enabled_test.go for regular builds.
+const raceDetectorEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package riscvsim
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Timing-shape tests (latency orderings under load) skip under
+// the race detector: its instrumentation slows request handling by an
+// order of magnitude, swamping the millisecond-scale deltas those tests
+// assert. Correctness tests run everywhere.
+const raceDetectorEnabled = true

@@ -83,6 +83,12 @@ type Machine struct {
 	prog  *asm.Program
 	sim   *core.Simulation
 	entry int
+	// src is the assembly source the machine was built from; checkpoints
+	// embed it so Restore can rebuild the static program deterministically.
+	src string
+	// cfgJSON caches the exported architecture document for checkpoint
+	// headers (per-cycle state hashing re-encodes the header each time).
+	cfgJSON []byte
 }
 
 // NewFromAsm assembles RISC-V assembly source and builds a machine. entry
@@ -103,7 +109,7 @@ func NewFromAsm(cfg *Config, src, entry string) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{cfg: cfg, set: set, regs: regs, prog: prog, sim: s, entry: e}, nil
+	return &Machine{cfg: cfg, set: set, regs: regs, prog: prog, sim: s, entry: e, src: src}, nil
 }
 
 // NewFromC compiles C source at the given optimization level, then
