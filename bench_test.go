@@ -565,8 +565,9 @@ func BenchmarkStateSnapshot(b *testing.B) {
 // Core speed: simulated cycles per second (the CLI's batch-mode currency)
 // ---------------------------------------------------------------------------
 
-func BenchmarkSimulationRun(b *testing.B) {
-	src := `
+// simKernel is the shared workload of the core-speed and trace-overhead
+// benchmarks: a tight dependent loop with one branch per iteration.
+const simKernel = `
 li t0, 0
 li t1, 1
 li t2, 10000
@@ -575,19 +576,56 @@ loop:
   addi t1, t1, 1
   bne t1, t2, loop
 `
+
+// benchSimKernel runs the kernel to completion per iteration, optionally
+// attaching a tracer first.
+func benchSimKernel(b *testing.B, tracer sim.Tracer, attach bool) {
 	b.ReportAllocs()
 	var cycles uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m, err := sim.NewFromAsm(sim.DefaultConfig(), src, "")
+		m, err := sim.NewFromAsm(sim.DefaultConfig(), simKernel, "")
 		if err != nil {
 			b.Fatal(err)
+		}
+		if attach {
+			m.SetTracer(tracer)
 		}
 		cycles = m.Run(10_000_000)
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
+
+// BenchmarkSim is the trace-gate baseline: the hot loop with no tracer
+// ever attached.
+func BenchmarkSim(b *testing.B) { benchSimKernel(b, nil, false) }
+
+// BenchmarkSimTraceOff pins the tentpole's zero-overhead contract: the
+// instrumented hot loop with tracing explicitly off (a nil tracer) must
+// stay within 5% of BenchmarkSim — CI's trace-overhead-gate job fails
+// otherwise.
+func BenchmarkSimTraceOff(b *testing.B) { benchSimKernel(b, nil, true) }
+
+// BenchmarkSimTraceRing measures the cost of actually collecting: every
+// stage event of the run lands in a bounded ring.
+func BenchmarkSimTraceRing(b *testing.B) {
+	benchSimKernel(b, sim.NewTraceRing(4096, sim.NoTraceFilter()), true)
+}
+
+// BenchmarkSimTraceCommitOnly measures a filtered collector (commit
+// events only), the cheap configuration analysis tooling uses.
+func BenchmarkSimTraceCommitOnly(b *testing.B) {
+	f, err := sim.ParseTraceFilter("commit", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSimKernel(b, sim.NewTraceRing(4096, f), true)
+}
+
+// BenchmarkSimulationRun is the historical name for the untraced core
+// speed benchmark; kept so longitudinal bench logs stay comparable.
+func BenchmarkSimulationRun(b *testing.B) { benchSimKernel(b, nil, false) }
 
 // ---------------------------------------------------------------------------
 // A1 — issue-width sweep (dot product)

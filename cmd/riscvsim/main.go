@@ -19,8 +19,47 @@ import (
 	"riscvsim/internal/api"
 	"riscvsim/internal/client"
 	"riscvsim/internal/server"
+	"riscvsim/internal/trace"
 	"riscvsim/sim"
 )
+
+// traceFlag implements -trace[=stages]: a bare -trace turns tracing on
+// for every stage; -trace=fetch,commit keeps only the named stages
+// (docs/trace.md has the grammar).
+type traceFlag struct {
+	on     bool
+	stages string
+}
+
+// String implements flag.Value.
+func (f *traceFlag) String() string {
+	if !f.on {
+		return ""
+	}
+	if f.stages == "" {
+		return "all"
+	}
+	return f.stages
+}
+
+// Set implements flag.Value.
+func (f *traceFlag) Set(v string) error {
+	switch v {
+	case "false":
+		f.on, f.stages = false, ""
+	case "", "true", "all":
+		f.on, f.stages = true, ""
+	default:
+		if _, err := trace.ParseStages(v); err != nil {
+			return err
+		}
+		f.on, f.stages = true, v
+	}
+	return nil
+}
+
+// IsBoolFlag lets -trace appear without a value.
+func (f *traceFlag) IsBoolFlag() bool { return true }
 
 func main() {
 	var (
@@ -40,7 +79,12 @@ func main() {
 		host     = flag.String("host", "", "server host (empty = in-process simulation)")
 		port     = flag.Int("port", 8042, "server port")
 		gzipOn   = flag.Bool("gzip", true, "use gzip when talking to a server")
+
+		tracePC    = flag.String("trace-pc", "", "trace PC-range filter lo:hi (inclusive code indices)")
+		traceLimit = flag.Int("trace-limit", 0, "trace event bound (default 4096, max 65536)")
 	)
+	var traceOn traceFlag
+	flag.Var(&traceOn, "trace", "print a pipeline diagram; optionally =stage,... (fetch, decode, rename, dispatch, issue, execute, writeback, commit, squash)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: riscvsim [flags] program.{s,c}\n       riscvsim [flags] -restore state.ckpt\n\nFlags:\n")
 		flag.PrintDefaults()
@@ -85,6 +129,13 @@ func main() {
 		MemFills:     fills,
 		IncludeState: *verbose >= 3,
 		IncludeLog:   *verbose >= 2,
+	}
+	// A trace filter flag implies -trace itself.
+	if *tracePC != "" || *traceLimit != 0 {
+		traceOn.on = true
+	}
+	if traceOn.on {
+		req.Trace = &api.TraceOptions{Stages: traceOn.stages, PCRange: *tracePC, Limit: *traceLimit}
 	}
 	if *ckptIn != "" {
 		data, err := os.ReadFile(*ckptIn)
@@ -144,6 +195,12 @@ func main() {
 				fmt.Printf("[cycle %6d] %s\n", e.Cycle, e.Msg)
 			}
 		}
+		if resp.Trace != nil {
+			fmt.Println()
+			fmt.Printf("Pipeline trace: %d events collected (%d matched, %d dropped by the bound)\n",
+				len(resp.Trace.Events), resp.Trace.Total, resp.Trace.Dropped)
+			fmt.Print(trace.Diagram(trace.Lifetimes(resp.Trace.Events), 0))
+		}
 	}
 
 	if *dump != "" && *host == "" {
@@ -199,6 +256,15 @@ func runAndCheckpoint(req *api.SimulateRequest, ckptPath string) (*api.SimulateR
 	if err != nil {
 		return nil, err
 	}
+	var ring *sim.TraceRing
+	if req.Trace != nil {
+		r, aerr := server.TraceRing(req.Trace)
+		if aerr != nil {
+			return nil, aerr
+		}
+		ring = r
+		m.SetTracer(ring)
+	}
 	steps := req.Steps
 	if steps == 0 {
 		steps = 50_000_000
@@ -225,6 +291,9 @@ func runAndCheckpoint(req *api.SimulateRequest, ckptPath string) (*api.SimulateR
 		resp.State = m.State(req.IncludeLog)
 	} else if req.IncludeLog {
 		resp.Log = m.Log()
+	}
+	if ring != nil {
+		resp.Trace = server.TraceResultOf(ring)
 	}
 	return resp, nil
 }

@@ -36,6 +36,9 @@ const (
 	// CodeUnprocessable: a session operation failed on a valid session
 	// (e.g. goto past the end of the debug log).
 	CodeUnprocessable = "unprocessable"
+	// CodeBadTrace: the trace options are invalid (unknown stage name,
+	// malformed PC range, out-of-range limit).
+	CodeBadTrace = "bad_trace"
 	// CodeInternal: the server failed to produce a response.
 	CodeInternal = "internal"
 

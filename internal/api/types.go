@@ -56,6 +56,41 @@ type SimulateRequest struct {
 	// MemFills still apply afterwards, so sweeps can fork one warm
 	// checkpoint into N variants.
 	Checkpoint []byte `json:"checkpoint,omitempty"`
+	// Trace, when set, attaches a bounded pipeline-trace collector for
+	// the run and returns its contents in SimulateResponse.Trace. Works
+	// for source builds and checkpoint restores alike.
+	Trace *TraceOptions `json:"trace,omitempty"`
+}
+
+// TraceOptions configures pipeline tracing for a run (docs/trace.md).
+type TraceOptions struct {
+	// Stages filters by stage name, comma-separated ("fetch,commit");
+	// "" and "all" keep every stage.
+	Stages string `json:"stages,omitempty"`
+	// PCRange filters by code index, "lo:hi" inclusive; either side may
+	// be empty.
+	PCRange string `json:"pcRange,omitempty"`
+	// Limit bounds the buffered events (default 4096, max 65536); the
+	// collector keeps the newest events and counts the dropped ones.
+	Limit int `json:"limit,omitempty"`
+}
+
+// Trace limits: the default and maximum ring capacity a request may ask
+// for, and the ceiling on streamed events.
+const (
+	DefaultTraceLimit    = 4096
+	MaxTraceLimit        = 65536
+	MaxTraceStreamEvents = 1_000_000
+)
+
+// TraceResult carries the collected ring buffer back in the v1 envelope.
+type TraceResult struct {
+	// Events are the newest matching events, oldest first.
+	Events []sim.StageEvent `json:"events"`
+	// Total counts every event that matched the filter during the run.
+	Total uint64 `json:"total"`
+	// Dropped counts matching events evicted by the Limit bound.
+	Dropped uint64 `json:"dropped"`
 }
 
 // SimulateResponse carries results.
@@ -66,6 +101,7 @@ type SimulateResponse struct {
 	Stats      *sim.Report    `json:"stats"`
 	State      *sim.State     `json:"state,omitempty"`
 	Log        []sim.LogEntry `json:"log,omitempty"`
+	Trace      *TraceResult   `json:"trace,omitempty"`
 }
 
 // CompileRequest compiles C to assembly.
@@ -240,6 +276,60 @@ type StreamEvent struct {
 	State      *sim.State  `json:"state,omitempty"`
 	Stats      *sim.Report `json:"stats,omitempty"`
 	Error      *Error      `json:"error,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Trace streaming (POST /api/v1/session/trace)
+// ---------------------------------------------------------------------------
+
+// TraceStreamRequest opens a one-shot streaming trace: the server builds
+// the machine (from source or checkpoint), runs it, and pushes one NDJSON
+// TraceStreamEvent per pipeline-stage event that passes the filters. The
+// final line has Done == true and carries the run summary.
+type TraceStreamRequest struct {
+	SimulateRequest
+	// StepBurst is how many cycles to simulate between flushes
+	// (default 256). Events are batched per burst but every event is its
+	// own NDJSON line.
+	StepBurst uint64 `json:"stepBurst,omitempty"`
+	// MaxEvents caps the streamed events (default 100000, ceiling
+	// MaxTraceStreamEvents); past the cap the run completes untraced and
+	// the final summary reports Truncated.
+	MaxEvents int `json:"maxEvents,omitempty"`
+}
+
+// TraceStreamEvent is one NDJSON line of a trace stream: either one stage
+// event, or (with Done set) the final summary.
+type TraceStreamEvent struct {
+	Seq   int             `json:"seq"`
+	Event *sim.StageEvent `json:"event,omitempty"`
+	// Summary fields, set on the final line.
+	Done       bool   `json:"done,omitempty"`
+	Cycle      uint64 `json:"cycle,omitempty"`
+	Halted     bool   `json:"halted,omitempty"`
+	HaltReason string `json:"haltReason,omitempty"`
+	// Total counts the filter-matching events the run produced;
+	// Truncated is set when MaxEvents stopped the stream early.
+	Truncated bool   `json:"truncated,omitempty"`
+	Total     uint64 `json:"total,omitempty"`
+	Error     *Error `json:"error,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Session debug log (GET /api/v1/session/{id}/log)
+// ---------------------------------------------------------------------------
+
+// SessionLogResponse pages through a session's debug log. The log is
+// bounded (config.CPU maxLogEntries, default 4096, newest entries kept),
+// so a pager that falls too far behind observes a gap — Dropped entries
+// older than the returned window are gone.
+type SessionLogResponse struct {
+	SessionID string         `json:"sessionId"`
+	Cycle     uint64         `json:"cycle"`
+	Entries   []sim.LogEntry `json:"log"`
+	// NextCycle is the since_cycle value that continues paging after
+	// this window (one past the newest returned entry's cycle).
+	NextCycle uint64 `json:"nextCycle"`
 }
 
 // ---------------------------------------------------------------------------

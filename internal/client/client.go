@@ -19,6 +19,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"time"
 
 	"riscvsim/internal/api"
@@ -202,6 +203,92 @@ func (c *Client) Stream(req *api.StreamRequest, fn func(*api.StreamEvent) error)
 		return nil, fmt.Errorf("client: %s: stream ended without a final event", path)
 	}
 	return last, nil
+}
+
+// SimulateWithTrace runs a batch simulation with the pipeline-trace
+// collector attached, returning the response with its Trace result. A
+// nil opts traces every stage with the default ring bound.
+func (c *Client) SimulateWithTrace(req *api.SimulateRequest, opts *api.TraceOptions) (*api.SimulateResponse, error) {
+	traced := *req
+	if opts == nil {
+		opts = &api.TraceOptions{}
+	}
+	traced.Trace = opts
+	resp, err := c.Simulate(&traced)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Trace == nil {
+		return nil, fmt.Errorf("client: server returned no trace (pre-trace server?)")
+	}
+	return resp, nil
+}
+
+// StreamTrace opens an NDJSON pipeline-trace stream and calls fn for
+// every stage event. It returns the final summary line. fn returning an
+// error aborts the stream and surfaces that error.
+func (c *Client) StreamTrace(req *api.TraceStreamRequest, fn func(*api.TraceStreamEvent) error) (*api.TraceStreamEvent, error) {
+	path := api.V1Prefix + "/session/trace"
+	hreq, err := c.newRequest(path, req)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(hresp.Body)
+		return nil, decodeError(path, hresp.StatusCode, data)
+	}
+	dec := json.NewDecoder(bufio.NewReader(hresp.Body))
+	var last *api.TraceStreamEvent
+	for {
+		var ev api.TraceStreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("client: decoding %s event: %w", path, err)
+		}
+		last = &ev
+		if fn != nil {
+			if err := fn(&ev); err != nil {
+				return nil, err
+			}
+		}
+		if ev.Done {
+			break
+		}
+	}
+	if last == nil || !last.Done {
+		return nil, fmt.Errorf("client: %s: trace stream ended without a summary", path)
+	}
+	return last, nil
+}
+
+// SessionLog pages through a session's debug log: entries from
+// sinceCycle on, plus the cycle to resume paging from.
+func (c *Client) SessionLog(id string, sinceCycle uint64) (*api.SessionLogResponse, error) {
+	path := fmt.Sprintf("%s/session/%s/log?since_cycle=%d", api.V1Prefix, url.PathEscape(id), sinceCycle)
+	hresp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading %s response: %w", path, err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeError(path, hresp.StatusCode, data)
+	}
+	var resp api.SessionLogResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return &resp, nil
 }
 
 // Compile translates C to assembly on the server.

@@ -1,0 +1,171 @@
+package client
+
+// Client-side coverage of the pipeline-trace surface: SimulateWithTrace
+// returning the ring in the envelope, StreamTrace consuming the NDJSON
+// stream, and SessionLog paging — all against an in-process server.
+
+import (
+	"strings"
+	"testing"
+
+	"riscvsim/internal/api"
+	"riscvsim/internal/server"
+	"riscvsim/internal/trace"
+)
+
+const clientTraceLoop = `
+addi t0, x0, 0
+addi t1, x0, 3
+loop:
+  addi t0, t0, 1
+  bne  t0, t1, loop
+`
+
+func TestClientSimulateWithTrace(t *testing.T) {
+	c, closeFn := Local(server.DefaultOptions())
+	defer closeFn()
+	resp, err := c.SimulateWithTrace(&api.SimulateRequest{Code: clientTraceLoop},
+		&api.TraceOptions{Stages: "commit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Halted || resp.Trace == nil {
+		t.Fatalf("response incomplete: %+v", resp)
+	}
+	if len(resp.Trace.Events) != 8 {
+		t.Errorf("got %d commit events, want 8", len(resp.Trace.Events))
+	}
+	for _, ev := range resp.Trace.Events {
+		if ev.Stage != trace.StageCommit || ev.Disasm == "" {
+			t.Errorf("bad event: %+v", ev)
+		}
+	}
+}
+
+func TestClientSimulateWithTraceNilOptions(t *testing.T) {
+	c, closeFn := Local(server.DefaultOptions())
+	defer closeFn()
+	resp, err := c.SimulateWithTrace(&api.SimulateRequest{Code: clientTraceLoop}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil || len(resp.Trace.Events) == 0 {
+		t.Fatal("nil options should trace every stage")
+	}
+}
+
+func TestClientSimulateWithTraceBadFilter(t *testing.T) {
+	c, closeFn := Local(server.DefaultOptions())
+	defer closeFn()
+	_, err := c.SimulateWithTrace(&api.SimulateRequest{Code: clientTraceLoop},
+		&api.TraceOptions{Stages: "warp"})
+	if err == nil || !strings.Contains(err.Error(), api.CodeBadTrace) {
+		t.Errorf("err = %v, want the %s envelope code", err, api.CodeBadTrace)
+	}
+}
+
+func TestClientStreamTrace(t *testing.T) {
+	c, closeFn := Local(server.DefaultOptions())
+	defer closeFn()
+	var seen []api.TraceStreamEvent
+	final, err := c.StreamTrace(&api.TraceStreamRequest{
+		SimulateRequest: api.SimulateRequest{
+			Code:  clientTraceLoop,
+			Trace: &api.TraceOptions{Stages: "commit,squash"},
+		},
+	}, func(ev *api.TraceStreamEvent) error {
+		seen = append(seen, *ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Done || !final.Halted {
+		t.Fatalf("final summary wrong: %+v", final)
+	}
+	if len(seen) < 9 { // 8 commits (+ any squashes) + summary
+		t.Fatalf("saw %d lines, want at least 9", len(seen))
+	}
+	commits := 0
+	for _, ev := range seen {
+		if ev.Event != nil && ev.Event.Stage == trace.StageCommit {
+			commits++
+		}
+	}
+	if commits != 8 {
+		t.Errorf("stream carried %d commits, want 8", commits)
+	}
+}
+
+func TestClientStreamTraceCallbackAborts(t *testing.T) {
+	c, closeFn := Local(server.DefaultOptions())
+	defer closeFn()
+	wantErr := "enough"
+	_, err := c.StreamTrace(&api.TraceStreamRequest{
+		SimulateRequest: api.SimulateRequest{Code: clientTraceLoop},
+	}, func(ev *api.TraceStreamEvent) error {
+		return errString(wantErr)
+	})
+	if err == nil || err.Error() != wantErr {
+		t.Errorf("err = %v, want %q", err, wantErr)
+	}
+}
+
+// errString is a trivial error value for the abort test.
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestClientSessionLogPaging(t *testing.T) {
+	c, closeFn := Local(server.DefaultOptions())
+	defer closeFn()
+	// A mispredicting loop fills the log with flush lines.
+	sess, err := c.NewSession(&api.SessionNewRequest{SimulateRequest: api.SimulateRequest{Code: `
+  addi t0, x0, 0
+  addi t1, x0, 32
+loop:
+  addi t0, t0, 1
+  andi t2, t0, 1
+  bne  t2, x0, odd
+  addi t3, x0, 7
+odd:
+  bne  t0, t1, loop
+`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(sess.SessionID, 40); err != nil {
+		t.Fatal(err)
+	}
+	page, err := c.SessionLog(sess.SessionID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) == 0 || page.NextCycle != page.Cycle+1 {
+		t.Fatalf("first page wrong: %+v", page)
+	}
+	if _, err := c.Step(sess.SessionID, 200); err != nil {
+		t.Fatal(err)
+	}
+	next, err := c.SessionLog(sess.SessionID, page.NextCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Entries) == 0 {
+		t.Fatal("second page empty after stepping")
+	}
+	for _, e := range next.Entries {
+		if e.Cycle < page.NextCycle {
+			t.Errorf("second page leaked entry from cycle %d", e.Cycle)
+		}
+	}
+}
+
+func TestClientSessionLogUnknown(t *testing.T) {
+	c, closeFn := Local(server.DefaultOptions())
+	defer closeFn()
+	if _, err := c.SessionLog("nope", 0); err == nil ||
+		!strings.Contains(err.Error(), api.CodeUnknownSession) {
+		t.Errorf("err = %v, want %s", err, api.CodeUnknownSession)
+	}
+}

@@ -83,6 +83,13 @@ type CPU struct {
 	StoreBufferSize int `json:"storeBufferSize"`
 	RenameRegisters int `json:"renameRegisters"`
 
+	// MaxLogEntries bounds the in-memory debug log; the core keeps the
+	// newest entries once the bound is reached. 0 selects
+	// DefaultMaxLogEntries (the field is omitted from exported documents
+	// at that default, keeping existing architecture JSON — and its
+	// checkpoint config hash — stable).
+	MaxLogEntries int `json:"maxLogEntries,omitempty"`
+
 	// Functional units tab.
 	Units []FUSpec `json:"units"`
 
@@ -92,6 +99,18 @@ type CPU struct {
 	Memory memory.Config `json:"memory"`
 	// Branch prediction tab.
 	Predictor predictor.Config `json:"predictor"`
+}
+
+// DefaultMaxLogEntries is the debug-log bound used when the architecture
+// document does not set maxLogEntries.
+const DefaultMaxLogEntries = 4096
+
+// LogBound returns the effective debug-log bound.
+func (c *CPU) LogBound() int {
+	if c.MaxLogEntries > 0 {
+		return c.MaxLogEntries
+	}
+	return DefaultMaxLogEntries
 }
 
 // Validate checks the whole configuration and returns every problem found,
@@ -128,6 +147,9 @@ func (c *CPU) Validate() []error {
 		if w.v <= 0 {
 			add("config: %s must be positive, got %d", w.n, w.v)
 		}
+	}
+	if c.MaxLogEntries < 0 {
+		add("config: maxLogEntries must be non-negative, got %d", c.MaxLogEntries)
 	}
 	if c.RenameRegisters < c.ROBSize {
 		add("config: renameRegisters (%d) must be at least robSize (%d) so every in-flight instruction can rename a destination",

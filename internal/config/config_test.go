@@ -140,3 +140,29 @@ func TestScalarPresetIsNarrow(t *testing.T) {
 		t.Error("scalar preset should use the simple one-bit predictor")
 	}
 }
+
+func TestLogBoundKnob(t *testing.T) {
+	c := Default()
+	if c.LogBound() != DefaultMaxLogEntries {
+		t.Errorf("default log bound = %d, want %d", c.LogBound(), DefaultMaxLogEntries)
+	}
+	c.MaxLogEntries = 128
+	if c.LogBound() != 128 {
+		t.Errorf("log bound = %d, want the configured 128", c.LogBound())
+	}
+	c.MaxLogEntries = -1
+	if errs := c.Validate(); len(errs) == 0 {
+		t.Error("negative maxLogEntries should fail validation")
+	}
+	// The knob must not leak into exported documents at its default, so
+	// existing architecture JSON (and checkpoint config hashes) stay
+	// byte-stable.
+	c.MaxLogEntries = 0
+	data, err := c.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "maxLogEntries") {
+		t.Error("zero maxLogEntries should be omitted from exports")
+	}
+}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
+
 	"riscvsim/internal/expr"
 	"riscvsim/internal/fault"
 	"riscvsim/internal/isa"
 	"riscvsim/internal/memory"
+	"riscvsim/internal/trace"
 )
 
 // LSU combines the load buffer, the store buffer and the memory unit that
@@ -27,6 +30,12 @@ type LSU struct {
 	committed []*SimInstr
 
 	port memory.Port
+
+	// onTrace, when set by Simulation.SetTracer, reports load completions
+	// (the memory pipeline's writeback transitions) to the pipeline
+	// tracer. nil when tracing is off — same nil-guard discipline as the
+	// core's emission sites.
+	onTrace func(now uint64, si *SimInstr, st trace.Stage, detail string)
 
 	// Statistics.
 	loadCount     uint64
@@ -204,6 +213,13 @@ func (l *LSU) Step(now uint64) (completed []*SimInstr, storeExc *fault.Exception
 	for _, ld := range l.loads {
 		if ld.memIssued && now >= ld.memDoneAt && !ld.Squashed {
 			completed = append(completed, ld)
+			if l.onTrace != nil {
+				detail := fmt.Sprintf("addr=%d", ld.effAddr)
+				if ld.Exc.Occurred() {
+					detail = "exception: " + ld.Exc.Error()
+				}
+				l.onTrace(now, ld, trace.StageWriteback, detail)
+			}
 			continue
 		}
 		kept = append(kept, ld)

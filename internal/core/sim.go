@@ -13,6 +13,7 @@ import (
 	"riscvsim/internal/predictor"
 	"riscvsim/internal/rename"
 	"riscvsim/internal/stats"
+	"riscvsim/internal/trace"
 )
 
 // LogEntry is one timestamped debug-log message (paper §II-A: "Each log
@@ -22,8 +23,9 @@ type LogEntry struct {
 	Msg   string `json:"msg"`
 }
 
-// maxLogEntries bounds the in-memory debug log.
-const maxLogEntries = 4096
+// The debug-log bound is an architecture knob (config.CPU.MaxLogEntries,
+// default config.DefaultMaxLogEntries); the core keeps the newest entries
+// once the bound is reached.
 
 // Simulation is one processor simulation instance: the step manager that
 // owns all pipeline blocks, arranged in a queue based on their position in
@@ -82,7 +84,19 @@ type Simulation struct {
 	bpSkipID    uint64
 
 	log        []LogEntry
+	logBound   int
 	VerboseLog bool
+
+	// tracer receives typed stage events (the structured pipeline-trace
+	// subsystem). nil means tracing is off; every emission site guards
+	// with a nil check so the untraced hot loop pays only that check
+	// (pinned by BenchmarkSimTraceOff). traceWant and tracePCMin/Max
+	// cache the tracer's filter so filtered collectors skip event
+	// construction too.
+	tracer     trace.Tracer
+	traceWant  trace.StageMask
+	tracePCMin int
+	tracePCMax int // -1 = unbounded
 }
 
 // New builds a simulation over an assembled program and its loaded memory.
@@ -121,6 +135,7 @@ func New(cfg *config.CPU, set *isa.Set, regs *isa.RegisterFile, prog *asm.Progra
 		decodeCap:  2 * cfg.FetchWidth,
 		ev:         expr.NewEvaluator(),
 		dynMix:     make(map[isa.InstrType]uint64),
+		logBound:   cfg.LogBound(),
 	}
 	s.windows[isa.FX] = newIssueWindow(isa.FX, cfg.FXWindow)
 	s.windows[isa.FP] = newIssueWindow(isa.FP, cfg.FPWindow)
@@ -141,10 +156,69 @@ func New(cfg *config.CPU, set *isa.Set, regs *isa.RegisterFile, prog *asm.Progra
 }
 
 func (s *Simulation) logf(now uint64, format string, args ...any) {
-	if len(s.log) >= maxLogEntries {
-		return
+	if len(s.log) >= s.logBound {
+		// Keep the newest entries: drop the oldest half by re-slicing —
+		// no element copying here; append reclaims the dead prefix the
+		// next time it grows the slice.
+		s.log = s.log[len(s.log)-s.logBound/2:]
 	}
 	s.log = append(s.log, LogEntry{Cycle: now, Msg: fmt.Sprintf(format, args...)})
+}
+
+// SetTracer attaches (or with nil detaches) the pipeline-trace sink. The
+// LSU gets a forwarding hook so load completions report from lsu.go with
+// the same nil-guarded discipline. A sink exposing a stage filter
+// (trace.Filterer, e.g. the Ring) lets the emission sites skip unwanted
+// stages before building the event at all.
+func (s *Simulation) SetTracer(t trace.Tracer) {
+	s.tracer = t
+	if t == nil {
+		s.traceWant = 0
+		s.lsu.onTrace = nil
+		return
+	}
+	s.traceWant = trace.WantedStages(t)
+	s.tracePCMin, s.tracePCMax = 0, -1
+	if f, ok := t.(trace.Filterer); ok {
+		flt := f.Filter()
+		s.tracePCMin, s.tracePCMax = flt.PCMin, flt.PCMax
+	}
+	if s.traceWant.Has(trace.StageWriteback) {
+		s.lsu.onTrace = func(now uint64, si *SimInstr, st trace.Stage, detail string) {
+			s.emit(now, si, st, detail)
+		}
+	} else {
+		s.lsu.onTrace = nil
+	}
+}
+
+// Tracer returns the attached pipeline-trace sink, or nil.
+func (s *Simulation) Tracer() trace.Tracer { return s.tracer }
+
+// tracing reports whether the stage should be emitted: a tracer is
+// attached and wants it. The nil comparison comes first so the untraced
+// hot path pays a single predictable branch.
+func (s *Simulation) tracing(st trace.Stage) bool {
+	return s.tracer != nil && s.traceWant.Has(st)
+}
+
+// emit forwards one stage transition to the tracer. Callers must guard
+// with s.tracer != nil so the trace-off hot path pays only that check
+// (and never builds the event or its detail string). The cached
+// PC-range filter short-circuits here, before the disassembly text is
+// formatted — the expensive part of event construction.
+func (s *Simulation) emit(now uint64, si *SimInstr, st trace.Stage, detail string) {
+	if si.PC < s.tracePCMin || (s.tracePCMax >= 0 && si.PC > s.tracePCMax) {
+		return
+	}
+	s.tracer.Trace(trace.StageEvent{
+		Cycle:   now,
+		InstrID: si.ID,
+		PC:      si.PC,
+		Disasm:  si.Static.String(),
+		Stage:   st,
+		Detail:  detail,
+	})
 }
 
 // Cycle returns the number of executed cycles.
@@ -234,6 +308,15 @@ func (s *Simulation) commitStep(now uint64) {
 		si := s.rob.Pop()
 		si.Phase = PhaseCommitted
 		si.CommittedAt = now
+		if s.tracing(trace.StageCommit) {
+			detail := ""
+			if si.Exc.Occurred() {
+				detail = "exception: " + si.Exc.Error()
+			} else if si.Static.Desc.Halts {
+				detail = "halt"
+			}
+			s.emit(now, si, trace.StageCommit, detail)
+		}
 
 		// The existence of an exception is checked when the
 		// instruction is committed (paper §III-B).
@@ -309,9 +392,29 @@ func (s *Simulation) completeInstr(si *SimInstr, now uint64) {
 		}
 		si.ExecutedAt = now
 		desc := si.Static.Desc
+		if s.tracing(trace.StageExecute) {
+			detail := ""
+			switch {
+			case desc.IsBranch():
+				if si.actualTaken {
+					detail = fmt.Sprintf("taken->%d", si.actualTgt)
+				} else {
+					detail = "not-taken"
+				}
+				if si.mispredict {
+					detail += " mispredict"
+				}
+			case desc.IsLoad(), desc.IsStore():
+				detail = fmt.Sprintf("addr=%d", si.effAddr)
+			}
+			if si.Exc.Occurred() {
+				detail = "exception: " + si.Exc.Error()
+			}
+			s.emit(now, si, trace.StageExecute, detail)
+		}
 		switch {
 		case desc.IsBranch():
-			s.writebackDest(si)
+			s.writebackDest(si, now)
 			s.rob.MarkDone(si)
 			si.Phase = PhaseDone
 			switch {
@@ -343,7 +446,7 @@ func (s *Simulation) completeInstr(si *SimInstr, now uint64) {
 			s.rob.MarkDone(si)
 			si.Phase = PhaseDone
 		default:
-			s.writebackDest(si)
+			s.writebackDest(si, now)
 			s.rob.MarkDone(si)
 			si.Phase = PhaseDone
 		}
@@ -367,7 +470,7 @@ func (s *Simulation) checkAddress(si *SimInstr, now uint64) {
 // writebackDest publishes the computed result to the rename file; faulting
 // instructions publish a zero so commit bookkeeping stays consistent (the
 // exception is raised at commit anyway).
-func (s *Simulation) writebackDest(si *SimInstr) {
+func (s *Simulation) writebackDest(si *SimInstr, now uint64) {
 	if !si.hasDest {
 		return
 	}
@@ -375,6 +478,9 @@ func (s *Simulation) writebackDest(si *SimInstr) {
 		s.rf.SetValue(si.destTag, si.result)
 	} else {
 		s.rf.SetValue(si.destTag, expr.NewInt(0))
+	}
+	if s.tracing(trace.StageWriteback) {
+		s.emit(now, si, trace.StageWriteback, rename.TagName(si.destTag))
 	}
 }
 
@@ -386,6 +492,9 @@ func (s *Simulation) issueStep(now uint64) {
 		w := s.windows[fu.Class()]
 		if si := w.SelectReady(s.rf, fu); si != nil {
 			fu.Accept(si, now, s.ev)
+			if s.tracing(trace.StageIssue) {
+				s.emit(now, si, trace.StageIssue, fu.Name())
+			}
 		}
 	}
 }
@@ -459,6 +568,21 @@ func (s *Simulation) renameStep(now uint64) {
 		w.Insert(si)
 		si.Phase = PhaseDecoded
 		si.DecodedAt = now
+		if s.tracer != nil {
+			if s.traceWant.Has(trace.StageDecode) {
+				s.emit(now, si, trace.StageDecode, "")
+			}
+			if s.traceWant.Has(trace.StageRename) {
+				renamed := ""
+				if si.hasDest {
+					renamed = rename.TagName(si.destTag)
+				}
+				s.emit(now, si, trace.StageRename, renamed)
+			}
+			if s.traceWant.Has(trace.StageDispatch) {
+				s.emit(now, si, trace.StageDispatch, desc.Unit.String())
+			}
+		}
 		s.decodeBuf = s.decodeBuf[1:]
 		n++
 	}
@@ -473,6 +597,22 @@ func (s *Simulation) fetchStep(now uint64) {
 		s.nextID++
 		return s.nextID
 	})
+	if s.tracing(trace.StageFetch) {
+		for _, si := range fetched {
+			detail := ""
+			if si.IsBranch() {
+				switch {
+				case si.predStall:
+					detail = "pred stall (unknown target)"
+				case si.predTaken:
+					detail = fmt.Sprintf("pred taken->%d", si.predTarget)
+				default:
+					detail = "pred not-taken"
+				}
+			}
+			s.emit(now, si, trace.StageFetch, detail)
+		}
+	}
 	s.decodeBuf = append(s.decodeBuf, fetched...)
 }
 
@@ -481,6 +621,11 @@ func (s *Simulation) fetchStep(now uint64) {
 func (s *Simulation) flushAfter(si *SimInstr, now uint64) {
 	s.robFlushes++
 	squashed := s.rob.SquashAfter(si) // youngest first
+	traceSquash := s.tracing(trace.StageSquash)
+	var squashDetail string
+	if traceSquash {
+		squashDetail = fmt.Sprintf("mispredict #%d@%d", si.ID, si.PC)
+	}
 	for _, sq := range squashed {
 		sq.Squashed = true
 		sq.Phase = PhaseSquashed
@@ -489,12 +634,18 @@ func (s *Simulation) flushAfter(si *SimInstr, now uint64) {
 			s.rf.Squash(sq.destTag, sq.destPrev)
 		}
 		s.squashedCount++
+		if traceSquash {
+			s.emit(now, sq, trace.StageSquash, squashDetail)
+		}
 	}
 	// Everything still in the decode buffer was fetched after the branch.
 	for _, d := range s.decodeBuf {
 		d.Squashed = true
 		d.Phase = PhaseSquashed
 		s.squashedCount++
+		if traceSquash {
+			s.emit(now, d, trace.StageSquash, squashDetail)
+		}
 	}
 	s.decodeBuf = s.decodeBuf[:0]
 	for _, fu := range s.fus {
@@ -562,6 +713,10 @@ func (s *Simulation) ReplayTo(target uint64) (*Simulation, error) {
 	for ns.cycle < target && !ns.halted {
 		ns.Step()
 	}
+	// The tracer carries over only after the replay loop: rewinding must
+	// not re-emit the past into an attached collector, but forward steps
+	// from the new position keep tracing.
+	ns.SetTracer(s.tracer)
 	// Debug state carries over, but replay itself never pauses.
 	if len(s.breakpoints) > 0 {
 		ns.breakpoints = make(map[int]bool, len(s.breakpoints))

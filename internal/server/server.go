@@ -153,6 +153,8 @@ func (s *Server) routes() {
 		{http.MethodPost, "/session/close", s.wrap(s.handleSessionClose), false},
 		{http.MethodGet, "/session/render", s.wrap(s.handleSessionRender), false},
 		{http.MethodPost, "/session/stream", s.handleSessionStream, true},
+		{http.MethodPost, "/session/trace", s.handleSessionTrace, true},
+		{http.MethodGet, "/session/{id}/log", s.wrap(s.handleSessionLog), true},
 		{http.MethodPost, "/session/checkpoint", s.wrap(s.handleSessionCheckpoint), true},
 		{http.MethodPost, "/session/restore", s.wrap(s.handleSessionRestore), true},
 		{http.MethodGet, "/metrics", s.wrap(s.handleMetrics), false},
@@ -256,7 +258,7 @@ func (s *Server) addCodecTime(name string, d time.Duration, encode bool) {
 // statusForCode maps stable v1 error codes onto HTTP statuses.
 func statusForCode(code string) int {
 	switch code {
-	case api.CodeBadJSON, api.CodeBadRequest:
+	case api.CodeBadJSON, api.CodeBadRequest, api.CodeBadTrace:
 		return http.StatusBadRequest
 	case api.CodeBodyTooLarge, api.CodeBatchTooLarge:
 		return http.StatusRequestEntityTooLarge
@@ -461,12 +463,44 @@ func ApplyMemFill(m *sim.Machine, f api.MemFill) error {
 // maxBatchCycles bounds batch simulations.
 const maxBatchCycles = 50_000_000
 
+// TraceRing builds the bounded collector a request's trace options
+// describe. Exported so the CLI's in-process paths (checkpoint save,
+// memory dumps) trace with exactly the server's semantics.
+func TraceRing(opts *api.TraceOptions) (*sim.TraceRing, *api.Error) {
+	f, err := sim.ParseTraceFilter(opts.Stages, opts.PCRange)
+	if err != nil {
+		return nil, api.WrapError(api.CodeBadTrace, err)
+	}
+	limit := opts.Limit
+	if limit == 0 {
+		limit = api.DefaultTraceLimit
+	}
+	if limit < 0 || limit > api.MaxTraceLimit {
+		return nil, api.Errorf(api.CodeBadTrace, "trace limit %d out of range (1..%d)", limit, api.MaxTraceLimit)
+	}
+	return sim.NewTraceRing(limit, f), nil
+}
+
+// TraceResultOf packages a collector's contents for the v1 envelope.
+// Exported alongside TraceRing so the CLI's in-process paths produce
+// responses identical to the server's.
+func TraceResultOf(ring *sim.TraceRing) *api.TraceResult {
+	return &api.TraceResult{Events: ring.Events(), Total: ring.Total(), Dropped: ring.Dropped()}
+}
+
 // runSimulate executes one SimulateRequest start-to-finish: the shared
 // core of /api/v1/simulate and each /api/v1/batch entry.
 func (s *Server) runSimulate(req *api.SimulateRequest) (*api.SimulateResponse, *api.Error) {
 	m, aerr := s.buildMachine(req)
 	if aerr != nil {
 		return nil, aerr
+	}
+	var ring *sim.TraceRing
+	if req.Trace != nil {
+		if ring, aerr = TraceRing(req.Trace); aerr != nil {
+			return nil, aerr
+		}
+		m.SetTracer(ring)
 	}
 	steps := req.Steps
 	if steps == 0 || steps > maxBatchCycles {
@@ -485,6 +519,9 @@ func (s *Server) runSimulate(req *api.SimulateRequest) (*api.SimulateResponse, *
 		resp.State = m.State(req.IncludeLog)
 	} else if req.IncludeLog {
 		resp.Log = m.Log()
+	}
+	if ring != nil {
+		resp.Trace = TraceResultOf(ring)
 	}
 	return resp, nil
 }

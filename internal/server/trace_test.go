@@ -1,0 +1,371 @@
+package server
+
+// Tests of the pipeline-trace surface: the SimulateRequest.trace option
+// returning the ring buffer in the v1 envelope, the NDJSON
+// /api/v1/session/trace stream with its filters, and the paged session
+// debug-log endpoint.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"riscvsim/internal/api"
+	"riscvsim/internal/trace"
+)
+
+// jsonBody marshals a request document into a POST body.
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
+}
+
+// traceLoopProgram commits 2 + 3*2 instructions with a loop branch.
+const traceLoopProgram = `
+addi t0, x0, 0
+addi t1, x0, 3
+loop:
+  addi t0, t0, 1
+  bne  t0, t1, loop
+`
+
+func TestSimulateWithTraceOption(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/api/v1/simulate", &api.SimulateRequest{
+		Code:  traceLoopProgram,
+		Trace: &api.TraceOptions{},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr api.SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Trace == nil || len(sr.Trace.Events) == 0 {
+		t.Fatalf("no trace in response: %s", body)
+	}
+	if sr.Trace.Total != uint64(len(sr.Trace.Events)) || sr.Trace.Dropped != 0 {
+		t.Errorf("accounting wrong: %d events, total %d, dropped %d",
+			len(sr.Trace.Events), sr.Trace.Total, sr.Trace.Dropped)
+	}
+	commits := 0
+	for _, ev := range sr.Trace.Events {
+		if ev.Stage == trace.StageCommit {
+			commits++
+		}
+	}
+	if commits != 8 {
+		t.Errorf("trace shows %d commits, want 8", commits)
+	}
+}
+
+func TestSimulateTraceStageAndPCFilter(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/api/v1/simulate", &api.SimulateRequest{
+		Code:  traceLoopProgram,
+		Trace: &api.TraceOptions{Stages: "commit", PCRange: "2:3"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr api.SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Trace == nil || len(sr.Trace.Events) != 6 {
+		t.Fatalf("filtered trace wrong (want the 6 loop-body commits): %+v", sr.Trace)
+	}
+	for _, ev := range sr.Trace.Events {
+		if ev.Stage != trace.StageCommit || ev.PC < 2 || ev.PC > 3 {
+			t.Errorf("event escaped the filter: %+v", ev)
+		}
+	}
+}
+
+func TestSimulateTraceLimitBoundsRing(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/api/v1/simulate", &api.SimulateRequest{
+		Code:  traceLoopProgram,
+		Trace: &api.TraceOptions{Stages: "commit", Limit: 3},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr api.SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Trace == nil || len(sr.Trace.Events) != 3 {
+		t.Fatalf("limit ignored: %+v", sr.Trace)
+	}
+	if sr.Trace.Total != 8 || sr.Trace.Dropped != 5 {
+		t.Errorf("accounting: total %d dropped %d, want 8/5", sr.Trace.Total, sr.Trace.Dropped)
+	}
+	// The ring keeps the newest events: the last commit survives.
+	last := sr.Trace.Events[len(sr.Trace.Events)-1]
+	if last.PC != 3 {
+		t.Errorf("newest surviving commit at pc %d, want the final branch at 3", last.PC)
+	}
+}
+
+func TestSimulateTraceBadOptions(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, opts := range []*api.TraceOptions{
+		{Stages: "bogus"},
+		{PCRange: "9:3"},
+		{Limit: api.MaxTraceLimit + 1},
+	} {
+		resp, body := postJSON(t, ts.URL+"/api/v1/simulate", &api.SimulateRequest{
+			Code: traceLoopProgram, Trace: opts,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("opts %+v: status %d, want 400: %s", opts, resp.StatusCode, body)
+		}
+		if env := decodeErrorEnvelope(t, body); env.Code != api.CodeBadTrace {
+			t.Errorf("opts %+v: code %q, want %q", opts, env.Code, api.CodeBadTrace)
+		}
+	}
+}
+
+func TestSessionTraceStreamNDJSON(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/api/v1/session/trace", "application/json",
+		jsonBody(t, &api.TraceStreamRequest{
+			SimulateRequest: api.SimulateRequest{
+				Code:  traceLoopProgram,
+				Trace: &api.TraceOptions{Stages: "commit"},
+			},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != api.MediaTypeNDJSON {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var events []api.TraceStreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev api.TraceStreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 9 { // 8 commits + summary
+		t.Fatalf("got %d lines, want 9: %+v", len(events), events)
+	}
+	for i, ev := range events[:8] {
+		if ev.Seq != i || ev.Event == nil || ev.Event.Stage != trace.StageCommit {
+			t.Errorf("line %d wrong: %+v", i, ev)
+		}
+	}
+	final := events[8]
+	if !final.Done || !final.Halted || final.Total != 8 || final.Truncated {
+		t.Errorf("summary wrong: %+v", final)
+	}
+}
+
+func TestSessionTraceStreamMaxEventsTruncates(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/api/v1/session/trace", "application/json",
+		jsonBody(t, &api.TraceStreamRequest{
+			SimulateRequest: api.SimulateRequest{
+				Code:  traceLoopProgram,
+				Trace: &api.TraceOptions{Stages: "commit"},
+			},
+			MaxEvents: 2,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []api.TraceStreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev api.TraceStreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d lines, want 2 events + summary", len(events))
+	}
+	final := events[2]
+	if !final.Done || !final.Truncated || !final.Halted {
+		t.Errorf("truncated summary wrong: %+v", final)
+	}
+	// Total stays exact past the cap: the run keeps counting untraced.
+	if final.Total != 8 {
+		t.Errorf("summary total = %d, want the exact 8 commits", final.Total)
+	}
+}
+
+func TestSessionTraceStreamBadOptions(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, opts := range []*api.TraceOptions{
+		{Stages: "warp"},
+		{Limit: api.MaxTraceLimit + 1},
+	} {
+		resp, err := http.Post(ts.URL+"/api/v1/session/trace", "application/json",
+			jsonBody(t, &api.TraceStreamRequest{
+				SimulateRequest: api.SimulateRequest{Code: traceLoopProgram, Trace: opts},
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("opts %+v: status %d, want 400 (stream must validate like /simulate)",
+				opts, resp.StatusCode)
+		}
+	}
+}
+
+func TestSessionTraceStreamHonorsLimit(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/api/v1/session/trace", "application/json",
+		jsonBody(t, &api.TraceStreamRequest{
+			SimulateRequest: api.SimulateRequest{
+				Code:  traceLoopProgram,
+				Trace: &api.TraceOptions{Stages: "commit", Limit: 3},
+			},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []api.TraceStreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev api.TraceStreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, ev)
+	}
+	if len(lines) != 4 { // 3 capped events + summary
+		t.Fatalf("got %d lines, want 3 events + summary", len(lines))
+	}
+	if final := lines[3]; !final.Done || !final.Truncated || final.Total != 8 {
+		t.Errorf("summary should report truncation with an exact total: %+v", final)
+	}
+}
+
+// mispredictProgram writes flush lines into the debug log.
+const mispredictProgram = `
+  addi t0, x0, 0
+  addi t1, x0, 32
+loop:
+  addi t0, t0, 1
+  andi t2, t0, 1
+  bne  t2, x0, odd
+  addi t3, x0, 7
+odd:
+  bne  t0, t1, loop
+`
+
+func TestSessionLogPaging(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/api/v1/session/new", &api.SessionNewRequest{
+		SimulateRequest: api.SimulateRequest{Code: mispredictProgram},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session/new: %d %s", resp.StatusCode, body)
+	}
+	var sn api.SessionNewResponse
+	if err := json.Unmarshal(body, &sn); err != nil {
+		t.Fatal(err)
+	}
+	step := func(n int64) {
+		resp, body := postJSON(t, ts.URL+"/api/v1/session/step",
+			&api.SessionStepRequest{SessionID: sn.SessionID, Steps: n})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step: %d %s", resp.StatusCode, body)
+		}
+	}
+	getLog := func(since uint64) *api.SessionLogResponse {
+		hresp, err := http.Get(fmt.Sprintf("%s/api/v1/session/%s/log?since_cycle=%d",
+			ts.URL, sn.SessionID, since))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hresp.Body.Close()
+		if hresp.StatusCode != http.StatusOK {
+			t.Fatalf("log: status %d", hresp.StatusCode)
+		}
+		var lr api.SessionLogResponse
+		if err := json.NewDecoder(hresp.Body).Decode(&lr); err != nil {
+			t.Fatal(err)
+		}
+		return &lr
+	}
+
+	step(40)
+	first := getLog(0)
+	if len(first.Entries) == 0 {
+		t.Fatal("no log entries after 40 cycles of a mispredicting loop")
+	}
+	if first.NextCycle != first.Cycle+1 {
+		t.Errorf("nextCycle = %d, want cycle+1 = %d", first.NextCycle, first.Cycle+1)
+	}
+	// Paging from NextCycle returns nothing new until the machine moves.
+	if again := getLog(first.NextCycle); len(again.Entries) != 0 {
+		t.Errorf("idle page returned %d entries", len(again.Entries))
+	}
+	step(200)
+	second := getLog(first.NextCycle)
+	if len(second.Entries) == 0 {
+		t.Fatal("no new entries after stepping further")
+	}
+	for _, e := range second.Entries {
+		if e.Cycle < first.NextCycle {
+			t.Errorf("page leaked an old entry from cycle %d (since %d)", e.Cycle, first.NextCycle)
+		}
+	}
+	// The two pages together equal a full fetch.
+	full := getLog(0)
+	if got, want := len(first.Entries)+len(second.Entries), len(full.Entries); got != want {
+		t.Errorf("pages sum to %d entries, full log has %d", got, want)
+	}
+}
+
+func TestSessionLogUnknownSession(t *testing.T) {
+	_, ts := newTestServer(t)
+	hresp, err := http.Get(ts.URL + "/api/v1/session/nope/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", hresp.StatusCode)
+	}
+}
+
+func TestSessionLogBadSinceCycle(t *testing.T) {
+	_, ts := newTestServer(t)
+	hresp, err := http.Get(ts.URL + "/api/v1/session/x/log?since_cycle=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", hresp.StatusCode)
+	}
+}

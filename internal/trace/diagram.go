@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagram renders instruction lifetimes as a textual pipeline diagram —
+// one row per instruction, one column per cycle, with each stage marked
+// by its letter (F fetch, D decode, R rename, P dispatch, I issue,
+// E execute, W writeback, C commit, X squash) and '.' filling the cycles
+// an instruction spent waiting between stages. It is the CLI's equivalent
+// of the Konata pipeline view.
+//
+// maxCols bounds the cycle axis (0 = a sensible default of 120 columns);
+// when the window is wider than the bound, the diagram keeps the newest
+// cycles and notes how many it skipped.
+func Diagram(lifetimes []Lifetime, maxCols int) string {
+	if len(lifetimes) == 0 {
+		return "trace: no events\n"
+	}
+	if maxCols <= 0 {
+		maxCols = 120
+	}
+
+	// The cycle window covered by the lifetimes.
+	var lo, hi uint64
+	for i := range lifetimes {
+		first, last := lifetimes[i].First(), lifetimes[i].Last()
+		if first == 0 {
+			continue
+		}
+		if lo == 0 || first < lo {
+			lo = first
+		}
+		if last > hi {
+			hi = last
+		}
+	}
+	if lo == 0 {
+		return "trace: no events\n"
+	}
+	skipped := uint64(0)
+	if span := hi - lo + 1; span > uint64(maxCols) {
+		skipped = span - uint64(maxCols)
+		lo = hi - uint64(maxCols) + 1
+	}
+	cols := int(hi - lo + 1)
+
+	// Left gutter: "#id @pc disasm", width-aligned.
+	labels := make([]string, len(lifetimes))
+	gutter := 0
+	for i := range lifetimes {
+		lt := &lifetimes[i]
+		labels[i] = fmt.Sprintf("#%d @%d %s", lt.InstrID, lt.PC, lt.Disasm)
+		if len(labels[i]) > gutter {
+			gutter = len(labels[i])
+		}
+	}
+	const maxGutter = 42
+	if gutter > maxGutter {
+		gutter = maxGutter
+	}
+
+	var b strings.Builder
+	if skipped > 0 {
+		fmt.Fprintf(&b, "(%d earlier cycles not shown)\n", skipped)
+	}
+	// Cycle axis header: tick marks every 10 columns.
+	fmt.Fprintf(&b, "%-*s cycle %d\n", gutter, "", lo)
+	b.WriteString(strings.Repeat(" ", gutter+1))
+	for c := 0; c < cols; c++ {
+		if (uint64(c)+lo)%10 == 0 {
+			b.WriteByte('|')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+
+	for i := range lifetimes {
+		lt := &lifetimes[i]
+		label := labels[i]
+		if len(label) > gutter {
+			label = label[:gutter-1] + "…"
+		}
+		fmt.Fprintf(&b, "%-*s ", gutter, label)
+
+		row := make([]byte, cols)
+		for j := range row {
+			row[j] = ' '
+		}
+		first, last := lt.First(), lt.Last()
+		for c := first; c <= last; c++ {
+			if c < lo {
+				continue
+			}
+			row[c-lo] = '.'
+		}
+		for s := Stage(0); s < numStages; s++ {
+			c := lt.Stages[s]
+			if c == 0 || c < lo {
+				continue
+			}
+			// Later stages overwrite earlier marks landing in the same
+			// cycle (e.g. decode+rename+dispatch in one cycle), keeping
+			// the furthest progress visible.
+			row[c-lo] = s.Letter()
+		}
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

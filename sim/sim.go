@@ -23,6 +23,7 @@ import (
 	"riscvsim/internal/isa"
 	"riscvsim/internal/memory"
 	"riscvsim/internal/stats"
+	"riscvsim/internal/trace"
 )
 
 // Re-exported types so downstream users can name everything through this
@@ -43,7 +44,31 @@ type (
 	Program = asm.Program
 	// LogEntry is one timestamped debug-log message.
 	LogEntry = core.LogEntry
+
+	// Tracer receives typed pipeline-stage events (internal/trace).
+	Tracer = trace.Tracer
+	// StageEvent is one typed stage transition of a dynamic instruction.
+	StageEvent = trace.StageEvent
+	// TraceFilter selects stages and a PC range for a trace collector.
+	TraceFilter = trace.Filter
+	// TraceRing is the bounded ring-buffer trace collector.
+	TraceRing = trace.Ring
 )
+
+// NewTraceRing builds a bounded ring-buffer trace collector; attach it
+// with Machine.SetTracer. Use NoTraceFilter() to keep every event.
+func NewTraceRing(capacity int, f TraceFilter) *TraceRing {
+	return trace.NewRing(capacity, f)
+}
+
+// NoTraceFilter returns the match-everything trace filter.
+func NoTraceFilter() TraceFilter { return trace.NoFilter }
+
+// ParseTraceFilter parses the stage ("fetch,commit" / "all") and PC-range
+// ("lo:hi") filter grammars documented in docs/trace.md.
+func ParseTraceFilter(stages, pcRange string) (TraceFilter, error) {
+	return trace.ParseFilter(stages, pcRange)
+}
 
 // DefaultConfig returns the standard 2-wide superscalar preset.
 func DefaultConfig() *Config { return config.Default() }
@@ -245,6 +270,21 @@ func (m *Machine) LookupLabel(name string) (addr, size int, ok bool) {
 func (m *Machine) HexDump(addr, n int) (string, error) {
 	return m.sim.Memory().HexDump(addr, n)
 }
+
+// SetTracer attaches (nil detaches) a pipeline-trace sink. Tracing starts
+// at the machine's current cycle; a machine restored from a checkpoint
+// and given the same tracer emits events identical to an uninterrupted
+// traced run from that cycle (the core is deterministic). Backward steps
+// and GotoCycle replay silently — the replay itself emits nothing — and
+// the tracer stays attached, so forward steps after a rewind re-emit
+// those cycles as they re-execute (a debugger view redraws them; the
+// events are byte-identical to the first pass, but an accumulating
+// collector like the Ring counts them again — Reset it after rewinding
+// if duplicates matter).
+func (m *Machine) SetTracer(t Tracer) { m.sim.SetTracer(t) }
+
+// Tracer returns the attached pipeline-trace sink, or nil.
+func (m *Machine) Tracer() Tracer { return m.sim.Tracer() }
 
 // Sim exposes the underlying core simulation for advanced integrations
 // (the render package, benches).
