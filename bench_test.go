@@ -29,6 +29,7 @@ import (
 	"riscvsim/internal/predictor"
 	"riscvsim/internal/render"
 	"riscvsim/internal/server"
+	"riscvsim/internal/workload"
 	"riscvsim/sim"
 )
 
@@ -626,6 +627,63 @@ func BenchmarkSimTraceCommitOnly(b *testing.B) {
 // BenchmarkSimulationRun is the historical name for the untraced core
 // speed benchmark; kept so longitudinal bench logs stay comparable.
 func BenchmarkSimulationRun(b *testing.B) { benchSimKernel(b, nil, false) }
+
+// ---------------------------------------------------------------------------
+// Workload suite: the corpus as a performance trajectory
+// ---------------------------------------------------------------------------
+
+// BenchmarkSuite runs the full embedded corpus sequentially on the
+// default core — the end-to-end "simulator speed on realistic code"
+// number the perf-diff CI job tracks across PRs (complementing
+// BenchmarkSim's synthetic tight loop).
+func BenchmarkSuite(b *testing.B) {
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := workload.Run(workload.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = 0
+		for _, m := range rep.Workloads {
+			cycles += m.Cycles
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkSuiteParallel is the same corpus on a full worker pool — the
+// wall-time number /api/v1/suite users experience on a multi-core host.
+func BenchmarkSuiteParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Run(workload.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteWorkload breaks the corpus down per workload, so a
+// perf-diff delta names the behavior (pointer chase, FP chain, conflict
+// misses...) that got faster or slower rather than one blended number.
+func BenchmarkSuiteWorkload(b *testing.B) {
+	for _, w := range workload.Corpus() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				m, err := workload.RunOne(nil, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = m.Cycles
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
 
 // ---------------------------------------------------------------------------
 // A1 — issue-width sweep (dot product)

@@ -20,6 +20,7 @@ import (
 	"riscvsim/internal/client"
 	"riscvsim/internal/server"
 	"riscvsim/internal/trace"
+	"riscvsim/internal/workload"
 	"riscvsim/sim"
 )
 
@@ -61,6 +62,44 @@ func (f *traceFlag) Set(v string) error {
 // IsBoolFlag lets -trace appear without a value.
 func (f *traceFlag) IsBoolFlag() bool { return true }
 
+// suiteFlag implements -suite[=filter]: a bare -suite runs the whole
+// embedded workload corpus; -suite=branch-heavy or -suite=matmul,bitmix
+// selects a subset by tag or name substring (docs/workloads.md).
+type suiteFlag struct {
+	on     bool
+	filter string
+}
+
+// String implements flag.Value.
+func (f *suiteFlag) String() string {
+	if !f.on {
+		return ""
+	}
+	if f.filter == "" {
+		return "all"
+	}
+	return f.filter
+}
+
+// Set implements flag.Value.
+func (f *suiteFlag) Set(v string) error {
+	switch v {
+	case "false":
+		f.on, f.filter = false, ""
+	case "", "true", "all":
+		f.on, f.filter = true, ""
+	default:
+		if _, err := workload.Match(v); err != nil {
+			return err
+		}
+		f.on, f.filter = true, v
+	}
+	return nil
+}
+
+// IsBoolFlag lets -suite appear without a value.
+func (f *suiteFlag) IsBoolFlag() bool { return true }
+
 func main() {
 	var (
 		archPath = flag.String("arch", "", "architecture description JSON file (default: built-in 2-wide preset)")
@@ -85,11 +124,23 @@ func main() {
 	)
 	var traceOn traceFlag
 	flag.Var(&traceOn, "trace", "print a pipeline diagram; optionally =stage,... (fetch, decode, rename, dispatch, issue, execute, writeback, commit, squash)")
+	var suiteOn suiteFlag
+	flag.Var(&suiteOn, "suite", "run the embedded workload corpus instead of a program; optionally =filter (tags or name substrings, comma-separated)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: riscvsim [flags] program.{s,c}\n       riscvsim [flags] -restore state.ckpt\n\nFlags:\n")
+		fmt.Fprintf(os.Stderr, "usage: riscvsim [flags] program.{s,c}\n       riscvsim [flags] -restore state.ckpt\n       riscvsim [flags] -suite[=filter]\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	// The suite replaces the program argument: run the corpus and exit.
+	if suiteOn.on {
+		if flag.NArg() != 0 || *ckptIn != "" || *ckptOut != "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		runSuite(&suiteOn, *preset, *archPath, *host, *port, *gzipOn, *format)
+		return
+	}
 	// A checkpoint to resume from replaces the program argument.
 	if (*ckptIn == "" && flag.NArg() != 1) || (*ckptIn != "" && flag.NArg() != 0) {
 		flag.Usage()
@@ -225,6 +276,44 @@ func main() {
 		fmt.Println()
 		fmt.Println(sim.EstimateCostFor(cfg, resp.Stats).FormatText())
 	}
+}
+
+// runSuite executes the embedded workload corpus — in-process through a
+// loopback client, or against -host — and prints the per-workload metrics
+// table (or the JSON report with -format json).
+func runSuite(sf *suiteFlag, preset, archPath, host string, port int, gz bool, format string) {
+	req := &api.SuiteRequest{Preset: preset, Filter: sf.filter}
+	if archPath != "" {
+		arch, err := os.ReadFile(archPath)
+		if err != nil {
+			fatal("reading architecture: %v", err)
+		}
+		raw := json.RawMessage(arch)
+		req.Config = &raw
+	}
+	var c *client.Client
+	if host != "" {
+		c = client.New(host, port, gz)
+	} else {
+		var closeFn func()
+		c, closeFn = client.Local(server.DefaultOptions())
+		defer closeFn()
+	}
+	resp, err := c.RunSuite(req)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if format == "json" {
+		out, err := json.MarshalIndent(resp, "", "  ")
+		if err != nil {
+			fatal("encoding output: %v", err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Print(resp.Table())
+	fmt.Printf("\n%d workloads on %d workers in %.1f ms\n",
+		len(resp.Workloads), resp.Workers, float64(resp.WallNanos)/1e6)
 }
 
 // runLocal executes the request in-process through the same code path the

@@ -36,6 +36,9 @@ const (
 	// CodeUnprocessable: a session operation failed on a valid session
 	// (e.g. goto past the end of the debug log).
 	CodeUnprocessable = "unprocessable"
+	// CodeBadFilter: a workload-suite filter term matches nothing in the
+	// embedded corpus.
+	CodeBadFilter = "bad_filter"
 	// CodeBadTrace: the trace options are invalid (unknown stage name,
 	// malformed PC range, out-of-range limit).
 	CodeBadTrace = "bad_trace"

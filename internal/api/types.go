@@ -13,6 +13,7 @@ package api
 import (
 	"encoding/json"
 
+	"riscvsim/internal/workload"
 	"riscvsim/sim"
 )
 
@@ -247,6 +248,36 @@ type BatchResponse struct {
 }
 
 // ---------------------------------------------------------------------------
+// Workload suite (POST /api/v1/suite)
+// ---------------------------------------------------------------------------
+
+// SuiteRequest runs the embedded workload corpus (internal/workload,
+// docs/workloads.md) against one architecture and returns the typed
+// per-workload metrics. The server fans the corpus out across the batch
+// worker pool, so a full suite costs roughly one workload's wall time per
+// core.
+type SuiteRequest struct {
+	// Preset selects a named architecture; Config overrides it with a
+	// full architecture document (same precedence as SimulateRequest).
+	Preset string           `json:"preset,omitempty"`
+	Config *json.RawMessage `json:"config,omitempty"`
+	// Filter selects a corpus subset: comma-separated terms, each
+	// matching workload names by substring or tags exactly ("" = all).
+	Filter string `json:"filter,omitempty"`
+}
+
+// SuiteResponse carries the metrics report plus fan-out accounting. The
+// rows are in corpus order and — the core being deterministic — exactly
+// reproducible: equal architecture and simulator version mean equal rows.
+type SuiteResponse struct {
+	workload.Report
+	// Workers is the size of the pool that executed the suite.
+	Workers int `json:"workers"`
+	// WallNanos is the wall-clock time of the fan-out.
+	WallNanos uint64 `json:"wallNanos"`
+}
+
+// ---------------------------------------------------------------------------
 // Streaming sessions (POST /api/v1/session/stream)
 // ---------------------------------------------------------------------------
 
@@ -359,6 +390,10 @@ type Metrics struct {
 	// the simulations fanned out by them.
 	BatchRequests    uint64 `json:"batchRequests"`
 	BatchSimulations uint64 `json:"batchSimulations"`
+	// SuiteRequests counts /api/v1/suite calls; SuiteWorkloads counts
+	// the corpus workloads they executed.
+	SuiteRequests  uint64 `json:"suiteRequests"`
+	SuiteWorkloads uint64 `json:"suiteWorkloads"`
 	// StreamEvents counts NDJSON events pushed by /api/v1/session/stream.
 	StreamEvents uint64 `json:"streamEvents"`
 	// Session lifecycle accounting: sessions_spilled counts sessions

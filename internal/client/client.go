@@ -161,6 +161,18 @@ func (c *Client) SimulateBatch(reqs []api.SimulateRequest) (*api.BatchResponse, 
 	return &resp, nil
 }
 
+// RunSuite executes the embedded workload corpus (optionally filtered)
+// against one architecture on the server and returns the typed
+// per-workload metrics report. The server fans the corpus out across its
+// batch worker pool; rows come back in corpus order.
+func (c *Client) RunSuite(req *api.SuiteRequest) (*api.SuiteResponse, error) {
+	var resp api.SuiteResponse
+	if err := c.post(api.V1Prefix+"/suite", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Stream opens an NDJSON streaming simulation and calls fn for every
 // event. It returns the final (Done) event. fn returning an error aborts
 // the stream and surfaces that error.

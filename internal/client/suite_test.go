@@ -1,0 +1,43 @@
+package client
+
+import (
+	"strings"
+	"testing"
+
+	"riscvsim/internal/api"
+	"riscvsim/internal/server"
+	"riscvsim/internal/workload"
+)
+
+// TestRunSuite drives the suite endpoint through the typed client: rows
+// in corpus order, the table renderer working on the wire type, and the
+// stable error code for a bad filter.
+func TestRunSuite(t *testing.T) {
+	c, closeFn := Local(server.DefaultOptions())
+	defer closeFn()
+
+	resp, err := c.RunSuite(&api.SuiteRequest{Filter: "branch-heavy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, werr := workload.Match("branch-heavy")
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if len(resp.Workloads) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(resp.Workloads), len(want))
+	}
+	for i, w := range want {
+		if resp.Workloads[i].Workload != w.Name {
+			t.Errorf("row %d: %s, want %s (corpus order)", i, resp.Workloads[i].Workload, w.Name)
+		}
+	}
+	if table := resp.Table(); !strings.Contains(table, resp.ConfigFingerprint) {
+		t.Error("Table() lost the config fingerprint")
+	}
+
+	if _, err := c.RunSuite(&api.SuiteRequest{Filter: "zzz"}); err == nil ||
+		!strings.Contains(err.Error(), api.CodeBadFilter) {
+		t.Fatalf("bad filter error %v, want code %s", err, api.CodeBadFilter)
+	}
+}

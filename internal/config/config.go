@@ -7,6 +7,7 @@ package config
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"strings"
 
 	"riscvsim/internal/cache"
@@ -212,6 +213,21 @@ func (c *CPU) Validate() []error {
 // exchanges via its import/export buttons.
 func (c *CPU) Export() ([]byte, error) {
 	return json.MarshalIndent(c, "", "  ")
+}
+
+// Fingerprint returns a stable 64-bit FNV-1a digest of the exported
+// architecture document, formatted as 16 hex digits. Two configurations
+// fingerprint equally iff their exported JSON is byte-identical, so the
+// workload suite's golden baselines can tell "the default architecture
+// changed" apart from "the simulator's behavior changed".
+func (c *CPU) Fingerprint() (string, error) {
+	data, err := c.Export()
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
 // Import parses and validates an architecture description.

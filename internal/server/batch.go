@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"runtime"
 	"sync"
@@ -12,6 +13,41 @@ import (
 
 // maxBatchRequests bounds one /api/v1/batch call.
 const maxBatchRequests = 256
+
+// fanOut runs N independent simulations across a bounded worker pool
+// (one goroutine per core, work-stealing by index) and returns the
+// results in request order. It is the shared execution engine of
+// /api/v1/batch and /api/v1/suite. A context cancellation (client gone)
+// aborts the fan-out and returns the context error.
+func (s *Server) fanOut(ctx context.Context, reqs []api.SimulateRequest) ([]api.BatchResult, int, time.Duration, error) {
+	n := len(reqs)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	results := make([]api.BatchResult, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wstart := time.Now()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i] = s.runBatchItem(i, &reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, workers, 0, err
+	}
+	return results, workers, time.Since(wstart), nil
+}
 
 // handleBatch fans N independent simulations out across a bounded worker
 // pool (one goroutine per core). Sweep workloads — issue widths, cache
@@ -41,30 +77,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (any, int, 
 		}
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	ctx := r.Context()
-	results := make([]api.BatchResult, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wstart := time.Now()
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				results[i] = s.runBatchItem(i, &req.Requests[i])
-			}
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	results, workers, wall, err := s.fanOut(r.Context(), req.Requests)
+	if err != nil {
 		// Client went away mid-batch; nobody is listening for results.
 		return nil, 0, api.WrapError(api.CodeInternal, err)
 	}
@@ -72,7 +86,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (any, int, 
 	resp := &api.BatchResponse{
 		Results:   results,
 		Workers:   workers,
-		WallNanos: uint64(time.Since(wstart)),
+		WallNanos: uint64(wall),
 	}
 	for i := range results {
 		if results[i].Error != nil {

@@ -85,6 +85,8 @@ type Server struct {
 	simNs        atomic.Uint64
 	batchReqs    atomic.Uint64
 	batchSims    atomic.Uint64
+	suiteReqs    atomic.Uint64
+	suiteRuns    atomic.Uint64
 	streamEvents atomic.Uint64
 	codecNs      map[string]*codecCounter // fixed key set; values are atomic
 }
@@ -142,6 +144,7 @@ func (s *Server) routes() {
 	}{
 		{http.MethodPost, "/simulate", s.wrap(s.handleSimulate), false},
 		{http.MethodPost, "/batch", s.wrap(s.handleBatch), true},
+		{http.MethodPost, "/suite", s.wrap(s.handleSuite), true},
 		{http.MethodPost, "/compile", s.wrap(s.handleCompile), false},
 		{http.MethodPost, "/parseAsm", s.wrap(s.handleParseAsm), false},
 		{http.MethodPost, "/checkConfig", s.wrap(s.handleCheckConfig), false},
@@ -209,6 +212,8 @@ func (s *Server) Metrics() api.Metrics {
 		ActiveSessions:   s.store.Len(),
 		BatchRequests:    s.batchReqs.Load(),
 		BatchSimulations: s.batchSims.Load(),
+		SuiteRequests:    s.suiteReqs.Load(),
+		SuiteWorkloads:   s.suiteRuns.Load(),
 		StreamEvents:     s.streamEvents.Load(),
 		Codecs:           make(map[string]api.CodecMetrics, len(s.codecNs)),
 	}
@@ -234,6 +239,8 @@ func (s *Server) ResetMetrics() {
 	s.simNs.Store(0)
 	s.batchReqs.Store(0)
 	s.batchSims.Store(0)
+	s.suiteReqs.Store(0)
+	s.suiteRuns.Store(0)
 	s.streamEvents.Store(0)
 	for _, c := range s.codecNs {
 		c.enc.Store(0)
@@ -258,7 +265,7 @@ func (s *Server) addCodecTime(name string, d time.Duration, encode bool) {
 // statusForCode maps stable v1 error codes onto HTTP statuses.
 func statusForCode(code string) int {
 	switch code {
-	case api.CodeBadJSON, api.CodeBadRequest, api.CodeBadTrace:
+	case api.CodeBadJSON, api.CodeBadRequest, api.CodeBadTrace, api.CodeBadFilter:
 		return http.StatusBadRequest
 	case api.CodeBodyTooLarge, api.CodeBatchTooLarge:
 		return http.StatusRequestEntityTooLarge
@@ -374,20 +381,9 @@ func BuildMachine(req *api.SimulateRequest) (*sim.Machine, *api.Error) {
 		}
 		return m, nil
 	}
-	cfg := sim.DefaultConfig()
-	if req.Preset != "" {
-		p, ok := sim.Presets()[req.Preset]
-		if !ok {
-			return nil, api.Errorf(api.CodeUnknownPreset, "unknown preset %q", req.Preset)
-		}
-		cfg = p
-	}
-	if req.Config != nil {
-		c, err := sim.ImportConfig(*req.Config)
-		if err != nil {
-			return nil, api.WrapError(api.CodeBadConfig, err)
-		}
-		cfg = c
+	cfg, aerr := resolveConfig(req.Preset, req.Config)
+	if aerr != nil {
+		return nil, aerr
 	}
 	var m *sim.Machine
 	var err error

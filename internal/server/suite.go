@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"riscvsim/internal/api"
+	"riscvsim/internal/workload"
+	"riscvsim/sim"
+)
+
+// handleSuite runs the embedded workload corpus against one architecture
+// and returns the typed per-workload metrics report. The corpus is fanned
+// out across the same worker pool as /api/v1/batch; each workload is one
+// SimulateRequest, so panics, cycle bounds and instrumentation behave
+// exactly as they do for batch entries. Unlike a batch, a suite is
+// all-or-nothing: a metrics report with holes is useless as a baseline,
+// so the first failing workload fails the request.
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req api.SuiteRequest
+	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
+	}
+	cfg, aerr := resolveConfig(req.Preset, req.Config)
+	if aerr != nil {
+		return nil, 0, aerr
+	}
+	selected, err := workload.Match(req.Filter)
+	if err != nil {
+		return nil, 0, api.WrapError(api.CodeBadFilter, err)
+	}
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		return nil, 0, api.WrapError(api.CodeInternal, err)
+	}
+	cfgJSON, err := cfg.Export()
+	if err != nil {
+		return nil, 0, api.WrapError(api.CodeInternal, err)
+	}
+	raw := json.RawMessage(cfgJSON)
+
+	simReqs := make([]api.SimulateRequest, len(selected))
+	for i, wl := range selected {
+		simReqs[i] = api.SimulateRequest{
+			Code:   wl.Source,
+			Entry:  wl.Entry,
+			Steps:  wl.MaxCycles,
+			Config: &raw,
+		}
+	}
+	results, workers, wall, err := s.fanOut(r.Context(), simReqs)
+	if err != nil {
+		return nil, 0, api.WrapError(api.CodeInternal, err)
+	}
+
+	rows := make([]workload.Metrics, len(selected))
+	for i, res := range results {
+		if res.Error != nil {
+			// The corpus is server-embedded: a workload that fails to
+			// build or run is a server defect, never the caller's fault,
+			// so the item's code is folded into the message and the
+			// request fails as internal (500), not 4xx.
+			return nil, 0, api.Errorf(api.CodeInternal,
+				"embedded workload %s failed: [%s] %s", selected[i].Name, res.Error.Code, res.Error.Message)
+		}
+		rows[i] = workload.FromReport(selected[i], res.Response.Stats)
+	}
+	s.suiteReqs.Add(1)
+	s.suiteRuns.Add(uint64(len(selected)))
+	return &api.SuiteResponse{
+		Report: workload.Report{
+			Architecture:      cfg.Name,
+			ConfigFingerprint: fp,
+			Workloads:         rows,
+		},
+		Workers:   workers,
+		WallNanos: uint64(wall),
+	}, 0, nil
+}
+
+// resolveConfig applies the Preset/Config precedence shared by simulate
+// and suite requests: Config overrides Preset overrides the default.
+func resolveConfig(preset string, raw *json.RawMessage) (*sim.Config, *api.Error) {
+	cfg := sim.DefaultConfig()
+	if preset != "" {
+		p, ok := sim.Presets()[preset]
+		if !ok {
+			return nil, api.Errorf(api.CodeUnknownPreset, "unknown preset %q", preset)
+		}
+		cfg = p
+	}
+	if raw != nil {
+		c, err := sim.ImportConfig(*raw)
+		if err != nil {
+			return nil, api.WrapError(api.CodeBadConfig, err)
+		}
+		cfg = c
+	}
+	return cfg, nil
+}

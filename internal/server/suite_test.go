@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"riscvsim/internal/api"
+	"riscvsim/internal/workload"
+)
+
+// TestSuiteEndpoint runs a filtered suite over the wire and checks the
+// rows against the library runner: the server path (export/import of the
+// config, fan-out over the batch pool) must reproduce the in-process
+// metrics exactly.
+func TestSuiteEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/api/v1/suite", &api.SuiteRequest{Filter: "matmul,bitmix"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr api.SuiteResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Workloads) != 2 || sr.Workers < 1 || sr.Architecture == "" || sr.ConfigFingerprint == "" {
+		t.Fatalf("suite response incomplete: %+v", sr)
+	}
+
+	local, err := workload.Run(workload.Options{Filter: "matmul,bitmix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.ConfigFingerprint != sr.ConfigFingerprint {
+		t.Errorf("fingerprint: server %s, local %s", sr.ConfigFingerprint, local.ConfigFingerprint)
+	}
+	for i, want := range local.Workloads {
+		got := sr.Workloads[i]
+		if diffs := workload.DiffMetrics(want, got); len(diffs) != 0 {
+			t.Errorf("%s: server metrics diverge from library runner: %v", want.Workload, diffs)
+		}
+	}
+
+	m := srv.Metrics()
+	if m.SuiteRequests != 1 || m.SuiteWorkloads != 2 {
+		t.Errorf("suite counters: %d requests, %d workloads", m.SuiteRequests, m.SuiteWorkloads)
+	}
+}
+
+// TestSuiteEndpointPreset checks preset selection changes the report.
+func TestSuiteEndpointPreset(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/api/v1/suite", &api.SuiteRequest{Preset: "scalar", Filter: "bitmix"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr api.SuiteResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Architecture != "scalar" {
+		t.Errorf("architecture %q, want scalar", sr.Architecture)
+	}
+	// The 1-wide scalar core cannot reach the default's ~2 IPC on the
+	// width-ceiling workload.
+	if len(sr.Workloads) != 1 || sr.Workloads[0].IPC > 1.05 {
+		t.Errorf("scalar bitmix row unexpected: %+v", sr.Workloads)
+	}
+}
+
+// TestSuiteEndpointErrors pins the stable error codes.
+func TestSuiteEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		name   string
+		req    *api.SuiteRequest
+		status int
+		code   string
+	}{
+		{"bad filter", &api.SuiteRequest{Filter: "no-such-thing"}, http.StatusBadRequest, api.CodeBadFilter},
+		{"bad preset", &api.SuiteRequest{Preset: "no-such-preset"}, http.StatusUnprocessableEntity, api.CodeUnknownPreset},
+	} {
+		resp, body := postJSON(t, ts.URL+"/api/v1/suite", tc.req)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+			continue
+		}
+		if env := decodeErrorEnvelope(t, body); env.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, env.Code, tc.code)
+		}
+	}
+}

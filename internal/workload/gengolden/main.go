@@ -1,0 +1,76 @@
+// Command gengolden maintains the workload suite's golden baselines
+// (internal/workload/testdata/golden/*.json).
+//
+//	gengolden -update   regenerate every baseline from the current build
+//	gengolden -check    compare and print a markdown diff table; exit 1 on drift
+//
+// With neither flag it checks (the safe default). The golden directory is
+// located relative to the working directory, so the tool works both via
+// `go generate ./internal/workload` (cwd = package dir) and from the
+// repository root (CI); -dir overrides.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"riscvsim/internal/workload"
+)
+
+func main() {
+	update := flag.Bool("update", false, "regenerate the golden files from the current build")
+	check := flag.Bool("check", false, "compare against the golden files (default when -update is absent)")
+	dir := flag.String("dir", "", "golden directory (default: auto-locate testdata/golden)")
+	flag.Parse()
+	if *update && *check {
+		fatal("-update and -check are mutually exclusive")
+	}
+
+	goldenDir := *dir
+	if goldenDir == "" {
+		goldenDir = locateGoldenDir()
+	}
+
+	rep, err := workload.Run(workload.Options{})
+	if err != nil {
+		fatal("running suite: %v", err)
+	}
+
+	if *update {
+		if err := workload.WriteGoldens(goldenDir, rep); err != nil {
+			fatal("writing goldens: %v", err)
+		}
+		fmt.Printf("gengolden: wrote %d baselines to %s (config %s)\n",
+			len(rep.Workloads), goldenDir, rep.ConfigFingerprint)
+		return
+	}
+
+	diffs := workload.CompareGoldens(goldenDir, rep)
+	fmt.Println("### Golden workload metrics")
+	fmt.Println()
+	fmt.Print(workload.MarkdownDiffTable(diffs))
+	if workload.AnyDrift(diffs) {
+		fmt.Fprintln(os.Stderr, "gengolden: metric drift against checked-in baselines (see table)")
+		os.Exit(1)
+	}
+}
+
+// locateGoldenDir finds testdata/golden from either the package directory
+// (go generate, marked by workload.go in the cwd) or the repository root
+// (CI, marked by the internal/workload directory).
+func locateGoldenDir() string {
+	if _, err := os.Stat("workload.go"); err == nil {
+		return filepath.Join("testdata", "golden")
+	}
+	if st, err := os.Stat(filepath.Join("internal", "workload")); err == nil && st.IsDir() {
+		return filepath.Join("internal", "workload", "testdata", "golden")
+	}
+	return filepath.Join("testdata", "golden")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gengolden: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Golden is one checked-in baseline file: the metrics row a workload
+// produced on a named architecture, plus the configuration fingerprint it
+// was generated under. Files live at testdata/golden/<workload>.json and
+// regenerate via `go generate ./internal/workload` (gengolden -update).
+type Golden struct {
+	Architecture      string  `json:"architecture"`
+	ConfigFingerprint string  `json:"configFingerprint"`
+	Metrics           Metrics `json:"metrics"`
+}
+
+// GoldenPath returns the baseline file path for a workload.
+func GoldenPath(dir, name string) string {
+	return filepath.Join(dir, name+".json")
+}
+
+// WriteGoldens writes one baseline file per report row into dir,
+// creating it if needed.
+func WriteGoldens(dir string, r *Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, m := range r.Workloads {
+		g := Golden{Architecture: r.Architecture, ConfigFingerprint: r.ConfigFingerprint, Metrics: m}
+		data, err := json.MarshalIndent(&g, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(GoldenPath(dir, m.Workload), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadGolden loads one baseline file.
+func ReadGolden(dir, name string) (*Golden, error) {
+	data, err := os.ReadFile(GoldenPath(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	var g Golden
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("golden %s: %w", name, err)
+	}
+	return &g, nil
+}
+
+// WorkloadDiff is the comparison outcome for one workload: either a
+// structural problem (Problem != "") or the list of drifted fields
+// (empty = exact match).
+type WorkloadDiff struct {
+	Workload string      `json:"workload"`
+	Problem  string      `json:"problem,omitempty"`
+	Fields   []FieldDiff `json:"fields,omitempty"`
+}
+
+// Clean reports an exact match.
+func (d WorkloadDiff) Clean() bool { return d.Problem == "" && len(d.Fields) == 0 }
+
+// CompareGoldens checks every report row against its baseline file and
+// returns one WorkloadDiff per row (clean or not). A missing file, a
+// fingerprint mismatch (the architecture itself changed) and metric
+// drift are distinguished so the failure message tells the reader what
+// actually happened.
+func CompareGoldens(dir string, r *Report) []WorkloadDiff {
+	diffs := make([]WorkloadDiff, 0, len(r.Workloads))
+	for _, m := range r.Workloads {
+		d := WorkloadDiff{Workload: m.Workload}
+		g, err := ReadGolden(dir, m.Workload)
+		switch {
+		case os.IsNotExist(err):
+			d.Problem = "no golden file — new workload? regenerate with go generate ./internal/workload"
+		case err != nil:
+			d.Problem = err.Error()
+		case g.ConfigFingerprint != r.ConfigFingerprint:
+			d.Problem = fmt.Sprintf(
+				"config fingerprint %s != golden %s — the default architecture changed; regenerate with go generate ./internal/workload",
+				r.ConfigFingerprint, g.ConfigFingerprint)
+		default:
+			d.Fields = DiffMetrics(g.Metrics, m)
+		}
+		diffs = append(diffs, d)
+	}
+	return diffs
+}
+
+// AnyDrift reports whether any workload diverged.
+func AnyDrift(diffs []WorkloadDiff) bool {
+	for _, d := range diffs {
+		if !d.Clean() {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkdownDiffTable renders a comparison as a GitHub-flavored markdown
+// table, one row per workload — the golden-metrics CI gate appends it to
+// the step summary on every run, drifted or not.
+func MarkdownDiffTable(diffs []WorkloadDiff) string {
+	var sb strings.Builder
+	sb.WriteString("| workload | status | drift |\n|---|---|---|\n")
+	for _, d := range diffs {
+		switch {
+		case d.Problem != "":
+			fmt.Fprintf(&sb, "| %s | :x: error | %s |\n", d.Workload, d.Problem)
+		case len(d.Fields) > 0:
+			parts := make([]string, len(d.Fields))
+			for i, f := range d.Fields {
+				parts[i] = fmt.Sprintf("`%s` %s → %s", f.Field, f.Want, f.Got)
+			}
+			fmt.Fprintf(&sb, "| %s | :x: drift | %s |\n", d.Workload, strings.Join(parts, "; "))
+		default:
+			fmt.Fprintf(&sb, "| %s | :white_check_mark: exact | |\n", d.Workload)
+		}
+	}
+	return sb.String()
+}

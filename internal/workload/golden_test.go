@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden metrics baselines")
+
+// TestSuiteGolden is the metrics-drift gate: the full corpus, run on the
+// default architecture, must reproduce the checked-in baselines exactly.
+// The core is deterministic, so any difference means the simulator's
+// architectural behavior changed — either a bug, or an intentional change
+// that must re-baseline via `go test ./internal/workload -run
+// TestSuiteGolden -update` (or `go generate ./internal/workload`).
+func TestSuiteGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "golden")
+	rep, err := Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := WriteGoldens(dir, rep); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %d baselines (config %s)", len(rep.Workloads), rep.ConfigFingerprint)
+		return
+	}
+	diffs := CompareGoldens(dir, rep)
+	if len(diffs) != len(rep.Workloads) {
+		t.Fatalf("got %d diff rows for %d workloads", len(diffs), len(rep.Workloads))
+	}
+	for _, d := range diffs {
+		if d.Problem != "" {
+			t.Errorf("%s: %s", d.Workload, d.Problem)
+			continue
+		}
+		for _, f := range d.Fields {
+			t.Errorf("%s: %s drifted: golden %s, got %s", d.Workload, f.Field, f.Want, f.Got)
+		}
+	}
+	if t.Failed() {
+		t.Log("if this change is intentional, regenerate: go generate ./internal/workload")
+	}
+}

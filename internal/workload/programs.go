@@ -1,0 +1,658 @@
+package workload
+
+// The corpus programs. Every program is self-contained RV32IMF assembly in
+// the simulator's dialect, enters at "main", leaves a checksum in a0 and
+// ends with ret (returning from the entry frame halts the simulation).
+// Inputs are generated in-program (LCG/xorshift seeds, index ramps) so a
+// run needs no memory fills and is bit-for-bit reproducible.
+//
+// Each program is sized to finish in well under a second of host time on
+// the default core — large enough that steady-state behavior dominates
+// (the suite measures architecture, not startup), small enough that the
+// whole corpus stays cheap in CI.
+
+// srcSortInsertion: insertion sort over 96 LCG-generated words. The inner
+// while loop's trip count is data-dependent, so its backward branch is
+// hard to predict — the classic branch-MPKI workload.
+const srcSortInsertion = `
+main:
+  # Fill arr[0..95] with LCG values: x = x*1103515245 + 12345.
+  la   t0, arr
+  li   t1, 96
+  li   t2, 12345            # x
+  li   t3, 1103515245
+  li   t4, 0
+fill:
+  mul  t2, t2, t3
+  addi t2, t2, 12345
+  slli t5, t4, 2
+  add  t5, t0, t5
+  srai t6, t2, 8            # spread the useful bits
+  sw   t6, 0(t5)
+  addi t4, t4, 1
+  blt  t4, t1, fill
+
+  # Insertion sort.
+  li   s0, 1                # i
+sort_outer:
+  slli t5, s0, 2
+  add  t5, t0, t5
+  lw   s1, 0(t5)            # key
+  addi s2, s0, -1           # j
+sort_inner:
+  bltz s2, sort_place
+  slli t5, s2, 2
+  add  t5, t0, t5
+  lw   t6, 0(t5)
+  ble  t6, s1, sort_place
+  sw   t6, 4(t5)
+  addi s2, s2, -1
+  j    sort_inner
+sort_place:
+  addi t6, s2, 1
+  slli t6, t6, 2
+  add  t6, t0, t6
+  sw   s1, 0(t6)
+  addi s0, s0, 1
+  blt  s0, t1, sort_outer
+
+  # Checksum: alternating sum of the sorted array.
+  li   a0, 0
+  li   t4, 0
+cksum:
+  slli t5, t4, 2
+  add  t5, t0, t5
+  lw   t6, 0(t5)
+  sub  a0, t6, a0
+  addi t4, t4, 1
+  blt  t4, t1, cksum
+  ret
+
+.data
+.align 4
+arr: .zero 384
+`
+
+// srcListWalk: build a 4096-node singly linked list in a shuffled order
+// (an affine permutation scatters successors across the whole arena),
+// then walk it. The 32 KiB arena is twice the default L1, and every
+// iteration's load address depends on the previous load — a serial,
+// cache-missing pointer chase the load/store unit cannot overlap.
+const srcListWalk = `
+main:
+  # Link node i -> node (i*2053+1) mod 4096 (2053 odd => a permutation).
+  la   t0, arena
+  li   t1, 4096
+  li   t2, 0
+build:
+  slli t3, t2, 3
+  add  t3, t0, t3           # &node[i]
+  sw   t2, 0(t3)            # value = i
+  li   t4, 2053
+  mul  t5, t2, t4
+  addi t5, t5, 1
+  li   t6, 4095
+  and  t5, t5, t6           # next index
+  slli t5, t5, 3
+  add  t5, t0, t5
+  sw   t5, 4(t3)            # next pointer
+  addi t2, t2, 1
+  blt  t2, t1, build
+
+  # Walk the cycle 2*4096 hops, summing values.
+  li   a0, 0
+  li   s0, 0                # hop counter
+  li   s1, 8192             # 2 passes x 4096 hops
+  mv   t3, t0               # cur = &node[0]
+walk:
+  lw   t4, 0(t3)
+  add  a0, a0, t4
+  lw   t3, 4(t3)            # cur = cur->next (serial dependence)
+  addi s0, s0, 1
+  blt  s0, s1, walk
+  ret
+
+.data
+.align 6
+arena: .zero 32768
+`
+
+// srcMemcpyStream: word-wise copy of an 8 KiB buffer, 4 passes. Balanced
+// streaming loads and stores with unit stride — the bandwidth workload;
+// the working set (16 KiB src+dst) just fills L1.
+const srcMemcpyStream = `
+main:
+  # Seed the source buffer with an index ramp.
+  la   t0, src
+  li   t1, 2048             # words
+  li   t2, 0
+seed:
+  slli t3, t2, 2
+  add  t3, t0, t3
+  sw   t2, 0(t3)
+  addi t2, t2, 1
+  blt  t2, t1, seed
+
+  li   s0, 0                # pass
+  li   s1, 4
+pass:
+  la   t0, src
+  la   t4, dst
+  li   t2, 0
+copy:
+  slli t3, t2, 2
+  add  t5, t0, t3
+  lw   t6, 0(t5)
+  add  t5, t4, t3
+  sw   t6, 0(t5)
+  addi t2, t2, 1
+  blt  t2, t1, copy
+  addi s0, s0, 1
+  blt  s0, s1, pass
+
+  # Checksum the destination tail.
+  la   t4, dst
+  lw   a0, 8188(t4)
+  ret
+
+.data
+.align 6
+src: .zero 8192
+dst: .zero 8192
+`
+
+// srcAxpyStream: single-precision y = a*x + y over 512 elements, 8
+// passes, fmadd-free (separate mul+add) so the FP adder and multiplier
+// both show utilization. Unit-stride FP streaming.
+const srcAxpyStream = `
+main:
+  # x[i] = float(i), y[i] = float(2i) via fcvt.
+  la   t0, xv
+  la   t1, yv
+  li   t2, 512
+  li   t3, 0
+init:
+  fcvt.s.w ft0, t3
+  slli t4, t3, 2
+  add  t5, t0, t4
+  fsw  ft0, 0(t5)
+  fadd.s ft1, ft0, ft0
+  add  t5, t1, t4
+  fsw  ft1, 0(t5)
+  addi t3, t3, 1
+  blt  t3, t2, init
+
+  li   t6, 3
+  fcvt.s.w fa0, t6          # a = 3.0
+  li   s0, 0                # pass
+  li   s1, 8
+apass:
+  li   t3, 0
+axpy:
+  slli t4, t3, 2
+  add  t5, t0, t4
+  flw  ft0, 0(t5)
+  add  t5, t1, t4
+  flw  ft1, 0(t5)
+  fmul.s ft2, ft0, fa0
+  fadd.s ft1, ft1, ft2
+  fsw  ft1, 0(t5)
+  addi t3, t3, 1
+  blt  t3, t2, axpy
+  addi s0, s0, 1
+  blt  s0, s1, apass
+
+  # Checksum: y[511] as an integer.
+  la   t1, yv
+  flw  ft1, 2044(t1)
+  fcvt.w.s a0, ft1
+  ret
+
+.data
+.align 6
+xv: .zero 2048
+yv: .zero 2048
+`
+
+// srcMatmulBlocked: 16x16 integer matmul with the inner k-loop unrolled
+// by 4 (one 4-wide block of the dot product per iteration). Dense mul
+// pressure on the FX units with regular loads.
+const srcMatmulBlocked = `
+main:
+  # A[i][j] = i+j, B[i][j] = i-j.
+  la   t0, ma
+  la   t1, mb
+  li   t2, 0                # i
+  li   t3, 16
+ainit:
+  li   t4, 0                # j
+binit:
+  slli t5, t2, 6            # i*16*4
+  slli t6, t4, 2
+  add  t5, t5, t6           # offset
+  add  s0, t2, t4
+  add  s1, t0, t5
+  sw   s0, 0(s1)
+  sub  s0, t2, t4
+  add  s1, t1, t5
+  sw   s0, 0(s1)
+  addi t4, t4, 1
+  blt  t4, t3, binit
+  addi t2, t2, 1
+  blt  t2, t3, ainit
+
+  # C = A * B, k unrolled x4.
+  la   s2, mc
+  li   t2, 0                # i
+mm_i:
+  li   t4, 0                # j
+mm_j:
+  li   s0, 0                # acc
+  li   t5, 0                # k
+mm_k:
+  # A[i][k..k+3]
+  slli t6, t2, 6
+  slli s1, t5, 2
+  add  t6, t6, s1
+  add  t6, t0, t6
+  lw   a1, 0(t6)
+  lw   a2, 4(t6)
+  lw   a3, 8(t6)
+  lw   a4, 12(t6)
+  # B[k..k+3][j]
+  slli t6, t5, 6
+  slli s1, t4, 2
+  add  t6, t6, s1
+  add  t6, t1, t6
+  lw   a5, 0(t6)
+  lw   a6, 64(t6)
+  lw   a7, 128(t6)
+  lw   s3, 192(t6)
+  mul  a1, a1, a5
+  mul  a2, a2, a6
+  mul  a3, a3, a7
+  mul  a4, a4, s3
+  add  s0, s0, a1
+  add  s0, s0, a2
+  add  s0, s0, a3
+  add  s0, s0, a4
+  addi t5, t5, 4
+  blt  t5, t3, mm_k
+  # C[i][j] = acc
+  slli t6, t2, 6
+  slli s1, t4, 2
+  add  t6, t6, s1
+  add  t6, s2, t6
+  sw   s0, 0(t6)
+  addi t4, t4, 1
+  blt  t4, t3, mm_j
+  addi t2, t2, 1
+  blt  t2, t3, mm_i
+
+  # Checksum: trace of C.
+  li   a0, 0
+  li   t2, 0
+trace:
+  slli t6, t2, 6
+  slli s1, t2, 2
+  add  t6, t6, s1
+  add  t6, s2, t6
+  lw   t5, 0(t6)
+  add  a0, a0, t5
+  addi t2, t2, 1
+  blt  t2, t3, trace
+  ret
+
+.data
+.align 4
+ma: .zero 1024
+mb: .zero 1024
+mc: .zero 1024
+`
+
+// srcFibRecursive: naive recursive fib(14) with a real sp-managed call
+// stack — deep call/return chains, ra save/restore traffic and
+// return-address prediction pressure.
+const srcFibRecursive = `
+main:
+  li   a0, 14
+  addi sp, sp, -8
+  sw   ra, 0(sp)
+  jal  ra, fib
+  lw   ra, 0(sp)
+  addi sp, sp, 8
+  ret
+
+fib:
+  li   t0, 2
+  blt  a0, t0, fib_base
+  addi sp, sp, -12
+  sw   ra, 0(sp)
+  sw   s0, 4(sp)
+  sw   a0, 8(sp)
+  addi a0, a0, -1
+  jal  ra, fib
+  mv   s0, a0               # fib(n-1)
+  lw   a0, 8(sp)
+  addi a0, a0, -2
+  jal  ra, fib
+  add  a0, a0, s0
+  lw   ra, 0(sp)
+  lw   s0, 4(sp)
+  addi sp, sp, 12
+  ret
+fib_base:
+  ret
+`
+
+// srcFPHorner: degree-12 Horner polynomial over 128 points — one long
+// serial fmul/fadd dependence chain per point, exposing FP latency (not
+// throughput), with fcvt mixing int and FP.
+const srcFPHorner = `
+main:
+  # coeffs[k] = k+1 as float.
+  la   t0, coef
+  li   t1, 13
+  li   t2, 0
+cinit:
+  addi t3, t2, 1
+  fcvt.s.w ft0, t3
+  slli t4, t2, 2
+  add  t4, t0, t4
+  fsw  ft0, 0(t4)
+  addi t2, t2, 1
+  blt  t2, t1, cinit
+
+  li   s0, 0                # point index
+  li   s1, 128
+  li   a0, 0                # checksum
+  li   t5, 200
+horner_pt:
+  # x = (i % 5) / 4 -ish: x = float(i & 3) * 0.25 via division by 4.
+  andi t2, s0, 3
+  fcvt.s.w ft1, t2
+  li   t3, 4
+  fcvt.s.w ft2, t3
+  fdiv.s ft1, ft1, ft2      # x in {0, .25, .5, .75}
+  # acc = coef[12]; for k=11..0: acc = acc*x + coef[k]
+  la   t0, coef
+  flw  ft3, 48(t0)
+  li   t4, 11
+horner_k:
+  slli t6, t4, 2
+  add  t6, t0, t6
+  flw  ft4, 0(t6)
+  fmul.s ft3, ft3, ft1
+  fadd.s ft3, ft3, ft4
+  addi t4, t4, -1
+  bgez t4, horner_k
+  fcvt.w.s t6, ft3
+  add  a0, a0, t6
+  addi s0, s0, 1
+  blt  s0, s1, horner_pt
+  ret
+
+.data
+.align 4
+coef: .zero 52
+`
+
+// srcMemsetStore: fill a 16 KiB buffer with rotating patterns, 4 passes.
+// Store-bound: the store buffer, write-back cache policy and memory
+// write path are the bottleneck; loads are nearly absent.
+const srcMemsetStore = `
+main:
+  li   s0, 0                # pass
+  li   s1, 4
+  li   a0, 0
+mpass:
+  la   t0, buf
+  li   t1, 4096             # words
+  li   t2, 0
+  add  t3, s0, s0
+  addi t3, t3, 0x5a         # pattern for this pass
+mfill:
+  sw   t3, 0(t0)
+  addi t0, t0, 4
+  addi t2, t2, 1
+  blt  t2, t1, mfill
+  add  a0, a0, t3
+  addi s0, s0, 1
+  blt  s0, s1, mpass
+  ret
+
+.data
+.align 6
+buf: .zero 16384
+`
+
+// srcStrideThrash: walk a 32 KiB buffer with a 4 KiB stride, 512 passes.
+// All 8 touched lines map to the same set of the default 16 KiB 4-way
+// cache, so every pass evicts — a conflict-miss torture test where the
+// miss rate, not bandwidth, dominates.
+const srcStrideThrash = `
+main:
+  # Seed one word per stride so loads return data.
+  la   t0, tbuf
+  li   t1, 8                # strides
+  li   t2, 0
+tinit:
+  slli t3, t2, 12           # i * 4096
+  add  t3, t0, t3
+  sw   t2, 0(t3)
+  addi t2, t2, 1
+  blt  t2, t1, tinit
+
+  li   s0, 0                # pass
+  li   s1, 512
+  li   a0, 0
+tpass:
+  la   t0, tbuf
+  li   t2, 0
+touch:
+  slli t3, t2, 12
+  add  t3, t0, t3
+  lw   t4, 0(t3)
+  add  a0, a0, t4
+  addi t2, t2, 1
+  blt  t2, t1, touch
+  addi s0, s0, 1
+  blt  s0, s1, tpass
+  ret
+
+.data
+.align 6
+tbuf: .zero 32768
+`
+
+// srcBitMix: 4096 rounds of a pure-register xorshift/mixing kernel — no
+// memory traffic at all. Peak FX throughput and the fetch/rename/commit
+// width limits are the only constraints; the IPC ceiling workload.
+const srcBitMix = `
+main:
+  li   s0, 0x12345
+  li   s1, 0x6789a
+  li   s2, 0
+  li   t1, 4096
+  li   t2, 0
+mix:
+  slli t3, s0, 13
+  xor  s0, s0, t3
+  srli t4, s0, 7
+  xor  s0, s0, t4
+  slli t5, s0, 17
+  xor  s0, s0, t5
+  add  s1, s1, s0
+  xor  t6, s1, s0
+  srli t6, t6, 3
+  add  s2, s2, t6
+  addi t2, t2, 1
+  blt  t2, t1, mix
+  mv   a0, s2
+  ret
+`
+
+// srcGCDEuclid: Euclid's gcd by remainder over 64 LCG pairs. The 16-cycle
+// rem instruction serializes each step, and only one default FX unit
+// executes it — the long-latency-integer workload (FX1 saturates while
+// FX0 idles).
+const srcGCDEuclid = `
+main:
+  li   s0, 0                # pair index
+  li   s1, 64
+  li   a0, 0
+  li   s2, 99991            # LCG state
+  li   s3, 1103515245
+gpair:
+  mul  s2, s2, s3
+  addi s2, s2, 12345
+  srai t0, s2, 4
+  li   t2, 1048575
+  and  t0, t0, t2
+  addi t0, t0, 1            # a > 0
+  mul  s2, s2, s3
+  addi s2, s2, 12345
+  srai t1, s2, 4
+  and  t1, t1, t2
+  addi t1, t1, 1            # b > 0
+gcd:
+  beqz t1, gdone
+  rem  t3, t0, t1
+  mv   t0, t1
+  mv   t1, t3
+  j    gcd
+gdone:
+  add  a0, a0, t0
+  addi s0, s0, 1
+  blt  s0, s1, gpair
+  ret
+`
+
+// srcVcallDispatch: C++-style virtual dispatch — 16 objects with
+// interleaved vtables, 32 passes of indirect calls through jalr. Indirect
+// targets alternate, stressing the BTB and the jump resolution path.
+const srcVcallDispatch = `
+main:
+  # objs[i] = {vtable: i odd ? tri : rect, w: i+1, h: i+2}
+  la   s0, objs
+  la   t1, rect_vtable
+  la   t2, tri_vtable
+  li   t3, 0
+  li   t4, 16
+oinit:
+  li   t5, 12
+  mul  t5, t3, t5
+  add  t5, s0, t5
+  andi t6, t3, 1
+  beqz t6, orect
+  sw   t2, 0(t5)
+  j    ofields
+orect:
+  sw   t1, 0(t5)
+ofields:
+  addi t6, t3, 1
+  sw   t6, 4(t5)
+  addi t6, t3, 2
+  sw   t6, 8(t5)
+  addi t3, t3, 1
+  blt  t3, t4, oinit
+
+  li   s1, 0                # pass
+  li   s2, 32
+  li   s3, 0                # total
+vpass:
+  li   t3, 0
+vloop:
+  li   t5, 12
+  mul  t5, t3, t5
+  add  t5, s0, t5
+  lw   t6, 0(t5)            # vtable
+  lw   t6, 0(t6)            # method
+  lw   a0, 4(t5)
+  lw   a1, 8(t5)
+  addi sp, sp, -4
+  sw   ra, 0(sp)
+  jalr ra, t6, 0
+  lw   ra, 0(sp)
+  addi sp, sp, 4
+  add  s3, s3, a0
+  addi t3, t3, 1
+  li   t4, 16
+  blt  t3, t4, vloop
+  addi s1, s1, 1
+  blt  s1, s2, vpass
+  mv   a0, s3
+  ret
+
+rect_area:
+  mul  a0, a0, a1
+  ret
+tri_area:
+  mul  a0, a0, a1
+  srai a0, a0, 1
+  ret
+
+.data
+.align 2
+rect_vtable: .word rect_area
+tri_vtable:  .word tri_area
+objs: .zero 192
+`
+
+// srcBinSearch: 1024 binary searches over a sorted 1024-word table. Each
+// probe's direction depends on the key comparison — a ~50% taken branch
+// the predictor cannot learn, with a data-dependent access pattern the
+// cache only partially captures.
+const srcBinSearch = `
+main:
+  # table[i] = i*7 (sorted).
+  la   t0, table
+  li   t1, 1024
+  li   t2, 0
+binit:
+  li   t3, 7
+  mul  t3, t2, t3
+  slli t4, t2, 2
+  add  t4, t0, t4
+  sw   t3, 0(t4)
+  addi t2, t2, 1
+  blt  t2, t1, binit
+
+  li   s0, 0                # query index
+  li   s1, 1024
+  li   s2, 48271            # LCG state
+  li   s3, 69621
+  li   a0, 0
+query:
+  mul  s2, s2, s3
+  addi s2, s2, 1
+  srai t2, s2, 6
+  li   t3, 8191
+  and  t2, t2, t3           # key in [0, 8191]
+  li   t4, 0                # lo
+  li   t5, 1024             # hi
+bs:
+  sub  t6, t5, t4
+  li   t3, 1
+  ble  t6, t3, bsdone
+  add  t6, t4, t5
+  srli t6, t6, 1            # mid
+  slli t3, t6, 2
+  add  t3, t0, t3
+  lw   t3, 0(t3)
+  ble  t3, t2, bslo
+  mv   t5, t6
+  j    bs
+bslo:
+  mv   t4, t6
+  j    bs
+bsdone:
+  add  a0, a0, t4
+  addi s0, s0, 1
+  blt  s0, s1, query
+  ret
+
+.data
+.align 4
+table: .zero 4096
+`

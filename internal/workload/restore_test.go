@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"riscvsim/sim"
+)
+
+// TestSuiteCheckpointRestoreDeterminism proves the suite's metrics are
+// checkpoint-transparent: for every corpus workload, running to the
+// midpoint, checkpointing, restoring and finishing yields a metrics row
+// byte-identical to an uninterrupted run. Metric reduction therefore
+// composes with the checkpoint subsystem — a suite result is trustworthy
+// no matter how the run was scheduled.
+func TestSuiteCheckpointRestoreDeterminism(t *testing.T) {
+	for _, w := range Corpus() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			// Uninterrupted reference run.
+			ref, err := NewMachine(nil, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Run(w.MaxCycles)
+			if !ref.Halted() {
+				t.Fatalf("reference run hit the %d-cycle bound", w.MaxCycles)
+			}
+			want := FromReport(w, ref.Report())
+
+			// Interrupted run: midpoint checkpoint, restore, finish.
+			half, err := NewMachine(nil, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			half.Run(ref.Cycle() / 2)
+			var buf bytes.Buffer
+			if err := half.Checkpoint(&buf); err != nil {
+				t.Fatalf("checkpoint at cycle %d: %v", half.Cycle(), err)
+			}
+			restored, err := sim.Restore(&buf)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			restored.Run(w.MaxCycles)
+			got := FromReport(w, restored.Report())
+
+			wantJSON, _ := json.Marshal(want)
+			gotJSON, _ := json.Marshal(got)
+			if !bytes.Equal(wantJSON, gotJSON) {
+				for _, f := range DiffMetrics(want, got) {
+					t.Errorf("%s: uninterrupted %s, restored %s", f.Field, f.Want, f.Got)
+				}
+				t.Fatalf("metrics diverge after checkpoint/restore at cycle %d", ref.Cycle()/2)
+			}
+		})
+	}
+}

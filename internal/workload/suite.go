@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"riscvsim/internal/config"
+	"riscvsim/sim"
+)
+
+// Options configures a suite run.
+type Options struct {
+	// Config is the architecture to measure; nil selects the default
+	// 2-wide preset. The configuration is treated as read-only.
+	Config *config.CPU
+	// Filter selects a corpus subset (Match grammar); "" runs everything.
+	Filter string
+	// Workers bounds the worker pool; 0 uses GOMAXPROCS. Workloads are
+	// independent machines, so parallel execution changes wall time
+	// only, never a metric.
+	Workers int
+}
+
+// NewMachine builds the simulation machine for one workload on the given
+// architecture (nil = default). Exposed so tests can drive a workload
+// manually — e.g. checkpoint it mid-run — with suite-identical setup.
+func NewMachine(cfg *config.CPU, w Workload) (*sim.Machine, error) {
+	if cfg == nil {
+		cfg = config.Default()
+	}
+	m, err := sim.NewFromAsm(cfg, w.Source, w.Entry)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return m, nil
+}
+
+// RunOne executes a single workload to completion and reduces it to its
+// metrics row.
+func RunOne(cfg *config.CPU, w Workload) (Metrics, error) {
+	m, err := NewMachine(cfg, w)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.Run(w.MaxCycles)
+	return FromReport(w, m.Report()), nil
+}
+
+// Run executes the selected corpus against the architecture and returns
+// one metrics row per workload, in corpus order. Execution is fanned out
+// over a bounded worker pool; results are deterministic regardless of
+// worker count or completion order.
+func Run(opts Options) (*Report, error) {
+	cfg := opts.Config
+	if cfg == nil {
+		cfg = config.Default()
+	}
+	selected, err := Match(opts.Filter)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("workload: fingerprinting configuration: %w", err)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	rows := make([]Metrics, len(selected))
+	errs := make([]error, len(selected))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(selected) {
+					return
+				}
+				rows[i], errs[i] = RunOne(cfg, selected[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Report{Architecture: cfg.Name, ConfigFingerprint: fp, Workloads: rows}, nil
+}
