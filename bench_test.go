@@ -628,6 +628,35 @@ func BenchmarkSimTraceCommitOnly(b *testing.B) {
 // speed benchmark; kept so longitudinal bench logs stay comparable.
 func BenchmarkSimulationRun(b *testing.B) { benchSimKernel(b, nil, false) }
 
+// BenchmarkStep is the single-cycle micro-benchmark behind the
+// allocation gate: steady-state Step() must stay at 0 allocs/op (run
+// with -benchmem; TestStepAllocFree in internal/core is the hard CI
+// check). The machine is warmed first so every scratch buffer and the
+// instruction free list have reached their steady-state footprint.
+func BenchmarkStep(b *testing.B) {
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), `
+  li t0, 0
+  li t1, 1
+  li t2, 1000000000
+loop:
+  add t0, t0, t1
+  addi t1, t1, 1
+  bne t1, t2, loop
+`, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.StepN(10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+	if m.Halted() {
+		b.Fatal("kernel finished mid-benchmark; grow the loop bound")
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Workload suite: the corpus as a performance trajectory
 // ---------------------------------------------------------------------------
@@ -938,6 +967,49 @@ func benchBackward(b *testing.B, at uint64) {
 
 func BenchmarkBackwardStepAt100(b *testing.B) { benchBackward(b, 100) }
 func BenchmarkBackwardStepAt500(b *testing.B) { benchBackward(b, 500) }
+
+// backwardDeepLoop runs long enough that a backward step at t=20000 is a
+// genuinely deep rewind (the kernel halts around 100k cycles).
+const backwardDeepLoop = `
+li t0, 0
+li t1, 1
+li t2, 40000
+loop:
+  add t0, t0, t1
+  addi t1, t1, 1
+  bne t1, t2, loop
+`
+
+// benchBackwardDeep measures one backward step at depth `at`, with or
+// without interval snapshots. The snapshot variant restores from the
+// nearest snapshot and replays the remainder — O(interval) — while the
+// replay variant re-runs all `at` cycles from zero (paper §III-B).
+func benchBackwardDeep(b *testing.B, at uint64, snapshots bool) {
+	m, err := sim.NewFromAsm(sim.DefaultConfig(), backwardDeepLoop, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if snapshots {
+		m.EnableSnapshots(0)
+	}
+	m.StepN(at)
+	if m.Halted() {
+		b.Fatal("kernel halted during warm-up")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.StepBack(); err != nil {
+			b.Fatal(err)
+		}
+		m.StepN(1)
+	}
+}
+
+// BenchmarkBackwardStepDeepReplay vs ...DeepSnapshot is the interval-
+// snapshot acceptance pair: at a 20k-cycle depth the snapshot path must
+// be >=10x faster than the from-zero replay.
+func BenchmarkBackwardStepDeepReplay(b *testing.B)   { benchBackwardDeep(b, 20_000, false) }
+func BenchmarkBackwardStepDeepSnapshot(b *testing.B) { benchBackwardDeep(b, 20_000, true) }
 
 // TestBackwardCostGrowsLinearly documents the paper's design trade-off:
 // backward simulation re-runs from cycle zero, so stepping back at a later

@@ -52,6 +52,9 @@ type SimulateRequest struct {
 	IncludeState bool `json:"includeState,omitempty"`
 	// IncludeLog requests the debug log.
 	IncludeLog bool `json:"includeLog,omitempty"`
+	// Verbose enables per-event debug logging (commit and flush lines).
+	// Off by default: the hot path then formats no log messages at all.
+	Verbose bool `json:"verbose,omitempty"`
 	// Checkpoint, when set, restores the machine from a binary snapshot
 	// (base64 in JSON) instead of building it from Code/Preset/Config;
 	// MemFills still apply afterwards, so sweeps can fork one warm

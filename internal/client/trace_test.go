@@ -119,8 +119,10 @@ func (e errString) Error() string { return string(e) }
 func TestClientSessionLogPaging(t *testing.T) {
 	c, closeFn := Local(server.DefaultOptions())
 	defer closeFn()
-	// A mispredicting loop fills the log with flush lines.
-	sess, err := c.NewSession(&api.SessionNewRequest{SimulateRequest: api.SimulateRequest{Code: `
+	// A mispredicting loop fills the log with flush lines — under
+	// Verbose, since non-verbose sessions no longer pay for per-event
+	// log formatting.
+	sess, err := c.NewSession(&api.SessionNewRequest{SimulateRequest: api.SimulateRequest{Verbose: true, Code: `
   addi t0, x0, 0
   addi t1, x0, 32
 loop:

@@ -91,6 +91,15 @@ type CPU struct {
 	// checkpoint config hash — stable).
 	MaxLogEntries int `json:"maxLogEntries,omitempty"`
 
+	// SnapshotInterval, when positive, makes machines built from this
+	// architecture keep periodic in-memory state snapshots every that
+	// many cycles, so backward stepping restores from the nearest
+	// snapshot instead of replaying from cycle zero (O(interval) instead
+	// of O(cycle)). 0 — the default, omitted from exported documents so
+	// config hashes stay stable — leaves snapshots off for batch runs;
+	// interactive debug sessions enable them explicitly.
+	SnapshotInterval int `json:"snapshotInterval,omitempty"`
+
 	// Functional units tab.
 	Units []FUSpec `json:"units"`
 
@@ -151,6 +160,9 @@ func (c *CPU) Validate() []error {
 	}
 	if c.MaxLogEntries < 0 {
 		add("config: maxLogEntries must be non-negative, got %d", c.MaxLogEntries)
+	}
+	if c.SnapshotInterval < 0 {
+		add("config: snapshotInterval must be non-negative, got %d", c.SnapshotInterval)
 	}
 	if c.RenameRegisters < c.ROBSize {
 		add("config: renameRegisters (%d) must be at least robSize (%d) so every in-flight instruction can rename a destination",

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"riscvsim/internal/ckpt"
 	"riscvsim/internal/isa"
 	"riscvsim/internal/rename"
@@ -26,7 +24,7 @@ import (
 func (s *Simulation) liveInstrs() ([]*SimInstr, map[*SimInstr]int) {
 	var table []*SimInstr
 	s.rob.Walk(func(si *SimInstr, done bool) { table = append(table, si) })
-	table = append(table, s.decodeBuf...)
+	table = append(table, s.pendingDecode()...)
 	table = append(table, s.lsu.committed...)
 	idx := make(map[*SimInstr]int, len(table))
 	for i, si := range table {
@@ -79,8 +77,8 @@ func encodeInstr(w *ckpt.Writer, si *SimInstr) {
 	w.U64(si.ExecutedAt)
 	w.U64(si.MemoryAt)
 	w.U64(si.CommittedAt)
-	w.Len(len(si.srcs))
-	for i := range si.srcs {
+	w.Len(int(si.nsrc))
+	for i := 0; i < int(si.nsrc); i++ {
 		src := &si.srcs[i]
 		w.String(src.name)
 		w.Byte(byte(src.class))
@@ -136,7 +134,7 @@ func (s *Simulation) decodeInstr(r *ckpt.Reader) *SimInstr {
 	si.ExecutedAt = r.U64()
 	si.MemoryAt = r.U64()
 	si.CommittedAt = r.U64()
-	nsrc := r.Len(8)
+	nsrc := r.Len(maxSrcOperands)
 	for i := 0; i < nsrc && r.Err() == nil; i++ {
 		var src srcOperand
 		src.name = r.String(64)
@@ -154,7 +152,8 @@ func (s *Simulation) decodeInstr(r *ckpt.Reader) *SimInstr {
 			r.Corrupt("source rename tag %d outside file of %d", src.ref.Tag, s.rf.Size())
 			break
 		}
-		si.srcs = append(si.srcs, src)
+		si.srcs[si.nsrc] = src
+		si.nsrc++
 	}
 	si.hasDest = r.Bool()
 	if si.hasDest {
@@ -203,16 +202,21 @@ func (s *Simulation) EncodeState(w *ckpt.Writer) {
 	w.U64(s.commitStalls)
 	w.U64(s.renameStalls)
 	w.U64(s.robOccSum)
-	// Dynamic mix in sorted key order (the only map in the core state).
-	keys := make([]int, 0, len(s.dynMix))
-	for t := range s.dynMix {
-		keys = append(keys, int(t))
+	// Dynamic mix: non-zero counters in ascending key order — the same
+	// bytes the historical map encoding produced (a map entry only ever
+	// existed once its counter was incremented).
+	nmix := 0
+	for _, n := range s.dynMix {
+		if n != 0 {
+			nmix++
+		}
 	}
-	sort.Ints(keys)
-	w.Len(len(keys))
-	for _, k := range keys {
-		w.Int(k)
-		w.U64(s.dynMix[isa.InstrType(k)])
+	w.Len(nmix)
+	for k, n := range s.dynMix {
+		if n != 0 {
+			w.Int(k)
+			w.U64(n)
+		}
 	}
 
 	table, idx := s.liveInstrs()
@@ -231,8 +235,9 @@ func (s *Simulation) EncodeState(w *ckpt.Writer) {
 	})
 
 	// Decode buffer.
-	w.Len(len(s.decodeBuf))
-	for _, si := range s.decodeBuf {
+	pending := s.pendingDecode()
+	w.Len(len(pending))
+	for _, si := range pending {
 		instrRef(w, idx, si)
 	}
 
@@ -336,10 +341,18 @@ func (s *Simulation) DecodeState(r *ckpt.Reader) {
 	s.renameStalls = r.U64()
 	s.robOccSum = r.U64()
 	nmix := r.Len(256)
-	s.dynMix = make(map[isa.InstrType]uint64, nmix)
+	s.dynMix = [isa.NumInstrTypes]uint64{}
 	for i := 0; i < nmix && r.Err() == nil; i++ {
 		k := r.Int()
-		s.dynMix[isa.InstrType(k)] = r.U64()
+		n := r.U64()
+		if r.Err() != nil {
+			break
+		}
+		if k < 0 || k >= isa.NumInstrTypes {
+			r.Corrupt("dynamic-mix instruction type %d out of range", k)
+			return
+		}
+		s.dynMix[k] = n
 	}
 
 	r.Section(ckpt.SecInstrs)
@@ -382,6 +395,7 @@ func (s *Simulation) DecodeState(r *ckpt.Reader) {
 
 	ndec := r.Len(s.decodeCap)
 	s.decodeBuf = s.decodeBuf[:0]
+	s.decodeHead = 0
 	for i := 0; i < ndec && r.Err() == nil; i++ {
 		if si := readRef(r, table); si != nil {
 			s.decodeBuf = append(s.decodeBuf, si)

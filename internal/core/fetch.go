@@ -5,12 +5,26 @@ import (
 	"riscvsim/internal/predictor"
 )
 
+// fetchInfo is the pre-decoded control-flow summary of one static
+// instruction, computed once at construction so the per-cycle fetch loop
+// reads flags and targets from a flat array instead of walking descriptor
+// fields and operand lists.
+type fetchInfo struct {
+	isBranch    bool
+	conditional bool
+	// targetKnown marks direct (PC-relative) branches whose target is
+	// computable at fetch; register-indirect jumps depend on the BTB.
+	targetKnown bool
+	target      int
+}
+
 // fetchUnit models the fetch block: it follows predicted control flow,
 // fetching up to the configured width per cycle and up to JumpsPerCycle
 // taken jumps within a single cycle (paper §II-C).
 type fetchUnit struct {
 	prog  *asm.Program
 	pred  *predictor.Predictor
+	info  []fetchInfo // indexed by PC
 	width int
 	jumps int
 
@@ -18,13 +32,31 @@ type fetchUnit struct {
 	stalledUntil uint64    // flush-penalty stall
 	waitBranch   *SimInstr // jalr with unknown target: fetch parked
 
+	// scratch is the reusable Fetch result buffer; its contents are only
+	// valid until the next call, so each cycle's fetch group costs no
+	// allocation.
+	scratch []*SimInstr
+
 	// Statistics.
 	fetched     uint64
 	stallCycles uint64
 }
 
 func newFetchUnit(prog *asm.Program, pred *predictor.Predictor, width, jumps, entry int) *fetchUnit {
-	return &fetchUnit{prog: prog, pred: pred, width: width, jumps: jumps, pc: entry}
+	f := &fetchUnit{prog: prog, pred: pred, width: width, jumps: jumps, pc: entry}
+	f.info = make([]fetchInfo, len(prog.Instructions))
+	for i, in := range prog.Instructions {
+		fi := &f.info[i]
+		fi.isBranch = in.Desc.IsBranch()
+		fi.conditional = in.Desc.Conditional
+		if fi.isBranch && in.Desc.PCRelative {
+			if imm := in.Op("imm"); imm != nil {
+				fi.targetKnown = true
+				fi.target = i + int(imm.Val)
+			}
+		}
+	}
+	return f
 }
 
 // AtEnd reports whether the PC has run off the code segment (the program
@@ -58,48 +90,39 @@ func (f *fetchUnit) ClearWait(si *SimInstr) {
 }
 
 // Fetch produces up to width instructions for the decode buffer, following
-// predictions. nextID assigns dynamic instruction IDs.
-func (f *fetchUnit) Fetch(now uint64, room int, nextID func() uint64) []*SimInstr {
+// predictions. Instruction instances come from the simulation's free list;
+// the returned slice is a reusable scratch buffer, valid until the next
+// call.
+func (f *fetchUnit) Fetch(now uint64, room int, s *Simulation) []*SimInstr {
 	if f.Stalled(now) {
 		f.stallCycles++
 		return nil
 	}
-	var out []*SimInstr
+	out := f.scratch[:0]
 	jumpsTaken := 0
 	for len(out) < f.width && len(out) < room {
 		if f.pc < 0 || f.pc >= len(f.prog.Instructions) {
 			break
 		}
 		st := f.prog.Instructions[f.pc]
-		si := &SimInstr{
-			ID:        nextID(),
-			Static:    st,
-			PC:        f.pc,
-			Phase:     PhaseFetched,
-			FetchedAt: now,
-		}
+		fi := &f.info[f.pc]
+		si := s.newInstr(st, f.pc, now)
 		f.fetched++
 		out = append(out, si)
 
-		if !st.Desc.IsBranch() {
+		if !fi.isBranch {
 			f.pc++
 			continue
 		}
 
-		pred := f.pred.Predict(f.pc, st.Desc.Conditional)
-		si.predTaken = pred.Taken || !st.Desc.Conditional
+		pred := f.pred.Predict(f.pc, fi.conditional)
+		si.predTaken = pred.Taken || !fi.conditional
 
 		// Direct targets are computable at fetch (pre-decode); only
 		// register-indirect jumps (jalr) depend on the BTB.
-		targetKnown := false
-		target := 0
-		switch {
-		case st.Desc.PCRelative:
-			if imm := st.Op("imm"); imm != nil {
-				target = f.pc + int(imm.Val)
-				targetKnown = true
-			}
-		case pred.BTBHit:
+		targetKnown := fi.targetKnown
+		target := fi.target
+		if !targetKnown && pred.BTBHit {
 			target = pred.Target
 			targetKnown = true
 		}
@@ -123,5 +146,6 @@ func (f *fetchUnit) Fetch(now uint64, room int, nextID func() uint64) []*SimInst
 			break
 		}
 	}
+	f.scratch = out
 	return out
 }

@@ -1,9 +1,8 @@
 package core
 
 import (
+	"riscvsim/internal/asm"
 	"riscvsim/internal/config"
-	"riscvsim/internal/expr"
-	"riscvsim/internal/fault"
 	"riscvsim/internal/isa"
 )
 
@@ -25,6 +24,16 @@ type FU struct {
 	// lastAccept enforces one issue per cycle for pipelined units.
 	lastAccept uint64
 	hasAccept  bool
+
+	// doneScratch is the reusable ReleaseDone result buffer; its contents
+	// are only valid until the next call.
+	doneScratch []*SimInstr
+
+	// sup/lat cache the spec's per-mnemonic support and latency tables,
+	// pre-resolved per static instruction (indexed by PC) so the issue
+	// path never does a string-map lookup.
+	sup []bool
+	lat []uint64
 
 	// Statistics.
 	busyCycles  uint64
@@ -90,95 +99,61 @@ func (f *FU) nextDone() uint64 {
 	return min
 }
 
+// precompute resolves the spec's per-mnemonic support and latency maps
+// once per static instruction, so the per-cycle issue path is two array
+// reads. Called by the simulation constructor.
+func (f *FU) precompute(prog *asm.Program) {
+	f.sup = make([]bool, len(prog.Instructions))
+	f.lat = make([]uint64, len(prog.Instructions))
+	for i, in := range prog.Instructions {
+		f.sup[i] = f.spec.Supports(in.Desc.Name)
+		f.lat[i] = uint64(f.spec.LatencyFor(in.Desc.Name))
+	}
+}
+
 // Supports reports whether this unit can execute the instruction.
 func (f *FU) Supports(si *SimInstr) bool {
+	if f.sup != nil {
+		return f.class == si.Static.Desc.Unit && f.sup[si.PC]
+	}
 	return f.class == si.Static.Desc.Unit && f.spec.Supports(si.Static.Desc.Name)
+}
+
+// latencyFor returns the unit's latency for the instruction.
+func (f *FU) latencyFor(si *SimInstr) uint64 {
+	if f.lat != nil {
+		return f.lat[si.PC]
+	}
+	return uint64(f.spec.LatencyFor(si.Static.Desc.Name))
 }
 
 // Accept starts executing the instruction (sub-step two of the paper's FU
 // model): the semantics are evaluated immediately against the captured
-// operands and the result is buffered until the completion sub-step at
+// operands — through the engine's specialized fast path or its interpreter
+// fallback — and the result is buffered until the completion sub-step at
 // now+latency. Evaluation errors become exceptions attached to the
 // instruction and raised at commit.
-func (f *FU) Accept(si *SimInstr, now uint64, ev *expr.Evaluator) {
+func (f *FU) Accept(si *SimInstr, now uint64, eng *ExecEngine) {
 	if !f.CanAccept(now) {
 		panic("core: Accept on busy FU " + f.spec.Name)
 	}
-	lat := f.spec.LatencyFor(si.Static.Desc.Name)
-	f.inflight = append(f.inflight, inflightOp{si: si, doneAt: now + uint64(lat)})
+	lat := f.latencyFor(si)
+	f.inflight = append(f.inflight, inflightOp{si: si, doneAt: now + lat})
 	f.lastAccept = now
 	f.hasAccept = true
 	f.execCount++
-	f.totalCycles += uint64(lat)
+	f.totalCycles += lat
 	si.IssuedAt = now
 	si.Phase = PhaseIssued
 
-	res, err := ev.Eval(si.Static.Desc.Prog, instrEnv{si: si})
-	if err != nil {
-		if exc, ok := err.(*fault.Exception); ok {
-			exc.Cycle = now
-			exc.PC = si.PC
-			si.Exc = exc
-		} else {
-			si.Exc = &fault.Exception{Kind: fault.InvalidInstruction, Msg: err.Error(), Cycle: now, PC: si.PC}
-		}
-		return
-	}
-
-	desc := si.Static.Desc
-	switch {
-	case desc.IsBranch():
-		f.resolveBranch(si, res)
-	case desc.IsLoad(), desc.IsStore():
-		// The expression computed the effective address.
-		if res.HasValue {
-			si.effAddr = int(res.Value.Int())
-		}
-		if desc.IsStore() {
-			// Capture the store payload from rs2 now.
-			for i := range si.srcs {
-				if si.srcs[i].name == "rs2" {
-					si.storeData = si.srcs[i].value.Bits()
-				}
-			}
-		}
-	}
-}
-
-// resolveBranch computes the actual direction and target. Conditional
-// branches leave their condition on the expression stack; jalr leaves its
-// absolute target; PC-relative jumps use the immediate (paper §III-B).
-func (f *FU) resolveBranch(si *SimInstr, res expr.Result) {
-	desc := si.Static.Desc
-	if desc.Conditional {
-		si.actualTaken = res.HasValue && res.Value.Bool()
-	} else {
-		si.actualTaken = true
-	}
-	if desc.PCRelative {
-		if imm := si.Static.Op("imm"); imm != nil {
-			si.actualTgt = si.PC + int(imm.Val)
-		}
-	} else if res.HasValue {
-		si.actualTgt = int(res.Value.Int())
-	}
-	if !si.actualTaken {
-		si.actualTgt = si.PC + 1
-	}
-	// A misprediction is any difference between the next PC fetch
-	// assumed and the real one. A fetch stalled on an unknown target
-	// (predStall) fetched nothing wrong, so it only needs a redirect.
-	predNext := si.PC + 1
-	if si.predTaken {
-		predNext = si.predTarget
-	}
-	si.mispredict = !si.predStall && predNext != si.actualTgt
+	eng.Execute(si, now)
 }
 
 // ReleaseDone detaches every instruction finishing at or before cycle now,
-// in issue order (sub-step one of the FU model).
+// in issue order (sub-step one of the FU model). The returned slice is a
+// reusable scratch buffer, valid until the next call.
 func (f *FU) ReleaseDone(now uint64) []*SimInstr {
-	var done []*SimInstr
+	done := f.doneScratch[:0]
 	kept := f.inflight[:0]
 	for _, op := range f.inflight {
 		if now >= op.doneAt {
@@ -191,6 +166,7 @@ func (f *FU) ReleaseDone(now uint64) []*SimInstr {
 		f.inflight[i] = inflightOp{}
 	}
 	f.inflight = kept
+	f.doneScratch = done
 	return done
 }
 

@@ -40,6 +40,11 @@ func (p Phase) String() string {
 	return fmt.Sprintf("phase(%d)", uint8(p))
 }
 
+// maxSrcOperands is the most renamed sources any instruction reads (the
+// fused multiply-adds read rs1, rs2 and rs3); srcs is a fixed inline array
+// of that size so dispatching an instruction never allocates.
+const maxSrcOperands = 3
+
 // srcOperand is one renamed source operand of a dynamic instruction.
 type srcOperand struct {
 	name  string // argument name (rs1, rs2, rs3)
@@ -73,8 +78,9 @@ type SimInstr struct {
 	MemoryAt    uint64
 	CommittedAt uint64
 
-	// Renamed operands.
-	srcs []srcOperand
+	// Renamed operands: the first nsrc slots of srcs are valid.
+	srcs [maxSrcOperands]srcOperand
+	nsrc uint8
 	// Destination rename, when the instruction writes a register.
 	hasDest   bool
 	destClass isa.RegClass
@@ -128,7 +134,7 @@ func (si *SimInstr) String() string {
 // srcsReady reports whether every source operand value is available,
 // refreshing validity from the rename file.
 func (si *SimInstr) srcsReady(rf *rename.File) bool {
-	for i := range si.srcs {
+	for i := 0; i < int(si.nsrc); i++ {
 		s := &si.srcs[i]
 		if s.captured {
 			continue
@@ -151,7 +157,7 @@ func (si *SimInstr) srcsReady(rf *rename.File) bool {
 
 // releaseRefs drops any rename references still held (squash path).
 func (si *SimInstr) releaseRefs(rf *rename.File) {
-	for i := range si.srcs {
+	for i := 0; i < int(si.nsrc); i++ {
 		s := &si.srcs[i]
 		if !s.captured && s.ref.Tag != rename.NoTag {
 			rf.Release(s.ref.Tag)
@@ -162,17 +168,18 @@ func (si *SimInstr) releaseRefs(rf *rename.File) {
 
 // instrEnv adapts a SimInstr to the expression interpreter's Env: operand
 // reads come from the captured source values and immediates; assignments
-// land in the instruction's pending result.
+// land in the instruction's pending result. It is used by pointer so the
+// engine's single reusable instance converts to expr.Env without boxing.
 type instrEnv struct {
 	si *SimInstr
 }
 
 // Get implements expr.Env.
-func (e instrEnv) Get(name string) (expr.Value, bool) {
+func (e *instrEnv) Get(name string) (expr.Value, bool) {
 	if name == "pc" {
 		return expr.NewInt(int32(e.si.PC)), true
 	}
-	for i := range e.si.srcs {
+	for i := 0; i < int(e.si.nsrc); i++ {
 		if e.si.srcs[i].name == name {
 			return e.si.srcs[i].value, true
 		}
@@ -194,7 +201,7 @@ func (e instrEnv) Get(name string) (expr.Value, bool) {
 
 // Set implements expr.Env: assignments store the pending destination value,
 // converted to the argument's declared type.
-func (e instrEnv) Set(name string, v expr.Value) error {
+func (e *instrEnv) Set(name string, v expr.Value) error {
 	d := e.si.Static.Desc.Arg(name)
 	if d == nil {
 		return fmt.Errorf("core: %s assigns to unknown operand %q", e.si.Static.Desc.Name, name)

@@ -37,6 +37,16 @@ type LSU struct {
 	// core's emission sites.
 	onTrace func(now uint64, si *SimInstr, st trace.Stage, detail string)
 
+	// onRecycle, when set by the owning simulation, reclaims a committed
+	// store's instruction instance once it has drained to the cache — the
+	// last point anything references it.
+	onRecycle func(si *SimInstr)
+
+	// completedScratch is the reusable Step result buffer; tx is the
+	// reusable memory transaction. Both are only valid within one call.
+	completedScratch []*SimInstr
+	tx               memory.Transaction
+
 	// Statistics.
 	loadCount     uint64
 	storeCount    uint64
@@ -150,19 +160,26 @@ func (l *LSU) Step(now uint64) (completed []*SimInstr, storeExc *fault.Exception
 	// Drain one committed store per cycle through the memory port.
 	if len(l.committed) > 0 {
 		st := l.committed[0]
-		tx := &memory.Transaction{
+		l.tx = memory.Transaction{
 			Addr: st.effAddr, Size: st.Static.Desc.MemWidth,
 			IsStore: true, Data: st.storeData,
 		}
-		if _, exc := l.port.Access(tx, now); exc != nil {
+		if _, exc := l.port.Access(&l.tx, now); exc != nil {
 			// The store already committed; its fault stops the machine.
 			exc.Cycle = now
 			exc.PC = st.PC
 			storeExc = exc
 		}
-		l.committed = l.committed[1:]
+		// Shift the queue in place so the backing array is reused.
+		n := copy(l.committed, l.committed[1:])
+		l.committed[n] = nil
+		l.committed = l.committed[:n]
 		l.drainedStores++
 		l.busCycles++
+		// Nothing references a drained store anymore.
+		if l.onRecycle != nil {
+			l.onRecycle(st)
+		}
 	}
 
 	// Issue loads: oldest first, one cache access per cycle; forwarded
@@ -191,8 +208,8 @@ func (l *LSU) Step(now uint64) (completed []*SimInstr, storeExc *fault.Exception
 		if !portFree {
 			continue
 		}
-		tx := &memory.Transaction{Addr: ld.effAddr, Size: ld.Static.Desc.MemWidth}
-		finish, exc := l.port.Access(tx, now)
+		l.tx = memory.Transaction{Addr: ld.effAddr, Size: ld.Static.Desc.MemWidth}
+		finish, exc := l.port.Access(&l.tx, now)
 		if exc != nil {
 			exc.Cycle = now
 			exc.PC = ld.PC
@@ -201,14 +218,16 @@ func (l *LSU) Step(now uint64) (completed []*SimInstr, storeExc *fault.Exception
 			ld.memIssued = true
 			continue
 		}
-		ld.storeData = tx.Data
+		ld.storeData = l.tx.Data
 		ld.memDoneAt = finish
 		ld.memIssued = true
 		portFree = false
 		l.busCycles++
 	}
 
-	// Complete loads whose data has arrived.
+	// Complete loads whose data has arrived. The completed slice is the
+	// reusable scratch, valid until the next Step.
+	completed = l.completedScratch[:0]
 	kept := l.loads[:0]
 	for _, ld := range l.loads {
 		if ld.memIssued && now >= ld.memDoneAt && !ld.Squashed {
@@ -228,6 +247,7 @@ func (l *LSU) Step(now uint64) (completed []*SimInstr, storeExc *fault.Exception
 		l.loads[i] = nil
 	}
 	l.loads = kept
+	l.completedScratch = completed
 	return completed, storeExc
 }
 

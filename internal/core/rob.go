@@ -13,6 +13,10 @@ type ROB struct {
 	head    int // oldest
 	tail    int // next free
 	count   int
+
+	// squashScratch is the reusable SquashAfter result buffer; its
+	// contents are only valid until the next call.
+	squashScratch []*SimInstr
 }
 
 // NewROB builds a reorder buffer with the configured capacity.
@@ -77,8 +81,10 @@ func (r *ROB) MarkDone(si *SimInstr) {
 
 // SquashAfter removes every instruction younger than pivot (exclusive),
 // returning them youngest-first (the order rename-map restoration needs).
+// The returned slice is a reusable scratch buffer, valid until the next
+// call.
 func (r *ROB) SquashAfter(pivot *SimInstr) []*SimInstr {
-	var squashed []*SimInstr
+	squashed := r.squashScratch[:0]
 	for r.count > 0 {
 		lastIdx := (r.tail - 1 + len(r.entries)) % len(r.entries)
 		last := r.entries[lastIdx].instr
@@ -90,6 +96,7 @@ func (r *ROB) SquashAfter(pivot *SimInstr) []*SimInstr {
 		r.count--
 		squashed = append(squashed, last)
 	}
+	r.squashScratch = squashed
 	return squashed
 }
 

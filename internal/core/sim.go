@@ -52,10 +52,21 @@ type Simulation struct {
 
 	windows [4]*issueWindow // indexed by isa.FUClass
 
-	decodeBuf []*SimInstr
-	decodeCap int
+	// decodeBuf is the fetch→decode queue; entries before decodeHead have
+	// been consumed by rename. The buffer is compacted in place by
+	// fetchStep so its backing array is reused instead of reallocated.
+	decodeBuf  []*SimInstr
+	decodeHead int
+	decodeCap  int
 
-	ev *expr.Evaluator
+	// eng executes instruction semantics: specialized RV32IM fast path
+	// with the expression interpreter as total fallback.
+	eng *ExecEngine
+
+	// freeInstrs is the SimInstr free list: instances are reclaimed when
+	// an instruction commits, is squashed, or (for stores) drains to the
+	// cache, so steady-state stepping allocates nothing.
+	freeInstrs []*SimInstr
 
 	cycle  uint64
 	nextID uint64
@@ -69,7 +80,7 @@ type Simulation struct {
 	squashedCount  uint64
 	flops          uint64
 	robFlushes     uint64
-	dynMix         map[isa.InstrType]uint64
+	dynMix         [isa.NumInstrTypes]uint64
 	decodeStalls   uint64
 	commitStalls   uint64
 	renameStalls   uint64
@@ -133,16 +144,18 @@ func New(cfg *config.CPU, set *isa.Set, regs *isa.RegisterFile, prog *asm.Progra
 		rob:        NewROB(cfg.ROBSize),
 		lsu:        NewLSU(cfg.LoadBufferSize, cfg.StoreBufferSize, l1),
 		decodeCap:  2 * cfg.FetchWidth,
-		ev:         expr.NewEvaluator(),
-		dynMix:     make(map[isa.InstrType]uint64),
+		eng:        newExecEngine(prog),
 		logBound:   cfg.LogBound(),
 	}
+	s.lsu.onRecycle = s.recycleInstr
 	s.windows[isa.FX] = newIssueWindow(isa.FX, cfg.FXWindow)
 	s.windows[isa.FP] = newIssueWindow(isa.FP, cfg.FPWindow)
 	s.windows[isa.LS] = newIssueWindow(isa.LS, cfg.LSWindow)
 	s.windows[isa.Branch] = newIssueWindow(isa.Branch, cfg.BranchWindow)
 	for i := range cfg.Units {
-		s.fus = append(s.fus, NewFU(&cfg.Units[i]))
+		fu := NewFU(&cfg.Units[i])
+		fu.precompute(prog)
+		s.fus = append(s.fus, fu)
 	}
 	s.fetch = newFetchUnit(prog, pred, cfg.FetchWidth, cfg.JumpsPerCycle, entry)
 
@@ -153,6 +166,46 @@ func New(cfg *config.CPU, set *isa.Set, regs *isa.RegisterFile, prog *asm.Progra
 	s.rf.SetArchValue(isa.RegInt, isa.RegSP, expr.NewInt(int32(mem.StackPointerInit())))
 	s.rf.SetArchValue(isa.RegInt, isa.RegRA, expr.NewInt(int32(len(prog.Instructions))))
 	return s, nil
+}
+
+// allocInstr takes an instruction instance from the free list (zeroed) or
+// allocates a fresh one. In steady state the in-flight population is
+// bounded by the pipeline's buffer sizes, so the free list stops growing
+// and stepping allocates nothing (pinned by TestStepAllocFree).
+func (s *Simulation) allocInstr() *SimInstr {
+	if n := len(s.freeInstrs); n > 0 {
+		si := s.freeInstrs[n-1]
+		s.freeInstrs[n-1] = nil
+		s.freeInstrs = s.freeInstrs[:n-1]
+		*si = SimInstr{}
+		return si
+	}
+	return &SimInstr{}
+}
+
+// recycleInstr returns a dead instruction instance to the free list. The
+// caller must guarantee nothing references it anymore: instructions are
+// reclaimed at commit (non-stores), at store drain, and after a squash has
+// been scrubbed from every pipeline structure.
+func (s *Simulation) recycleInstr(si *SimInstr) {
+	s.freeInstrs = append(s.freeInstrs, si)
+}
+
+// newInstr builds a fetched dynamic instruction from the free list.
+func (s *Simulation) newInstr(st *asm.Instruction, pc int, now uint64) *SimInstr {
+	si := s.allocInstr()
+	s.nextID++
+	si.ID = s.nextID
+	si.Static = st
+	si.PC = pc
+	si.Phase = PhaseFetched
+	si.FetchedAt = now
+	return si
+}
+
+// pendingDecode returns the not-yet-renamed tail of the decode buffer.
+func (s *Simulation) pendingDecode() []*SimInstr {
+	return s.decodeBuf[s.decodeHead:]
 }
 
 func (s *Simulation) logf(now uint64, format string, args ...any) {
@@ -351,6 +404,12 @@ func (s *Simulation) commitStep(now uint64) {
 			s.l1.FlushAll(now)
 			return
 		}
+		// A committed non-store is referenced by nothing anymore (its ROB
+		// slot was popped, and loads left the load buffer at completion);
+		// stores are reclaimed by the LSU once they drain to the cache.
+		if !si.IsStore() {
+			s.recycleInstr(si)
+		}
 	}
 }
 
@@ -427,7 +486,11 @@ func (s *Simulation) completeInstr(si *SimInstr, now uint64) {
 				// resume it at the resolved target without a
 				// flush (nothing wrong-path was fetched).
 				s.fetch.Redirect(si.actualTgt, now, 0)
-				s.logf(now, "fetch resumed at %d after %s", si.actualTgt, si)
+				if s.VerboseLog {
+					// Gated: indirect-call-heavy code resolves a
+					// parked jump per dispatch.
+					s.logf(now, "fetch resumed at %d after %s", si.actualTgt, si)
+				}
 			}
 		case desc.IsLoad():
 			// Address generation finished; the load now waits on the
@@ -491,7 +554,7 @@ func (s *Simulation) issueStep(now uint64) {
 		}
 		w := s.windows[fu.Class()]
 		if si := w.SelectReady(s.rf, fu); si != nil {
-			fu.Accept(si, now, s.ev)
+			fu.Accept(si, now, s.eng)
 			if s.tracing(trace.StageIssue) {
 				s.emit(now, si, trace.StageIssue, fu.Name())
 			}
@@ -501,8 +564,8 @@ func (s *Simulation) issueStep(now uint64) {
 
 func (s *Simulation) renameStep(now uint64) {
 	n := 0
-	for len(s.decodeBuf) > 0 && n < s.cfg.FetchWidth {
-		si := s.decodeBuf[0]
+	for s.decodeHead < len(s.decodeBuf) && n < s.cfg.FetchWidth {
+		si := s.decodeBuf[s.decodeHead]
 		desc := si.Static.Desc
 		if s.rob.Full() {
 			s.decodeStalls++
@@ -531,9 +594,10 @@ func (s *Simulation) renameStep(now uint64) {
 				class = isa.RegFloat
 			}
 			ref := s.rf.LookupSrc(class, op.Reg)
-			si.srcs = append(si.srcs, srcOperand{
+			si.srcs[si.nsrc] = srcOperand{
 				name: a.Name, class: class, reg: op.Reg, ref: ref,
-			})
+			}
+			si.nsrc++
 		}
 
 		// Rename the destination; a write to x0 is architecturally
@@ -549,7 +613,7 @@ func (s *Simulation) renameStep(now uint64) {
 				if !ok {
 					// Rename file exhausted: undo source refs and stall.
 					si.releaseRefs(s.rf)
-					si.srcs = nil
+					si.nsrc = 0
 					s.renameStalls++
 					return
 				}
@@ -583,20 +647,27 @@ func (s *Simulation) renameStep(now uint64) {
 				s.emit(now, si, trace.StageDispatch, desc.Unit.String())
 			}
 		}
-		s.decodeBuf = s.decodeBuf[1:]
+		s.decodeBuf[s.decodeHead] = nil
+		s.decodeHead++
 		n++
 	}
 }
 
 func (s *Simulation) fetchStep(now uint64) {
+	// Compact the consumed prefix away so the backing array is reused.
+	if s.decodeHead > 0 {
+		kept := copy(s.decodeBuf, s.decodeBuf[s.decodeHead:])
+		for i := kept; i < len(s.decodeBuf); i++ {
+			s.decodeBuf[i] = nil
+		}
+		s.decodeBuf = s.decodeBuf[:kept]
+		s.decodeHead = 0
+	}
 	room := s.decodeCap - len(s.decodeBuf)
 	if room <= 0 {
 		return
 	}
-	fetched := s.fetch.Fetch(now, room, func() uint64 {
-		s.nextID++
-		return s.nextID
-	})
+	fetched := s.fetch.Fetch(now, room, s)
 	if s.tracing(trace.StageFetch) {
 		for _, si := range fetched {
 			detail := ""
@@ -639,7 +710,7 @@ func (s *Simulation) flushAfter(si *SimInstr, now uint64) {
 		}
 	}
 	// Everything still in the decode buffer was fetched after the branch.
-	for _, d := range s.decodeBuf {
+	for _, d := range s.pendingDecode() {
 		d.Squashed = true
 		d.Phase = PhaseSquashed
 		s.squashedCount++
@@ -647,7 +718,6 @@ func (s *Simulation) flushAfter(si *SimInstr, now uint64) {
 			s.emit(now, d, trace.StageSquash, squashDetail)
 		}
 	}
-	s.decodeBuf = s.decodeBuf[:0]
 	for _, fu := range s.fus {
 		fu.AbortSquashed()
 	}
@@ -659,8 +729,26 @@ func (s *Simulation) flushAfter(si *SimInstr, now uint64) {
 		s.fetch.ClearWait(s.fetch.waitBranch)
 	}
 	s.fetch.Redirect(si.actualTgt, now, s.cfg.FlushPenalty)
-	s.logf(now, "flush: %s mispredicted (taken=%v target=%d), %d squashed, penalty %d",
-		si, si.actualTaken, si.actualTgt, len(squashed), s.cfg.FlushPenalty)
+	if s.VerboseLog {
+		// Gated: formatting the flush message costs a Sprintf per
+		// misprediction, which branch-heavy workloads pay thousands of
+		// times per run.
+		s.logf(now, "flush: %s mispredicted (taken=%v target=%d), %d squashed, penalty %d",
+			si, si.actualTaken, si.actualTgt, len(squashed), s.cfg.FlushPenalty)
+	}
+	// Every squashed instruction has now been scrubbed from the ROB, the
+	// windows, the FUs, the LSU and the fetch unit; reclaim the instances.
+	// The ROB set (renamed) and the decode tail (not yet renamed) are
+	// disjoint, so nothing is recycled twice.
+	for _, sq := range squashed {
+		s.recycleInstr(sq)
+	}
+	for i := s.decodeHead; i < len(s.decodeBuf); i++ {
+		s.recycleInstr(s.decodeBuf[i])
+		s.decodeBuf[i] = nil
+	}
+	s.decodeBuf = s.decodeBuf[:0]
+	s.decodeHead = 0
 }
 
 func (s *Simulation) haltWithException(exc *fault.Exception, now uint64) {
@@ -678,7 +766,7 @@ func (s *Simulation) checkPipelineEmpty(now uint64) {
 	if s.halted {
 		return
 	}
-	if s.fetch.AtEnd() && len(s.decodeBuf) == 0 && s.rob.Empty() && s.lsu.Drained() {
+	if s.fetch.AtEnd() && len(s.pendingDecode()) == 0 && s.rob.Empty() && s.lsu.Drained() {
 		s.halted = true
 		s.haltReason = "pipeline empty"
 		s.logf(now, "halt: pipeline empty after %d committed instructions", s.committedCount)
@@ -717,15 +805,41 @@ func (s *Simulation) ReplayTo(target uint64) (*Simulation, error) {
 	// not re-emit the past into an attached collector, but forward steps
 	// from the new position keep tracing.
 	ns.SetTracer(s.tracer)
-	// Debug state carries over, but replay itself never pauses.
-	if len(s.breakpoints) > 0 {
-		ns.breakpoints = make(map[int]bool, len(s.breakpoints))
-		for pc := range s.breakpoints {
-			ns.breakpoints[pc] = true
+	ns.SyncDebugState(s)
+	return ns, nil
+}
+
+// Fresh returns a new simulation at cycle zero sharing this one's
+// configuration, program and initial memory image — the machine ReplayTo
+// replays on, exposed so in-process snapshot restores can skip rebuilding
+// the static world (re-assembly, config round-trips).
+func (s *Simulation) Fresh() (*Simulation, error) {
+	return New(s.cfg, s.set, s.regs, s.prog, s.initialMem.Clone(), s.entry)
+}
+
+// ClearDebugState drops breakpoints, watches and any pause, so a
+// snapshot-restored simulation can catch up to a rewind target without
+// pausing mid-replay (same contract as ReplayTo's replay loop).
+func (s *Simulation) ClearDebugState() {
+	s.breakpoints = nil
+	s.watches = nil
+	s.paused = false
+	s.pauseReason = ""
+}
+
+// SyncDebugState replaces s's debugging state (breakpoints, watches,
+// verbose logging) with o's — used after a rewind replay so debug state
+// set since the restore point carries over.
+func (s *Simulation) SyncDebugState(o *Simulation) {
+	s.breakpoints = nil
+	if len(o.breakpoints) > 0 {
+		s.breakpoints = make(map[int]bool, len(o.breakpoints))
+		for pc := range o.breakpoints {
+			s.breakpoints[pc] = true
 		}
 	}
-	ns.watches = append(ns.watches, s.watches...)
-	return ns, nil
+	s.watches = append(s.watches[:0], o.watches...)
+	s.VerboseLog = o.VerboseLog
 }
 
 // ---------------------------------------------------------------------------
@@ -769,7 +883,9 @@ func (s *Simulation) Report() *stats.Report {
 		r.StaticMix[t.String()] = uint64(n)
 	}
 	for t, n := range s.dynMix {
-		r.DynamicMix[t.String()] = n
+		if n != 0 {
+			r.DynamicMix[isa.InstrType(t).String()] = n
+		}
 	}
 	r.PredAccuracy = r.Predictor.Accuracy()
 	r.CacheHitRate = r.Cache.HitRate()

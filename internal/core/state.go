@@ -113,7 +113,7 @@ func (s *Simulation) State(includeLog bool) *State {
 		SpecRegs:   s.rf.LiveView(s.regs),
 		CacheLines: s.l1.Lines(),
 	}
-	for _, si := range s.decodeBuf {
+	for _, si := range s.pendingDecode() {
 		st.DecodeBuffer = append(st.DecodeBuffer, viewOf(si))
 	}
 	s.rob.Walk(func(si *SimInstr, done bool) {

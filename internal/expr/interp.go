@@ -47,10 +47,11 @@ const (
 )
 
 type token struct {
-	kind tokenKind
-	name string // operand name or operator symbol
-	val  Value  // literal value
-	op   opcode
+	kind  tokenKind
+	name  string // operand name or operator symbol
+	val   Value  // literal value
+	op    opcode
+	arity int8 // operator arity, resolved at compile time
 }
 
 // Program is a compiled expression, ready for repeated evaluation.
@@ -225,7 +226,7 @@ func Compile(src string) (*Program, error) {
 			} else {
 				depth -= info.arity - 1
 			}
-			p.tokens = append(p.tokens, token{kind: tokOp, name: f, op: info.code})
+			p.tokens = append(p.tokens, token{kind: tokOp, name: f, op: info.code, arity: int8(info.arity)})
 		}
 		if depth > maxDepth {
 			maxDepth = depth
@@ -371,8 +372,9 @@ func (e *Evaluator) Eval(p *Program, env Env) (Result, error) {
 				st[len(st)-1] = operand{val: v}
 				st = append(st, operand{val: v})
 			default:
-				info := operators[t.name]
-				if info.arity == 1 {
+				// Arity was resolved at compile time; no map lookup in
+				// the evaluation loop.
+				if t.arity == 1 {
 					v, err := resolve(&st[len(st)-1])
 					if err != nil {
 						return Result{}, err

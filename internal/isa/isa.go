@@ -26,6 +26,11 @@ const (
 	TypeLoad                        // memory read
 	TypeStore                       // memory write
 	TypeBranch                      // jumps and conditional branches
+
+	// NumInstrTypes is the number of classifications; counters indexed by
+	// InstrType use it as their array size. iota-derived so a new type
+	// added above can never drift out of sync with it.
+	NumInstrTypes = iota
 )
 
 var instrTypeNames = [...]string{"kArithmetic", "kLoad", "kStore", "kJumpbranch"}

@@ -138,6 +138,13 @@ func TestSessionSpillAndRehydrateOnEviction(t *testing.T) {
 	if rehydrated != 1 || lost != 0 || spilled < 2 {
 		t.Errorf("counters: spilled=%d rehydrated=%d lost=%d", spilled, rehydrated, lost)
 	}
+	// An eviction/rehydrate cycle must not demote the session's rewind
+	// acceleration: interval snapshots are re-enabled on rehydration.
+	if sess, ok := srv.store.Get(a); !ok {
+		t.Error("rehydrated session missing from store")
+	} else if sess.machine.SnapshotInterval() == 0 {
+		t.Error("rehydrated session lost interval snapshots; backward steps replay from cycle 0")
+	}
 	_ = b
 }
 

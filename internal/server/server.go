@@ -374,6 +374,9 @@ func BuildMachine(req *api.SimulateRequest) (*sim.Machine, *api.Error) {
 		if err != nil {
 			return nil, api.CheckpointError(err)
 		}
+		// The request's verbosity wins over whatever flag the snapshot
+		// serialized, same as the build-from-source path below.
+		m.SetVerboseLog(req.Verbose)
 		for _, f := range req.MemFills {
 			if err := ApplyMemFill(m, f); err != nil {
 				return nil, api.WrapError(api.CodeMemFill, err)
@@ -395,6 +398,7 @@ func BuildMachine(req *api.SimulateRequest) (*sim.Machine, *api.Error) {
 	if err != nil {
 		return nil, api.WrapError(api.CodeBuildFailed, err)
 	}
+	m.SetVerboseLog(req.Verbose)
 	for _, f := range req.MemFills {
 		if err := ApplyMemFill(m, f); err != nil {
 			return nil, api.WrapError(api.CodeMemFill, err)

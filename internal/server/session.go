@@ -22,6 +22,14 @@ func (s *Server) handleSessionNew(w http.ResponseWriter, r *http.Request) (any, 
 	if aerr != nil {
 		return nil, 0, aerr
 	}
+	// Interactive sessions are the debug surface: keep interval
+	// snapshots so backward stepping restores from the nearest snapshot
+	// instead of replaying from cycle zero (batch endpoints never rewind
+	// and stay snapshot-free). An architecture-level snapshotInterval
+	// already enabled them with a custom spacing.
+	if m.SnapshotInterval() == 0 {
+		m.EnableSnapshots(0)
+	}
 	id := s.store.Add(m)
 	return &api.SessionNewResponse{SessionID: id, State: m.State(false)}, 0, nil
 }
@@ -162,6 +170,9 @@ func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) (a
 	s.simNs.Add(uint64(time.Since(sstart)))
 	if err != nil {
 		return nil, 0, api.CheckpointError(err)
+	}
+	if m.SnapshotInterval() == 0 {
+		m.EnableSnapshots(0)
 	}
 	id := s.store.Add(m)
 	return &api.SessionNewResponse{SessionID: id, State: m.State(false)}, 0, nil

@@ -222,6 +222,13 @@ func (st *sessionStore) rehydrate(id string) (*session, bool) {
 		os.Remove(path)
 		return nil, false
 	}
+	// Interactive sessions keep interval snapshots for O(interval)
+	// rewind (see handleSessionNew); re-enable them after rehydration so
+	// an eviction/rehydrate cycle does not silently demote backward
+	// stepping to a from-zero replay.
+	if m.SnapshotInterval() == 0 {
+		m.EnableSnapshots(0)
+	}
 
 	st.mu.Lock()
 	// A concurrent request may have rehydrated the session already; the

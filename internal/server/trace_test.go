@@ -284,7 +284,8 @@ odd:
 func TestSessionLogPaging(t *testing.T) {
 	_, ts := newTestServer(t)
 	resp, body := postJSON(t, ts.URL+"/api/v1/session/new", &api.SessionNewRequest{
-		SimulateRequest: api.SimulateRequest{Code: mispredictProgram},
+		// Verbose: flush lines are only formatted when asked for.
+		SimulateRequest: api.SimulateRequest{Code: mispredictProgram, Verbose: true},
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("session/new: %d %s", resp.StatusCode, body)

@@ -122,7 +122,11 @@ func Restore(r io.Reader) (*Machine, error) {
 	if err := cr.Err(); err != nil {
 		return nil, err
 	}
-	return &Machine{cfg: cfg, set: set, regs: regs, prog: prog, sim: s, entry: entry, src: src}, nil
+	m := &Machine{cfg: cfg, set: set, regs: regs, prog: prog, sim: s, entry: entry, src: src}
+	if cfg.SnapshotInterval > 0 {
+		m.EnableSnapshots(uint64(cfg.SnapshotInterval))
+	}
+	return m, nil
 }
 
 // StateHash returns a 64-bit FNV-1a digest of the machine's checkpoint

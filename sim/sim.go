@@ -114,6 +114,12 @@ type Machine struct {
 	// cfgJSON caches the exported architecture document for checkpoint
 	// headers (per-cycle state hashing re-encodes the header each time).
 	cfgJSON []byte
+
+	// Interval snapshots (snapshot.go): spacing, retained captures and
+	// the retention bound. snapInterval == 0 means off.
+	snapInterval uint64
+	snaps        []snapshot
+	maxSnaps     int
 }
 
 // NewFromAsm assembles RISC-V assembly source and builds a machine. entry
@@ -134,7 +140,11 @@ func NewFromAsm(cfg *Config, src, entry string) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{cfg: cfg, set: set, regs: regs, prog: prog, sim: s, entry: e, src: src}, nil
+	m := &Machine{cfg: cfg, set: set, regs: regs, prog: prog, sim: s, entry: e, src: src}
+	if cfg.SnapshotInterval > 0 {
+		m.EnableSnapshots(uint64(cfg.SnapshotInterval))
+	}
+	return m, nil
 }
 
 // NewFromC compiles C source at the given optimization level, then
@@ -153,39 +163,37 @@ func NewFromC(cfg *Config, csrc string, opt int) (*Machine, error) {
 }
 
 // Step advances one clock cycle.
-func (m *Machine) Step() { m.sim.Step() }
+func (m *Machine) Step() {
+	m.sim.Step()
+	m.maybeSnapshot()
+}
 
 // StepN advances up to n cycles, stopping early on halt. It returns the
 // cycles actually executed.
-func (m *Machine) StepN(n uint64) uint64 { return m.sim.Run(n) }
+func (m *Machine) StepN(n uint64) uint64 { return m.runForward(n) }
 
 // Run simulates until the program ends or maxCycles elapse.
-func (m *Machine) Run(maxCycles uint64) uint64 { return m.sim.Run(maxCycles) }
+func (m *Machine) Run(maxCycles uint64) uint64 { return m.runForward(maxCycles) }
 
 // StepBack rewinds one cycle (the paper's backward simulation: a
-// deterministic forward re-run of t−1 cycles).
+// deterministic forward re-run, §III-B). With interval snapshots enabled
+// the re-run starts from the nearest snapshot instead of cycle zero.
 func (m *Machine) StepBack() error {
-	ns, err := m.sim.StepBack()
-	if err != nil {
+	if m.sim.Cycle() == 0 {
+		_, err := m.sim.StepBack() // canonical "already at cycle 0" error
 		return err
 	}
-	m.sim = ns
-	return nil
+	return m.rewindTo(m.sim.Cycle() - 1)
 }
 
 // GotoCycle repositions the simulation at an arbitrary cycle (used by the
 // debug log's click-to-navigate).
 func (m *Machine) GotoCycle(target uint64) error {
 	if target >= m.sim.Cycle() {
-		m.sim.Run(target - m.sim.Cycle())
+		m.runForward(target - m.sim.Cycle())
 		return nil
 	}
-	ns, err := m.sim.ReplayTo(target)
-	if err != nil {
-		return err
-	}
-	m.sim = ns
-	return nil
+	return m.rewindTo(target)
 }
 
 // Cycle returns the executed cycle count.
@@ -208,6 +216,11 @@ func (m *Machine) State(includeLog bool) *State { return m.sim.State(includeLog)
 
 // Log returns the debug log.
 func (m *Machine) Log() []LogEntry { return m.sim.Log() }
+
+// SetVerboseLog toggles per-event debug logging (commit and pipeline-flush
+// lines). Off by default, so the hot loop formats no log messages; halts,
+// exceptions and breakpoint pauses are always logged.
+func (m *Machine) SetVerboseLog(v bool) { m.sim.VerboseLog = v }
 
 // Disassemble renders the loaded program.
 func (m *Machine) Disassemble() string { return m.prog.Disassemble() }

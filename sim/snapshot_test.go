@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+)
+
+const snapshotLoop = `
+  li t0, 0
+  li t1, 1
+  li t2, 30000
+loop:
+  add t0, t0, t1
+  addi t1, t1, 1
+  bne t1, t2, loop
+`
+
+// TestSnapshotRewindMatchesReplay: a snapshot-accelerated rewind must
+// land on a machine byte-identical to the paper's from-zero replay, at
+// several depths, and forward steps afterwards must stay identical.
+func TestSnapshotRewindMatchesReplay(t *testing.T) {
+	fast, err := NewFromAsm(DefaultConfig(), snapshotLoop, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast.EnableSnapshots(1000)
+	slow, err := NewFromAsm(DefaultConfig(), snapshotLoop, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fast.Run(20_000)
+	slow.Run(20_000)
+	if fast.Cycle() != slow.Cycle() {
+		t.Fatalf("cycle drift before rewinding: %d vs %d", fast.Cycle(), slow.Cycle())
+	}
+	if fast.SnapshotCount() == 0 {
+		t.Fatal("no snapshots retained after 20k cycles at interval 1000")
+	}
+
+	for _, target := range []uint64{19_999, 12_345, 999, 17} {
+		if err := fast.GotoCycle(target); err != nil {
+			t.Fatalf("snapshot rewind to %d: %v", target, err)
+		}
+		if err := slow.GotoCycle(target); err != nil {
+			t.Fatalf("replay rewind to %d: %v", target, err)
+		}
+		if fh, sh := fast.StateHash(), slow.StateHash(); fh != sh {
+			t.Fatalf("state diverged at cycle %d: %016x vs %016x", target, fh, sh)
+		}
+		// Step forward a few cycles and re-check: the restored pipeline
+		// must behave exactly like the replayed one.
+		fast.StepN(7)
+		slow.StepN(7)
+		if fh, sh := fast.StateHash(), slow.StateHash(); fh != sh {
+			t.Fatalf("state diverged stepping after rewind to %d", target)
+		}
+		// Re-align for the next depth.
+		fast.Run(20_000 - fast.Cycle())
+		slow.Run(20_000 - slow.Cycle())
+	}
+}
+
+// TestSnapshotStepBack: single-cycle backward steps through snapshots
+// keep the canonical cycle-0 error and land on the right cycle.
+func TestSnapshotStepBack(t *testing.T) {
+	m, err := NewFromAsm(DefaultConfig(), snapshotLoop, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableSnapshots(500)
+	m.Run(5_000)
+	for i := 0; i < 3; i++ {
+		want := m.Cycle() - 1
+		if err := m.StepBack(); err != nil {
+			t.Fatal(err)
+		}
+		if m.Cycle() != want {
+			t.Fatalf("StepBack landed on %d, want %d", m.Cycle(), want)
+		}
+	}
+
+	zero, err := NewFromAsm(DefaultConfig(), snapshotLoop, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero.EnableSnapshots(0)
+	if err := zero.StepBack(); err == nil {
+		t.Error("StepBack at cycle 0 should fail")
+	}
+}
+
+// TestSnapshotRetentionBound: a long run must not accumulate unbounded
+// snapshots; thinning doubles the interval instead.
+func TestSnapshotRetentionBound(t *testing.T) {
+	m, err := NewFromAsm(DefaultConfig(), `
+  li t0, 0
+  li t1, 1
+  li t2, 200000
+loop:
+  add t0, t0, t1
+  addi t1, t1, 1
+  bne t1, t2, loop
+`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableSnapshots(64)
+	m.Run(600_000)
+	if got := m.SnapshotCount(); got > defaultMaxSnapshots {
+		t.Errorf("%d snapshots retained, bound is %d", got, defaultMaxSnapshots)
+	}
+	if m.SnapshotInterval() <= 64 {
+		t.Errorf("interval stayed %d; thinning should have doubled it", m.SnapshotInterval())
+	}
+	// The retained set must still accelerate a deep rewind correctly.
+	if err := m.GotoCycle(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycle() != 100_000 {
+		t.Errorf("rewind landed on %d", m.Cycle())
+	}
+}
+
+// TestSnapshotConfigKnob: the architecture-level snapshotInterval enables
+// snapshots on machines built from it.
+func TestSnapshotConfigKnob(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SnapshotInterval = 777
+	m, err := NewFromAsm(cfg, snapshotLoop, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SnapshotInterval() != 777 {
+		t.Errorf("interval = %d, want 777", m.SnapshotInterval())
+	}
+	cfg2 := DefaultConfig()
+	cfg2.SnapshotInterval = -1
+	if errs := cfg2.Validate(); len(errs) == 0 {
+		t.Error("negative snapshotInterval should fail validation")
+	}
+}
+
+// TestSnapshotRewindKeepsDebugState: breakpoints added after a snapshot
+// survive a snapshot-accelerated rewind, and the catch-up replay itself
+// never pauses (ReplayTo's contract).
+func TestSnapshotRewindKeepsDebugState(t *testing.T) {
+	m, err := NewFromAsm(DefaultConfig(), snapshotLoop, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableSnapshots(1000)
+	m.Run(10_000)
+	if err := m.AddBreakpoint(3); err != nil { // the loop branch: hit every iteration
+		t.Fatal(err)
+	}
+	if err := m.GotoCycle(9_500); err != nil {
+		t.Fatal(err)
+	}
+	if m.Paused() {
+		t.Fatal("catch-up replay paused on a breakpoint")
+	}
+	if got := m.Sim().Breakpoints(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("breakpoints after rewind = %v, want [3]", got)
+	}
+	if !m.RunToBreak(1_000) {
+		t.Error("breakpoint did not trigger after snapshot rewind")
+	}
+}
