@@ -23,6 +23,7 @@ func main() {
 		timeScale = flag.Float64("time-scale", 1.0, "scale factor for ramp-up and think time (1.0 = the paper's real-time pacing)")
 		noDocker  = flag.Bool("skip-docker", false, "skip the Docker-shim scenarios")
 		batch     = flag.Int("batch", 0, "run an HPC sweep of N simulations via POST /api/v1/batch vs sequential /simulate and exit")
+		seed      = flag.Int64("seed", 0, "deterministic user→program assignment seed (0 = round-robin); same plumbing as riscvsim -fuzz-seed")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 
 	runRow := func(mode string, base string, n int) {
 		sc := loadgen.PaperScenario(n, *timeScale)
+		sc.Seed = *seed
 		res, err := loadgen.Run(base, sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadtest: %s %d users: %v\n", mode, n, err)

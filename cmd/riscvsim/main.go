@@ -18,6 +18,7 @@ import (
 
 	"riscvsim/internal/api"
 	"riscvsim/internal/client"
+	"riscvsim/internal/fuzz"
 	"riscvsim/internal/server"
 	"riscvsim/internal/trace"
 	"riscvsim/internal/workload"
@@ -121,16 +122,32 @@ func main() {
 
 		tracePC    = flag.String("trace-pc", "", "trace PC-range filter lo:hi (inclusive code indices)")
 		traceLimit = flag.Int("trace-limit", 0, "trace event bound (default 4096, max 65536)")
+
+		fuzzOn   = flag.Bool("fuzz", false, "run a co-simulation fuzzing campaign instead of a program (docs/fuzzing.md)")
+		fuzzN    = flag.Int("fuzz-n", 1000, "fuzz: number of generated programs")
+		fuzzSeed = flag.Int64("fuzz-seed", 1, "fuzz: campaign base seed (program i uses seed+i; replay a failure with -fuzz-n=1 -fuzz-seed=<its seed>)")
+		fuzzOut  = flag.String("fuzz-out", "", "fuzz: directory for shrunk reproducer files (empty = report only)")
 	)
 	var traceOn traceFlag
 	flag.Var(&traceOn, "trace", "print a pipeline diagram; optionally =stage,... (fetch, decode, rename, dispatch, issue, execute, writeback, commit, squash)")
 	var suiteOn suiteFlag
 	flag.Var(&suiteOn, "suite", "run the embedded workload corpus instead of a program; optionally =filter (tags or name substrings, comma-separated)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: riscvsim [flags] program.{s,c}\n       riscvsim [flags] -restore state.ckpt\n       riscvsim [flags] -suite[=filter]\n\nFlags:\n")
+		fmt.Fprintf(os.Stderr, "usage: riscvsim [flags] program.{s,c}\n       riscvsim [flags] -restore state.ckpt\n       riscvsim [flags] -suite[=filter]\n       riscvsim [flags] -fuzz [-fuzz-n=N] [-fuzz-seed=S]\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	// A fuzzing campaign replaces the program argument: generate, verify
+	// in lockstep, shrink, and exit non-zero on any divergence.
+	if *fuzzOn {
+		if flag.NArg() != 0 || *ckptIn != "" || *ckptOut != "" || suiteOn.on || *host != "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		runFuzz(*fuzzN, *fuzzSeed, *fuzzOut, *preset, *archPath)
+		return
+	}
 
 	// The suite replaces the program argument: run the corpus and exit.
 	if suiteOn.on {
@@ -275,6 +292,43 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Println(sim.EstimateCostFor(cfg, resp.Stats).FormatText())
+	}
+}
+
+// runFuzz drives a co-simulation fuzzing campaign: fuzz.Run generates N
+// programs from the base seed, runs each in lockstep across both
+// semantic engines on the selected architecture, and shrinks any
+// divergent one. Failure reports (including the exact replay command
+// line) stream to stdout as they are found; the exit status is the gate.
+func runFuzz(n int, seed int64, outDir, preset, archPath string) {
+	cfg := sim.DefaultConfig()
+	if preset != "" {
+		p, ok := sim.Presets()[preset]
+		if !ok {
+			fatal("unknown preset %q", preset)
+		}
+		cfg = p
+	}
+	if archPath != "" {
+		arch, err := os.ReadFile(archPath)
+		if err != nil {
+			fatal("reading architecture: %v", err)
+		}
+		c, err := sim.ImportConfig(arch)
+		if err != nil {
+			fatal("architecture: %v", err)
+		}
+		cfg = c
+	}
+	fmt.Printf("fuzz: %d programs, base seed %d, architecture %s\n", n, seed, cfg.Name)
+	failures, err := fuzz.Run(fuzz.Options{
+		N: n, Seed: seed, Config: cfg, OutDir: outDir, Log: os.Stdout,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
 	}
 }
 

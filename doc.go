@@ -19,4 +19,10 @@
 // independent simulations across a worker pool, and
 // POST /api/v1/session/stream for NDJSON push-streams of a running
 // simulation. The pre-v1 flat paths remain as deprecated aliases.
+//
+// Correctness of the two execution semantics (the specialized fast path
+// and the postfix expression interpreter) is guarded by a co-simulation
+// fuzzer (docs/fuzzing.md): riscvsim -fuzz generates constrained random
+// RV32IM programs, runs both engines in lockstep, and shrinks any
+// divergence to a minimal reproducer.
 package riscvsim

@@ -117,9 +117,9 @@ func (p *parser) parseLine() {
 		(p.toks[p.pos].Kind == TokIdent || p.toks[p.pos].Kind == TokDir) &&
 		p.toks[p.pos+1].Kind == TokColon {
 		label := p.toks[p.pos].Text
-		if _, dup := p.prog.Symbols[label]; dup {
-			p.errf(p.toks[p.pos], "duplicate label %q", label)
-		} else if _, dup := p.prog.codeLabels[label]; dup {
+		_, dupSym := p.prog.Symbols[label]
+		_, dupCode := p.prog.codeLabels[label]
+		if dupSym || dupCode || p.isPending(label) {
 			p.errf(p.toks[p.pos], "duplicate label %q", label)
 		} else {
 			p.pending = append(p.pending, label)
@@ -138,6 +138,18 @@ func (p *parser) parseLine() {
 		p.errf(t, "expected instruction, directive or label, got %q", t.Text)
 		p.skipLine()
 	}
+}
+
+// isPending reports whether a label is already waiting to be bound, so
+// `foo:` directly followed by `foo:` is a duplicate even though neither
+// has reached the symbol table yet.
+func (p *parser) isPending(label string) bool {
+	for _, l := range p.pending {
+		if l == label {
+			return true
+		}
+	}
+	return false
 }
 
 // attachCodeLabels binds pending labels to the next instruction index.

@@ -1,0 +1,54 @@
+package core
+
+// Engine selection: the simulation computes instruction semantics either
+// through the specialized execPlan fast path (the default) or through the
+// expression interpreter forced for every instruction. Timing is identical
+// either way — functional-unit latencies come from the descriptors, and
+// ExecEngine.Execute is purely semantic — so a specialized run and a
+// forced-interpreter run of the same program are cycle-for-cycle identical
+// exactly when the two engines agree on semantics. The co-simulation
+// harness (internal/fuzz) leans on that: it runs every generated program
+// once per mode and compares architectural state in lockstep.
+//
+// The mode is a runtime knob, deliberately not part of config.CPU: it
+// must not perturb configuration fingerprints, checkpoint headers or
+// golden workload baselines.
+
+// EngineMode selects how instruction semantics are computed.
+type EngineMode uint8
+
+const (
+	// EngineSpecialized uses the compiled execPlan fast path, falling
+	// back to the interpreter only outside the specialized subset.
+	EngineSpecialized EngineMode = iota
+	// EngineInterpreter forces the expression interpreter for every
+	// instruction — the functional reference path.
+	EngineInterpreter
+)
+
+// String names the mode for reports and error messages.
+func (m EngineMode) String() string {
+	if m == EngineInterpreter {
+		return "interpreter"
+	}
+	return "specialized"
+}
+
+// SetEngineMode selects the semantic engine. Switching mid-run is legal —
+// the knob only affects how future Execute calls compute results.
+func (s *Simulation) SetEngineMode(m EngineMode) {
+	s.engineMode = m
+	s.eng.forceGeneric = m == EngineInterpreter
+}
+
+// EngineMode returns the active semantic engine.
+func (s *Simulation) EngineMode() EngineMode { return s.engineMode }
+
+// PC returns the next fetch program counter (a code index). Cheap — the
+// lockstep co-simulation harness reads it every cycle, where the full
+// State snapshot would dominate the run.
+func (s *Simulation) PC() int { return s.fetch.pc }
+
+// Committed returns the number of committed instructions so far, without
+// assembling a statistics report.
+func (s *Simulation) Committed() uint64 { return s.committedCount }

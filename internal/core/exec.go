@@ -232,6 +232,24 @@ type ExecEngine struct {
 	plans []execPlan
 	ev    *expr.Evaluator
 	env   instrEnv // reusable fallback Env; passing &env avoids boxing
+	// forceGeneric routes every instruction through the expression
+	// interpreter, ignoring the specialized plans — the functional
+	// reference path of the co-simulation harness (EngineInterpreter).
+	forceGeneric bool
+}
+
+// semanticBug, when non-nil, post-processes every specialized ALU result.
+// It exists solely so the co-simulation harness can prove end-to-end that
+// an engine divergence is detected and shrunk (internal/fuzz); the
+// interpreter path never sees it, so any injected bug diverges the two
+// engines. Production runs leave it nil and pay one pointer check.
+var semanticBug func(op string, a, b, result int32) int32
+
+// SetSemanticBugForTesting installs (nil clears) the specialized-path
+// result corruption hook. Test-only: not safe to toggle while simulations
+// run concurrently.
+func SetSemanticBugForTesting(f func(op string, a, b, result int32) int32) {
+	semanticBug = f
 }
 
 // newExecEngine compiles every static instruction of the program.
@@ -267,7 +285,7 @@ func divZero(si *SimInstr, now uint64, format string, a int32) {
 // functional-unit model (paper §III-A).
 func (e *ExecEngine) Execute(si *SimInstr, now uint64) {
 	p := &e.plans[si.PC]
-	if p.op == execFallback {
+	if e.forceGeneric || p.op == execFallback {
 		e.executeGeneric(si, now)
 		return
 	}
@@ -383,6 +401,9 @@ func (e *ExecEngine) Execute(si *SimInstr, now uint64) {
 		} else {
 			setResult(si, int32(uint32(a)%uint32(b)))
 		}
+	}
+	if semanticBug != nil && si.resultReady {
+		setResult(si, semanticBug(si.Static.Desc.Name, a, b, si.result.Int()))
 	}
 }
 

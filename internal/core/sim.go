@@ -60,8 +60,11 @@ type Simulation struct {
 	decodeCap  int
 
 	// eng executes instruction semantics: specialized RV32IM fast path
-	// with the expression interpreter as total fallback.
-	eng *ExecEngine
+	// with the expression interpreter as total fallback. engineMode
+	// records the selected engine (engine.go) so replays and fresh
+	// copies inherit it.
+	eng        *ExecEngine
+	engineMode EngineMode
 
 	// freeInstrs is the SimInstr free list: instances are reclaimed when
 	// an instruction commits, is squashed, or (for stores) drains to the
@@ -798,6 +801,9 @@ func (s *Simulation) ReplayTo(target uint64) (*Simulation, error) {
 		return nil, err
 	}
 	ns.VerboseLog = s.VerboseLog
+	// Replay with the same semantic engine: determinism demands the
+	// re-run computes exactly what the original did.
+	ns.SetEngineMode(s.engineMode)
 	for ns.cycle < target && !ns.halted {
 		ns.Step()
 	}
@@ -814,7 +820,12 @@ func (s *Simulation) ReplayTo(target uint64) (*Simulation, error) {
 // replays on, exposed so in-process snapshot restores can skip rebuilding
 // the static world (re-assembly, config round-trips).
 func (s *Simulation) Fresh() (*Simulation, error) {
-	return New(s.cfg, s.set, s.regs, s.prog, s.initialMem.Clone(), s.entry)
+	ns, err := New(s.cfg, s.set, s.regs, s.prog, s.initialMem.Clone(), s.entry)
+	if err != nil {
+		return nil, err
+	}
+	ns.SetEngineMode(s.engineMode)
+	return ns, nil
 }
 
 // ClearDebugState drops breakpoints, watches and any pause, so a

@@ -1,0 +1,100 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"riscvsim/internal/fault"
+)
+
+// RV32M edge cases through the interpreter, using the exact postfix
+// sources the specialized engine's specTable lists for these mnemonics.
+// internal/core's rv32m_edge_test.go pins the same cases through full
+// pipeline runs; together they guarantee the two semantic paths the
+// co-sim fuzzer compares cannot drift on the historically buggy inputs.
+
+func TestRV32MDivRemEdgeCases(t *testing.T) {
+	const minI32 = math.MinInt32
+	cases := []struct {
+		src  string
+		a, b int32
+		want int32
+	}{
+		// div MinInt32 / -1 overflows: quotient wraps, remainder is 0.
+		{`\rs1 \rs2 / \rd =`, minI32, -1, minI32},
+		{`\rs1 \rs2 % \rd =`, minI32, -1, 0},
+		// Truncation toward zero.
+		{`\rs1 \rs2 / \rd =`, -7, 2, -3},
+		{`\rs1 \rs2 % \rd =`, -7, 2, -1},
+		// Unsigned variants reinterpret the bits.
+		{`\rs1 \rs2 /u \rd =`, -2, 3, int32(uint32(0xfffffffe) / 3)},
+		{`\rs1 \rs2 %u \rd =`, -2, 3, int32(uint32(0xfffffffe) % 3)},
+		{`\rs1 \rs2 /u \rd =`, minI32, -1, 0},
+		{`\rs1 \rs2 %u \rd =`, minI32, -1, minI32},
+	}
+	for _, c := range cases {
+		env := MapEnv{"rs1": NewInt(c.a), "rs2": NewInt(c.b), "rd": NewInt(0)}
+		eval(t, c.src, env)
+		if got := env["rd"].Int(); got != c.want {
+			t.Errorf("%s with rs1=%d rs2=%d: rd = %d, want %d", c.src, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRV32MDivRemByZeroMessages(t *testing.T) {
+	cases := []struct {
+		src     string
+		a       int32
+		wantMsg string
+	}{
+		{`\rs1 \rs2 / \rd =`, 17, "division by zero: integer division 17 / 0"},
+		{`\rs1 \rs2 / \rd =`, math.MinInt32, fmt.Sprintf("division by zero: integer division %d / 0", math.MinInt32)},
+		{`\rs1 \rs2 % \rd =`, -5, "division by zero: integer remainder -5 % 0"},
+		{`\rs1 \rs2 /u \rd =`, -1, "division by zero: unsigned division -1 / 0"},
+		{`\rs1 \rs2 %u \rd =`, 123, "division by zero: unsigned remainder 123 % 0"},
+	}
+	for _, c := range cases {
+		env := MapEnv{"rs1": NewInt(c.a), "rs2": NewInt(0), "rd": NewInt(0)}
+		_, err := NewEvaluator().Eval(MustCompile(c.src), env)
+		var exc *fault.Exception
+		if !errors.As(err, &exc) || exc.Kind != fault.DivisionByZero {
+			t.Errorf("%s with rs1=%d: err = %v, want DivisionByZero", c.src, c.a, err)
+			continue
+		}
+		if exc.Error() != c.wantMsg {
+			t.Errorf("%s with rs1=%d: message = %q, want %q", c.src, c.a, exc.Error(), c.wantMsg)
+		}
+	}
+}
+
+func TestRV32MMulHighSignCombinations(t *testing.T) {
+	mulh := func(a, b int32) int32 { return int32((int64(a) * int64(b)) >> 32) }
+	mulhsu := func(a, b int32) int32 { return int32((int64(a) * int64(uint64(uint32(b)))) >> 32) }
+	mulhu := func(a, b int32) int32 { return int32((uint64(uint32(a)) * uint64(uint32(b))) >> 32) }
+
+	ops := []struct {
+		src string
+		ref func(a, b int32) int32
+	}{
+		{`\rs1 \rs2 mulh \rd =`, mulh},
+		{`\rs1 \rs2 mulhsu \rd =`, mulhsu},
+		{`\rs1 \rs2 mulhu \rd =`, mulhu},
+	}
+	operands := []int32{0, 1, -1, 3, -3, math.MaxInt32, math.MinInt32, 0x10000}
+	for _, op := range ops {
+		p := MustCompile(op.src)
+		for _, a := range operands {
+			for _, b := range operands {
+				env := MapEnv{"rs1": NewInt(a), "rs2": NewInt(b), "rd": NewInt(0)}
+				if _, err := NewEvaluator().Eval(p, env); err != nil {
+					t.Fatalf("%s with rs1=%d rs2=%d: %v", op.src, a, b, err)
+				}
+				if got, want := env["rd"].Int(), op.ref(a, b); got != want {
+					t.Errorf("%s with rs1=%d rs2=%d: rd = %d, want %d", op.src, a, b, got, want)
+				}
+			}
+		}
+	}
+}

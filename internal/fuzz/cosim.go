@@ -1,0 +1,194 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"riscvsim/internal/config"
+	"riscvsim/internal/isa"
+	"riscvsim/internal/trace"
+	"riscvsim/sim"
+)
+
+// Lockstep co-simulation: the same program runs twice, once on the
+// specialized detailed engine and once with the interpreter forced
+// (EngineInterpreter), and the two machines are compared cycle by cycle.
+// Timing is engine-independent, so any difference — a register bit, the
+// fetch PC, the committed count, a halt — pins the first cycle at which
+// the engines' semantics disagreed. At the end the full checkpoint
+// StateHash is compared as a total check covering memory and every
+// counter the per-cycle probe does not look at.
+
+// windowCap bounds the disassembled commit window kept for reports.
+const windowCap = 24
+
+// Divergence describes the first detected disagreement between the
+// detailed (specialized) run and the functional (interpreter) run.
+type Divergence struct {
+	// Cycle is the clock cycle at which the runs first differ.
+	Cycle uint64
+	// Kind classifies what differed: "register", "fp-register", "pc",
+	// "committed", "halt", "exception", "memory" or "state-hash".
+	Kind string
+	// Detail is the human-readable difference, detailed-vs-functional.
+	Detail string
+	// Window is the disassembled commit stream of the detailed run
+	// leading up to the divergence (most recent last).
+	Window []string
+}
+
+// String renders the divergence report block (without the replay line,
+// which the campaign layer adds — it knows the seed).
+func (d *Divergence) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "divergence at cycle %d [%s]: %s\n", d.Cycle, d.Kind, d.Detail)
+	if len(d.Window) > 0 {
+		b.WriteString("commit window (detailed engine, most recent last):\n")
+		for _, l := range d.Window {
+			fmt.Fprintf(&b, "  %s\n", l)
+		}
+	}
+	return b.String()
+}
+
+// Cosim assembles src once per engine mode and runs both machines in
+// lockstep for up to maxCycles. It returns the first divergence, or nil
+// when the runs are byte-identical (equal StateHash). A program that does
+// not assemble returns an error — generator bugs must not read as engine
+// bugs.
+func Cosim(cfg *config.CPU, src string, maxCycles uint64) (*Divergence, error) {
+	if cfg == nil {
+		cfg = config.Default()
+	}
+	det, err := sim.NewFromAsm(cfg, src, "")
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: program does not assemble: %w", err)
+	}
+	fun, err := sim.NewFromAsm(cfg, src, "")
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: program does not assemble: %w", err)
+	}
+	fun.SetEngineMode(sim.EngineInterpreter)
+
+	// Capture the detailed run's commit stream for the report window.
+	ring := trace.NewRing(windowCap, trace.Filter{
+		Stages: trace.StageMask(0).With(trace.StageCommit), PCMin: 0, PCMax: -1,
+	})
+	det.SetTracer(ring)
+
+	for cycle := uint64(1); cycle <= maxCycles; cycle++ {
+		if det.Halted() && fun.Halted() {
+			break
+		}
+		det.Step()
+		fun.Step()
+		if d := compareCycle(det, fun, cycle); d != nil {
+			d.Window = commitWindow(ring)
+			return d, nil
+		}
+	}
+
+	if !det.Halted() {
+		// Both still running (compareCycle would have caught a split):
+		// the cycle budget bounds pathological programs. Identical state
+		// so far is still checked below.
+		if h1, h2 := det.StateHash(), fun.StateHash(); h1 != h2 {
+			return hashDivergence(det, fun, h1, h2, ring), nil
+		}
+		return nil, nil
+	}
+
+	// Both halted at the same cycle. Compare the end-of-run story, then
+	// the total state.
+	if r1, r2 := det.HaltReason(), fun.HaltReason(); r1 != r2 {
+		return &Divergence{Cycle: det.Cycle(), Kind: "halt",
+			Detail: fmt.Sprintf("halt reason %q vs %q", r1, r2), Window: commitWindow(ring)}, nil
+	}
+	e1, e2 := det.Exception(), fun.Exception()
+	if (e1 == nil) != (e2 == nil) || (e1 != nil && e1.Error() != e2.Error()) {
+		return &Divergence{Cycle: det.Cycle(), Kind: "exception",
+			Detail: fmt.Sprintf("exception %v vs %v", e1, e2), Window: commitWindow(ring)}, nil
+	}
+	if h1, h2 := det.StateHash(), fun.StateHash(); h1 != h2 {
+		return hashDivergence(det, fun, h1, h2, ring), nil
+	}
+	return nil, nil
+}
+
+// compareCycle probes the architectural state both machines agree on
+// after every cycle: halt status, committed count, fetch PC, and the two
+// architectural register files (as raw bits, so NaN payloads and -0.0
+// differences count).
+func compareCycle(det, fun *sim.Machine, cycle uint64) *Divergence {
+	if det.Halted() != fun.Halted() {
+		return &Divergence{Cycle: cycle, Kind: "halt",
+			Detail: fmt.Sprintf("halted=%v (%s) vs halted=%v (%s)",
+				det.Halted(), det.HaltReason(), fun.Halted(), fun.HaltReason())}
+	}
+	if c1, c2 := det.Committed(), fun.Committed(); c1 != c2 {
+		return &Divergence{Cycle: cycle, Kind: "committed",
+			Detail: fmt.Sprintf("committed %d vs %d", c1, c2)}
+	}
+	if p1, p2 := det.PC(), fun.PC(); p1 != p2 {
+		return &Divergence{Cycle: cycle, Kind: "pc",
+			Detail: fmt.Sprintf("fetch pc %d vs %d", p1, p2)}
+	}
+	rf1, rf2 := det.Sim().Registers(), fun.Sim().Registers()
+	for i := 0; i < isa.NumRegs; i++ {
+		if v1, v2 := rf1.ArchValue(isa.RegInt, i).Bits(), rf2.ArchValue(isa.RegInt, i).Bits(); v1 != v2 {
+			return &Divergence{Cycle: cycle, Kind: "register",
+				Detail: fmt.Sprintf("x%d = %#x vs %#x", i, v1, v2)}
+		}
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		if v1, v2 := rf1.ArchValue(isa.RegFloat, i).Bits(), rf2.ArchValue(isa.RegFloat, i).Bits(); v1 != v2 {
+			return &Divergence{Cycle: cycle, Kind: "fp-register",
+				Detail: fmt.Sprintf("f%d = %#x vs %#x", i, v1, v2)}
+		}
+	}
+	return nil
+}
+
+// hashDivergence builds the report for a StateHash mismatch that the
+// per-cycle probe missed, refining it with a byte-level memory scan (the
+// one large state section the probe does not cover).
+func hashDivergence(det, fun *sim.Machine, h1, h2 uint64, ring *trace.Ring) *Divergence {
+	d := &Divergence{Cycle: det.Cycle(), Kind: "state-hash",
+		Detail: fmt.Sprintf("final StateHash %#x vs %#x", h1, h2), Window: commitWindow(ring)}
+	m1, m2 := det.Sim().Memory(), fun.Sim().Memory()
+	n := m1.Size()
+	if m2.Size() < n {
+		n = m2.Size()
+	}
+	const chunk = 4096
+	for addr := 0; addr < n; addr += chunk {
+		end := addr + chunk
+		if end > n {
+			end = n
+		}
+		b1, exc1 := m1.ReadBytes(addr, end-addr)
+		b2, exc2 := m2.ReadBytes(addr, end-addr)
+		if exc1 != nil || exc2 != nil {
+			break
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				d.Kind = "memory"
+				d.Detail = fmt.Sprintf("memory[%#x] = %#02x vs %#02x (first differing byte)",
+					addr+i, b1[i], b2[i])
+				return d
+			}
+		}
+	}
+	return d
+}
+
+// commitWindow renders the ring's captured commit stream.
+func commitWindow(ring *trace.Ring) []string {
+	evs := ring.Events()
+	out := make([]string, 0, len(evs))
+	for _, ev := range evs {
+		out = append(out, fmt.Sprintf("cycle %6d  pc %4d  %s", ev.Cycle, ev.PC, ev.Disasm))
+	}
+	return out
+}

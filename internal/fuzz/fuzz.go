@@ -1,0 +1,186 @@
+// Package fuzz is the co-simulation fuzzing subsystem: constrained
+// random RV32IM program generation (gen.go), a lockstep detailed-vs-
+// functional verification harness over the core's two semantic engines
+// (cosim.go), and automatic failure shrinking to minimal checked-in
+// reproducers (shrink.go). docs/fuzzing.md is the full story.
+//
+// The harness follows the functional-ISS-driven verification approach of
+// Galimberti et al. (PAPERS.md): the specialized detailed pipeline is
+// checked in lockstep against the same pipeline with the expression
+// interpreter forced as the semantic engine, so any disagreement between
+// the two implementations of RV32IM semantics surfaces as a divergence
+// at a precise cycle, and the surrounding campaign shrinks the program
+// that exposed it.
+package fuzz
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"riscvsim/internal/config"
+	"riscvsim/internal/seeds"
+)
+
+// DefaultMaxCycles bounds one generated program's run. Generated
+// programs are small and loop-bounded; the bound only catches
+// pathological cases and keeps shrinking fast.
+const DefaultMaxCycles = 100_000
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	// N is the number of programs to generate and co-simulate.
+	N int
+	// Seed is the campaign base seed; program i uses seeds.Derive(Seed, i).
+	Seed int64
+	// Config is the architecture; nil selects the default preset.
+	Config *config.CPU
+	// Gen shapes the generated programs (zero value = defaults).
+	Gen GenConfig
+	// MaxCycles bounds each program's run; 0 selects DefaultMaxCycles.
+	MaxCycles uint64
+	// OutDir, when non-empty, receives one shrunk reproducer file per
+	// failure (repro-seed<seed>.s), ready to check into
+	// internal/workload/testdata/repro/.
+	OutDir string
+	// Log, when non-nil, receives progress and failure reports.
+	Log io.Writer
+	// NoShrink skips minimization (reports carry the full program).
+	NoShrink bool
+}
+
+// Failure is one divergent program, shrunk and ready to report.
+type Failure struct {
+	// Index is the program's position in the campaign.
+	Index int
+	// Seed is the program's derived seed; replaying it alone needs only
+	// this value (ReplayCommand).
+	Seed int64
+	// Divergence is the first disagreement of the original program.
+	Divergence *Divergence
+	// Source is the generated program.
+	Source string
+	// Shrunk is the minimized program (== Source with NoShrink).
+	Shrunk string
+	// ReproPath is the written reproducer file ("" when OutDir is empty).
+	ReproPath string
+}
+
+// ReplayCommand returns the exact CLI line that re-runs just this
+// program: seeds.Derive is additive, so the derived seed works as a
+// fresh base with -fuzz-n=1.
+func (f *Failure) ReplayCommand() string {
+	return fmt.Sprintf("riscvsim -fuzz -fuzz-n=1 -fuzz-seed=%d", f.Seed)
+}
+
+// Report renders the full failure report: divergence, replay line, and
+// the shrunk reproducer.
+func (f *Failure) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %d (seed %d):\n", f.Index, f.Seed)
+	b.WriteString(f.Divergence.String())
+	fmt.Fprintf(&b, "replay: %s\n", f.ReplayCommand())
+	if f.ReproPath != "" {
+		fmt.Fprintf(&b, "reproducer written: %s\n", f.ReproPath)
+	}
+	fmt.Fprintf(&b, "shrunk reproducer (%d instructions):\n%s",
+		CountInstructions(f.Shrunk), f.Shrunk)
+	return b.String()
+}
+
+// Run executes a fuzzing campaign: generate N programs, co-simulate each
+// in lockstep across both engines, shrink every divergent one. The
+// returned slice is empty when every program agreed. An error means the
+// campaign itself could not run (e.g. a generated program failed to
+// assemble — a generator bug, never an engine verdict).
+func Run(opts Options) ([]Failure, error) {
+	cfg := opts.Config
+	if cfg == nil {
+		cfg = config.Default()
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+
+	var failures []Failure
+	for i := 0; i < opts.N; i++ {
+		seed := seeds.Derive(opts.Seed, i)
+		src := Generate(seed, opts.Gen)
+		div, err := Cosim(cfg, src, maxCycles)
+		if err != nil {
+			return failures, fmt.Errorf("fuzz: program %d (seed %d): %w", i, seed, err)
+		}
+		if div == nil {
+			continue
+		}
+		f := Failure{Index: i, Seed: seed, Divergence: div, Source: src, Shrunk: src}
+		if !opts.NoShrink {
+			f.Shrunk = Shrink(src, func(candidate string) bool {
+				d, err := Cosim(cfg, candidate, maxCycles)
+				return err == nil && d != nil
+			})
+		}
+		if opts.OutDir != "" {
+			path, werr := WriteRepro(opts.OutDir, &f)
+			if werr != nil {
+				return failures, werr
+			}
+			f.ReproPath = path
+		}
+		failures = append(failures, f)
+		logf("%s", f.Report())
+	}
+	logf("fuzz: %d programs, %d divergences (base seed %d)", opts.N, len(failures), opts.Seed)
+	return failures, nil
+}
+
+// WriteRepro emits the failure's shrunk program as a self-contained
+// reproducer file: a header documenting provenance and the exact replay
+// command, then the program. The file drops into
+// internal/workload/testdata/repro/ unchanged.
+func WriteRepro(dir string, f *Failure) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("fuzz: creating reproducer dir: %w", err)
+	}
+	name := fmt.Sprintf("repro-seed%d.s", f.Seed)
+	path := filepath.Join(dir, name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# co-simulation divergence reproducer (shrunk)\n")
+	fmt.Fprintf(&b, "# seed: %d\n", f.Seed)
+	fmt.Fprintf(&b, "# divergence: cycle %d [%s] %s\n",
+		f.Divergence.Cycle, f.Divergence.Kind, f.Divergence.Detail)
+	fmt.Fprintf(&b, "# replay: %s\n", f.ReplayCommand())
+	b.WriteString(f.Shrunk)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", fmt.Errorf("fuzz: writing reproducer: %w", err)
+	}
+	return path, nil
+}
+
+// CountInstructions counts instruction lines (non-blank, non-comment,
+// non-label, non-directive) in a program — the shrink quality metric.
+func CountInstructions(src string) int {
+	n := 0
+	inData := false
+	for _, raw := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(raw)
+		if t == ".data" {
+			inData = true
+		}
+		if inData || t == "" || strings.HasPrefix(t, "#") ||
+			strings.HasPrefix(t, "//") || strings.HasPrefix(t, ".") ||
+			strings.HasSuffix(t, ":") {
+			continue
+		}
+		n++
+	}
+	return n
+}

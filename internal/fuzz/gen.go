@@ -1,0 +1,358 @@
+package fuzz
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"riscvsim/internal/seeds"
+)
+
+// Constrained random program generation. Every emitted program obeys four
+// invariants that make it usable as a co-simulation input:
+//
+//   - It assembles: only RV32IM mnemonics the internal/asm assembler
+//     knows, registers by x-name, labels defined before the final ecall.
+//   - It terminates: control flow is forward-only except loop back-edges,
+//     and every back-edge is guarded by a dedicated strictly-decreasing
+//     counter register (`blt x0, ctr, head` after `addi ctr, ctr, -1`),
+//     so even a forward branch that jumps into the middle of a loop body
+//     cannot make it spin — a non-positive counter falls through.
+//   - Memory discipline: every load/store addresses the .data arena via
+//     a reserved base register with a width-aligned in-bounds immediate.
+//   - Determinism: the same seed and GenConfig produce the same text.
+//
+// Register convention: x5..x27 are the free pool the generator reads and
+// writes at random; x28 holds the arena base, x29 is scratch for divisor
+// massaging, x30/x31 are the two loop counters. x0..x4 are never touched.
+
+// GenConfig shapes the random programs.
+type GenConfig struct {
+	// Size is the target body instruction count (loop/branch scaffolding
+	// included). <=0 selects 40.
+	Size int
+	// ArenaWords is the data arena size in 4-byte words. <=0 selects 64.
+	ArenaWords int
+	// MaxLoopTrip bounds every loop's trip count. <=0 selects 8.
+	MaxLoopTrip int
+	// Weights picks the instruction-class mix; the zero value selects
+	// DefaultWeights.
+	Weights Weights
+}
+
+// Weights are relative instruction-class frequencies (all zero selects
+// DefaultWeights).
+type Weights struct {
+	ALU    int // register-register arithmetic/logic/compare
+	ALUImm int // register-immediate arithmetic/logic/shifts
+	Mul    int // mul/mulh/mulhsu/mulhu
+	DivRem int // div/divu/rem/remu (mostly massaged non-zero divisors)
+	Load   int // lb/lbu/lh/lhu/lw from the arena
+	Store  int // sb/sh/sw into the arena
+	Branch int // conditional forward branch
+	Jump   int // jal to a forward label
+	Loop   int // open a bounded counted loop
+}
+
+// DefaultWeights is the standard mix: ALU-heavy with enough memory and
+// control flow to keep the LSU, predictor and flush logic busy.
+var DefaultWeights = Weights{
+	ALU: 24, ALUImm: 18, Mul: 6, DivRem: 4,
+	Load: 12, Store: 10, Branch: 12, Jump: 4, Loop: 6,
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Size <= 0 {
+		c.Size = 40
+	}
+	if c.ArenaWords <= 0 {
+		c.ArenaWords = 64
+	}
+	if c.MaxLoopTrip <= 0 {
+		c.MaxLoopTrip = 8
+	}
+	if c.Weights == (Weights{}) {
+		c.Weights = DefaultWeights
+	}
+	return c
+}
+
+// Reserved registers (see the package convention above).
+const (
+	arenaReg   = "x28"
+	scratchReg = "x29"
+)
+
+var loopCounters = [2]string{"x30", "x31"}
+
+// poolRegs is the freely readable/writable register set.
+var poolRegs = func() []string {
+	var rs []string
+	for i := 5; i <= 27; i++ {
+		rs = append(rs, fmt.Sprintf("x%d", i))
+	}
+	return rs
+}()
+
+// interestingInts seeds the register preamble with boundary values the
+// RV32M edge cases care about, alongside uniform random words.
+var interestingInts = []int32{
+	0, 1, -1, 2, -2, math.MinInt32, math.MaxInt32,
+	0x7fff, -0x8000, 0x55555555, -0x55555556,
+}
+
+// gen is the generator state for one program.
+type gen struct {
+	rng *rand.Rand
+	cfg GenConfig
+	b   strings.Builder
+
+	n       int              // body instructions emitted so far
+	pending map[int][]string // forward labels keyed by the body position they bind to
+	labels  int              // label name counter
+	loops   []openLoop       // innermost last
+}
+
+type openLoop struct {
+	label   string
+	counter string
+	closeAt int // body position at which to emit the close sequence
+}
+
+// Generate emits one random RV32IM program for the seed. The seed is used
+// via seeds.Mix, so campaign-adjacent seeds (base, base+1, ...) yield
+// unrelated programs.
+func Generate(seed int64, cfg GenConfig) string {
+	g := &gen{
+		rng:     rand.New(rand.NewSource(seeds.Mix(seed))),
+		cfg:     cfg.withDefaults(),
+		pending: make(map[int][]string),
+	}
+	g.preamble()
+	g.body()
+	g.epilogue()
+	return g.b.String()
+}
+
+func (g *gen) emitf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+// instr emits one body instruction, placing any forward labels bound to
+// this position first.
+func (g *gen) instr(format string, args ...any) {
+	for _, l := range g.pending[g.n] {
+		g.emitf("%s:", l)
+	}
+	delete(g.pending, g.n)
+	g.emitf("  "+format, args...)
+	g.n++
+}
+
+func (g *gen) pool() string     { return poolRegs[g.rng.Intn(len(poolRegs))] }
+func (g *gen) newLabel() string { g.labels++; return fmt.Sprintf("fz%d", g.labels) }
+
+// fwdLabel registers a label d body instructions ahead and returns its name.
+func (g *gen) fwdLabel(d int) string {
+	l := g.newLabel()
+	at := g.n + 1 + d // +1: the branch itself occupies the current slot
+	g.pending[at] = append(g.pending[at], l)
+	return l
+}
+
+func (g *gen) preamble() {
+	g.emitf("# generated by riscvsim internal/fuzz (deterministic)")
+	for _, r := range poolRegs {
+		var v int32
+		if g.rng.Intn(3) == 0 {
+			v = interestingInts[g.rng.Intn(len(interestingInts))]
+		} else {
+			v = int32(g.rng.Uint32())
+		}
+		g.emitf("  li %s, %d", r, v)
+	}
+	g.emitf("  la %s, arena", arenaReg)
+}
+
+func (g *gen) body() {
+	w := g.cfg.Weights
+	classes := []struct {
+		weight int
+		emit   func()
+	}{
+		{w.ALU, g.alu}, {w.ALUImm, g.aluImm}, {w.Mul, g.mul},
+		{w.DivRem, g.divRem}, {w.Load, g.load}, {w.Store, g.store},
+		{w.Branch, g.branch}, {w.Jump, g.jump}, {w.Loop, g.openLoop},
+	}
+	total := 0
+	for _, c := range classes {
+		total += c.weight
+	}
+	for g.n < g.cfg.Size {
+		g.maybeCloseLoop()
+		pick := g.rng.Intn(total)
+		for _, c := range classes {
+			if pick < c.weight {
+				c.emit()
+				break
+			}
+			pick -= c.weight
+		}
+	}
+	for len(g.loops) > 0 {
+		g.closeLoop()
+	}
+}
+
+// epilogue resolves every still-pending forward label onto the final halt.
+func (g *gen) epilogue() {
+	var rest []int
+	for at := range g.pending {
+		rest = append(rest, at)
+	}
+	// Deterministic order regardless of map iteration.
+	for i := 0; i < len(rest); i++ {
+		for j := i + 1; j < len(rest); j++ {
+			if rest[j] < rest[i] {
+				rest[i], rest[j] = rest[j], rest[i]
+			}
+		}
+	}
+	for _, at := range rest {
+		for _, l := range g.pending[at] {
+			g.emitf("%s:", l)
+		}
+	}
+	g.emitf("  ecall")
+	g.emitf(".data")
+	g.emitf("arena: .zero %d", 4*g.cfg.ArenaWords)
+}
+
+var aluOps = []string{"add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and"}
+
+func (g *gen) alu() {
+	g.instr("%s %s, %s, %s", aluOps[g.rng.Intn(len(aluOps))], g.pool(), g.pool(), g.pool())
+}
+
+var aluImmOps = []string{"addi", "slti", "sltiu", "xori", "ori", "andi"}
+var shiftImmOps = []string{"slli", "srli", "srai"}
+
+func (g *gen) aluImm() {
+	if g.rng.Intn(4) == 0 {
+		g.instr("%s %s, %s, %d", shiftImmOps[g.rng.Intn(len(shiftImmOps))],
+			g.pool(), g.pool(), g.rng.Intn(32))
+		return
+	}
+	g.instr("%s %s, %s, %d", aluImmOps[g.rng.Intn(len(aluImmOps))],
+		g.pool(), g.pool(), g.rng.Intn(4096)-2048)
+}
+
+var mulOps = []string{"mul", "mulh", "mulhsu", "mulhu"}
+
+func (g *gen) mul() {
+	g.instr("%s %s, %s, %s", mulOps[g.rng.Intn(len(mulOps))], g.pool(), g.pool(), g.pool())
+}
+
+var divOps = []string{"div", "divu", "rem", "remu"}
+
+func (g *gen) divRem() {
+	op := divOps[g.rng.Intn(len(divOps))]
+	rs2 := g.pool()
+	if g.rng.Intn(8) != 0 {
+		// Massage the divisor non-zero so the program usually survives;
+		// the 1-in-8 raw path keeps div-by-zero exception delivery under
+		// test (both engines must trap identically).
+		g.instr("ori %s, %s, 1", scratchReg, rs2)
+		rs2 = scratchReg
+	}
+	g.instr("%s %s, %s, %s", op, g.pool(), g.pool(), rs2)
+}
+
+// loadWidths pairs each load/store mnemonic with its access width.
+var loadOps = []struct {
+	op    string
+	width int
+}{{"lb", 1}, {"lbu", 1}, {"lh", 2}, {"lhu", 2}, {"lw", 4}}
+
+var storeOps = []struct {
+	op    string
+	width int
+}{{"sb", 1}, {"sh", 2}, {"sw", 4}}
+
+// arenaOffset returns a width-aligned offset inside the arena.
+func (g *gen) arenaOffset(width int) int {
+	max := 4*g.cfg.ArenaWords - width
+	return g.rng.Intn(max/width+1) * width
+}
+
+func (g *gen) load() {
+	l := loadOps[g.rng.Intn(len(loadOps))]
+	g.instr("%s %s, %d(%s)", l.op, g.pool(), g.arenaOffset(l.width), arenaReg)
+}
+
+func (g *gen) store() {
+	s := storeOps[g.rng.Intn(len(storeOps))]
+	g.instr("%s %s, %d(%s)", s.op, g.pool(), g.arenaOffset(s.width), arenaReg)
+}
+
+var branchOps = []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+
+func (g *gen) branch() {
+	l := g.fwdLabel(1 + g.rng.Intn(5))
+	g.instr("%s %s, %s, %s", branchOps[g.rng.Intn(len(branchOps))], g.pool(), g.pool(), l)
+}
+
+func (g *gen) jump() {
+	l := g.fwdLabel(1 + g.rng.Intn(5))
+	rd := "x0"
+	if g.rng.Intn(2) == 0 {
+		rd = g.pool() // exercise the link-register write too
+	}
+	g.instr("jal %s, %s", rd, l)
+}
+
+func (g *gen) openLoop() {
+	depth := len(g.loops)
+	if depth >= len(loopCounters) || g.n+4 > g.cfg.Size {
+		g.alu() // no room: degrade to a plain instruction
+		return
+	}
+	ctr := loopCounters[depth]
+	trip := 1 + g.rng.Intn(g.cfg.MaxLoopTrip)
+	bodyLen := 2 + g.rng.Intn(7)
+	g.instr("li %s, %d", ctr, trip)
+	l := g.newLabel()
+	// The loop head binds to the next instruction; instr() placement
+	// bookkeeping is bypassed because the head must sit exactly here.
+	g.emitf("%s:", l)
+	g.loops = append(g.loops, openLoop{label: l, counter: ctr, closeAt: g.n + bodyLen})
+}
+
+func (g *gen) maybeCloseLoop() {
+	for len(g.loops) > 0 && g.loops[len(g.loops)-1].closeAt <= g.n {
+		g.closeLoop()
+	}
+}
+
+// closeLoop emits the guarded back-edge: the counter strictly decreases
+// and the branch is taken only while it stays positive, so the loop is
+// bounded even when entered mid-body by a forward branch. The pair is
+// atomic: any forward label that would bind between the decrement and
+// the branch is flushed in front of it instead — a branch landing there
+// would skip the decrement and unbound the loop. Future labels cannot
+// land inside either (fwdLabel targets at least two slots ahead).
+func (g *gen) closeLoop() {
+	lp := g.loops[len(g.loops)-1]
+	g.loops = g.loops[:len(g.loops)-1]
+	for _, pos := range [2]int{g.n, g.n + 1} {
+		for _, l := range g.pending[pos] {
+			g.emitf("%s:", l)
+		}
+		delete(g.pending, pos)
+	}
+	g.emitf("  addi %s, %s, -1", lp.counter, lp.counter)
+	g.emitf("  blt x0, %s, %s", lp.counter, lp.label)
+	g.n += 2
+}

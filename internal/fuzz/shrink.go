@@ -1,0 +1,177 @@
+package fuzz
+
+import "strings"
+
+// Automatic failure shrinking: once the harness finds a divergent
+// program, delta-debug it down to a minimal reproducer. The shrinker
+// works on source lines, in ddmin style: try deleting progressively
+// smaller chunks of instruction lines, keeping any deletion after which
+// the program still assembles and still diverges. Label-definition
+// lines, the final ecall, the assembler directives and the .data section
+// are never deletion candidates — removing a referenced label would turn
+// a semantic divergence into an assembly error, and the protected ecall
+// keeps every shrunk candidate a halting program. A deleted counter
+// initialization cannot hang a candidate either: generated back-edges
+// only branch while their counter is strictly positive (gen.go), and the
+// shrink predicate bounds cycles regardless.
+
+// shrinkLine is one source line with its deletion eligibility.
+type shrinkLine struct {
+	text      string
+	deletable bool
+}
+
+// splitShrinkable parses src into lines and marks deletion candidates:
+// instruction lines only — never labels, directives, comments, blanks,
+// or the final ecall.
+func splitShrinkable(src string) []shrinkLine {
+	rawLines := strings.Split(src, "\n")
+	lines := make([]shrinkLine, len(rawLines))
+	lastEcall := -1
+	for i, raw := range rawLines {
+		t := strings.TrimSpace(raw)
+		deletable := t != "" &&
+			!strings.HasPrefix(t, "#") && !strings.HasPrefix(t, "//") &&
+			!strings.HasPrefix(t, ".") && !strings.HasSuffix(t, ":")
+		lines[i] = shrinkLine{text: raw, deletable: deletable}
+		if t == "ecall" {
+			lastEcall = i
+		}
+	}
+	if lastEcall >= 0 {
+		lines[lastEcall].deletable = false
+	}
+	// Everything from .data on is the arena; keep it whole.
+	for i := range lines {
+		if strings.TrimSpace(lines[i].text) == ".data" {
+			for j := i; j < len(lines); j++ {
+				lines[j].deletable = false
+			}
+			break
+		}
+	}
+	return lines
+}
+
+// join renders the kept lines back into a program.
+func join(lines []shrinkLine, removed []bool) string {
+	var b strings.Builder
+	for i, l := range lines {
+		if removed[i] {
+			continue
+		}
+		b.WriteString(l.text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Shrink minimizes src while keep(candidate) stays true. keep must
+// report whether a candidate still reproduces the failure (and must
+// return false for candidates that no longer assemble). The input itself
+// must satisfy keep. Deterministic: same input and predicate, same
+// output.
+func Shrink(src string, keep func(candidate string) bool) string {
+	lines := splitShrinkable(src)
+	removed := make([]bool, len(lines))
+
+	// Deletable line indices still present.
+	alive := func() []int {
+		var idx []int
+		for i, l := range lines {
+			if l.deletable && !removed[i] {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+
+	// ddmin over chunk sizes: halve until single-line granularity, then
+	// repeat single-line sweeps until a fixed point.
+	for chunk := len(alive()) / 2; chunk >= 1; chunk /= 2 {
+		for {
+			idx := alive()
+			progress := false
+			for start := 0; start < len(idx); start += chunk {
+				end := start + chunk
+				if end > len(idx) {
+					end = len(idx)
+				}
+				for _, i := range idx[start:end] {
+					removed[i] = true
+				}
+				if keep(join(lines, removed)) {
+					progress = true
+					continue
+				}
+				for _, i := range idx[start:end] {
+					removed[i] = false
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+	}
+
+	// Drop label lines nothing references anymore (cosmetic, but keeps
+	// reproducers readable).
+	final := join(lines, removed)
+	return dropOrphanLabels(final)
+}
+
+// dropOrphanLabels removes code-label definition lines whose name appears
+// nowhere else in the program. Data labels (after .data) are kept.
+func dropOrphanLabels(src string) string {
+	lines := strings.Split(src, "\n")
+	inData := false
+	var out []string
+	for _, raw := range lines {
+		t := strings.TrimSpace(raw)
+		if t == ".data" {
+			inData = true
+		}
+		if !inData && strings.HasSuffix(t, ":") {
+			name := strings.TrimSuffix(t, ":")
+			if !referenced(lines, raw, name) {
+				continue
+			}
+		}
+		out = append(out, raw)
+	}
+	return strings.Join(out, "\n")
+}
+
+// referenced reports whether name occurs in any line other than defLine.
+func referenced(lines []string, defLine, name string) bool {
+	for _, l := range lines {
+		if l == defLine {
+			continue
+		}
+		if containsWord(l, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsWord reports a whole-token occurrence of name in line (label
+// names are \w+, so boundary = any non-alphanumeric).
+func containsWord(line, name string) bool {
+	for i := 0; i+len(name) <= len(line); i++ {
+		if line[i:i+len(name)] != name {
+			continue
+		}
+		before := i == 0 || !isWordByte(line[i-1])
+		afterIdx := i + len(name)
+		after := afterIdx == len(line) || !isWordByte(line[afterIdx])
+		if before && after {
+			return true
+		}
+	}
+	return false
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || (b >= '0' && b <= '9') || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}

@@ -13,6 +13,7 @@ import (
 
 	"riscvsim/internal/api"
 	"riscvsim/internal/client"
+	"riscvsim/internal/seeds"
 )
 
 // Scenario describes one load test. The paper's Table I scenarios are 30
@@ -38,6 +39,11 @@ type Scenario struct {
 	// TimeScale scales RampUp and ThinkTime (e.g. 0.02 to run the
 	// paper's 1 s think time as 20 ms in a benchmark). 0 means 1.0.
 	TimeScale float64
+	// Seed randomizes the user→program assignment deterministically
+	// through the shared seed-plumbing helper (internal/seeds): user u
+	// simulates Programs[seeds.Mix(seeds.Derive(Seed, u)) % len]. 0
+	// keeps the paper's plain round-robin assignment.
+	Seed int64
 }
 
 // PaperScenario returns the paper's Table I workload for the given user
@@ -131,7 +137,11 @@ func Run(baseURL string, sc Scenario) (*Result, error) {
 
 	for u := 0; u < sc.Users; u++ {
 		wg.Add(1)
-		prog := programs[u%len(programs)]
+		pick := u % len(programs)
+		if sc.Seed != 0 {
+			pick = int(uint64(seeds.Mix(seeds.Derive(sc.Seed, u))) % uint64(len(programs)))
+		}
+		prog := programs[pick]
 		delay := time.Duration(0)
 		if sc.Users > 1 {
 			delay = rampUp * time.Duration(u) / time.Duration(sc.Users)

@@ -1,0 +1,32 @@
+// Package seeds is the one seed-plumbing helper shared by every seeded
+// surface of the repository — the co-simulation fuzzer's -fuzz-seed, the
+// load generator's Scenario.Seed — so "replay exactly what run X did"
+// means the same thing everywhere.
+//
+// The contract has two halves:
+//
+//   - Derive is intentionally additive: item i of a campaign with base
+//     seed B gets the seed B+i, so a single failing item can be replayed
+//     alone by passing its derived seed as the new base (fuzz failure
+//     reports print exactly that command line).
+//
+//   - Mix decorrelates: consumers feed the derived seed through Mix (a
+//     SplitMix64 finalizer) before seeding a PRNG or reducing modulo a
+//     small set, so adjacent bases still produce unrelated streams.
+package seeds
+
+// Derive returns the seed of item i under base. The mapping is plain
+// addition by contract — see the package comment — so callers can replay
+// item i of base B as item 0 of base B+i.
+func Derive(base int64, i int) int64 { return base + int64(i) }
+
+// Mix scrambles a seed through the SplitMix64 finalizer: a bijection on
+// 64-bit values with full avalanche, so consecutive Derive outputs turn
+// into statistically independent values. Use the result to seed PRNGs or
+// to make small deterministic choices (e.g. Mix(s) % n).
+func Mix(seed int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,33 @@
+package seeds
+
+import "testing"
+
+// TestDeriveIsAdditive pins the replay contract: item i of base B is
+// item 0 of base B+i, which is what fuzz failure reports rely on when
+// they print `-fuzz-n=1 -fuzz-seed=<derived>`.
+func TestDeriveIsAdditive(t *testing.T) {
+	for _, base := range []int64{0, 1, -7, 1 << 40} {
+		for i := 0; i < 10; i++ {
+			if Derive(base, i) != Derive(base+int64(i), 0) {
+				t.Fatalf("Derive(%d, %d) != Derive(%d, 0)", base, i, base+int64(i))
+			}
+		}
+	}
+}
+
+func TestMixDecorrelatesAndIsInjective(t *testing.T) {
+	seen := make(map[int64]int64)
+	for s := int64(-500); s < 500; s++ {
+		m := Mix(s)
+		if prev, dup := seen[m]; dup {
+			t.Fatalf("Mix collision: Mix(%d) == Mix(%d) == %d", s, prev, m)
+		}
+		seen[m] = s
+		if m == s {
+			t.Errorf("Mix(%d) is a fixed point", s)
+		}
+	}
+	if Mix(1)^Mix(2) == 0 || Mix(1)-Mix(2) == 1 || Mix(2)-Mix(1) == 1 {
+		t.Errorf("adjacent seeds stayed correlated: %d, %d", Mix(1), Mix(2))
+	}
+}

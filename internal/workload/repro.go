@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"embed"
+	"sort"
+	"strings"
+)
+
+// Co-simulation reproducers: minimal divergent programs shrunk by the
+// fuzzer (internal/fuzz) and checked into testdata/repro/. They are a
+// regression suite, not a benchmark: Repros() keeps them out of
+// Corpus(), so the golden-metrics gate never sees them (no re-baseline
+// when one lands), while repro_test.go re-proves on every run that both
+// semantic engines agree on each one. docs/fuzzing.md documents how a
+// reproducer gets here.
+
+//go:embed testdata/repro
+var reproFS embed.FS
+
+// reproMaxCycles bounds a reproducer run. Shrunk reproducers are tiny;
+// the bound exists only to turn a regression into a halt-reason failure
+// instead of a hang.
+const reproMaxCycles = 10_000_000
+
+// Repros returns the checked-in co-simulation reproducers as workloads,
+// sorted by file name. The slice is rebuilt per call; callers may modify
+// it freely.
+func Repros() []Workload {
+	entries, err := reproFS.ReadDir("testdata/repro")
+	if err != nil {
+		// The directory is embedded at compile time; failure to read it
+		// means an empty set, not a runtime condition to handle.
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".s") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]Workload, 0, len(names))
+	for _, name := range names {
+		data, err := reproFS.ReadFile("testdata/repro/" + name)
+		if err != nil {
+			continue
+		}
+		out = append(out, Workload{
+			Name:      "repro/" + strings.TrimSuffix(name, ".s"),
+			Profile:   reproProfile(string(data)),
+			Tags:      []string{"repro", "cosim"},
+			Source:    string(data),
+			MaxCycles: reproMaxCycles,
+		})
+	}
+	return out
+}
+
+// reproProfile extracts the divergence summary from a reproducer's
+// header comments (the "# divergence: ..." line the fuzzer writes).
+func reproProfile(src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(t, "# divergence:"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return "co-simulation divergence reproducer"
+}

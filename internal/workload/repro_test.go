@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"riscvsim/sim"
+)
+
+// TestReprosStayFixed is the regression gate for every checked-in
+// co-simulation reproducer: each one must run to completion with the
+// specialized engine and the forced interpreter producing byte-identical
+// final machines (equal StateHash). A failure here means a previously
+// fixed engine divergence is back.
+func TestReprosStayFixed(t *testing.T) {
+	repros := Repros()
+	for _, w := range repros {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			det, err := sim.NewFromAsm(sim.DefaultConfig(), w.Source, w.Entry)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			fun, err := sim.NewFromAsm(sim.DefaultConfig(), w.Source, w.Entry)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			fun.SetEngineMode(sim.EngineInterpreter)
+			det.Run(w.MaxCycles)
+			fun.Run(w.MaxCycles)
+			if !det.Halted() || !fun.Halted() {
+				t.Fatalf("reproducer did not halt (detailed=%v functional=%v)",
+					det.Halted(), fun.Halted())
+			}
+			if h1, h2 := det.StateHash(), fun.StateHash(); h1 != h2 {
+				t.Errorf("engines diverge again: StateHash %#x (specialized) vs %#x (interpreter)", h1, h2)
+			}
+		})
+	}
+	t.Logf("%d reproducers verified", len(repros))
+}
+
+// TestReprosStayOutOfCorpus pins the registration contract: reproducers
+// are a regression suite, never benchmark corpus entries — the golden
+// metrics baseline must not move when one is checked in.
+func TestReprosStayOutOfCorpus(t *testing.T) {
+	for _, w := range Corpus() {
+		for _, tag := range w.Tags {
+			if tag == "repro" {
+				t.Errorf("corpus entry %s carries the repro tag", w.Name)
+			}
+		}
+	}
+	for _, r := range Repros() {
+		if _, ok := ByName(r.Name); ok {
+			t.Errorf("reproducer %s leaked into the corpus", r.Name)
+		}
+	}
+}

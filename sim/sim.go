@@ -53,6 +53,19 @@ type (
 	TraceFilter = trace.Filter
 	// TraceRing is the bounded ring-buffer trace collector.
 	TraceRing = trace.Ring
+
+	// EngineMode selects how instruction semantics are computed
+	// (specialized fast path vs forced interpreter).
+	EngineMode = core.EngineMode
+)
+
+// Engine modes. EngineSpecialized is the default; EngineInterpreter
+// forces the expression interpreter for every instruction — the
+// functional reference path the co-simulation fuzzer compares against
+// (docs/fuzzing.md).
+const (
+	EngineSpecialized = core.EngineSpecialized
+	EngineInterpreter = core.EngineInterpreter
 )
 
 // NewTraceRing builds a bounded ring-buffer trace collector; attach it
@@ -298,6 +311,24 @@ func (m *Machine) SetTracer(t Tracer) { m.sim.SetTracer(t) }
 
 // Tracer returns the attached pipeline-trace sink, or nil.
 func (m *Machine) Tracer() Tracer { return m.sim.Tracer() }
+
+// SetEngineMode selects the semantic engine: the specialized fast path
+// (default) or the forced expression interpreter. Timing is engine-
+// independent, so two runs of the same program in different modes are
+// cycle-identical exactly when the engines' semantics agree — the
+// invariant the co-simulation fuzzer checks (docs/fuzzing.md). The mode
+// is a runtime knob: it is not part of the architecture configuration
+// and is not recorded in checkpoints.
+func (m *Machine) SetEngineMode(mode EngineMode) { m.sim.SetEngineMode(mode) }
+
+// EngineMode returns the active semantic engine.
+func (m *Machine) EngineMode() EngineMode { return m.sim.EngineMode() }
+
+// PC returns the next fetch program counter (a code index).
+func (m *Machine) PC() int { return m.sim.PC() }
+
+// Committed returns the committed instruction count so far.
+func (m *Machine) Committed() uint64 { return m.sim.Committed() }
 
 // Sim exposes the underlying core simulation for advanced integrations
 // (the render package, benches).
