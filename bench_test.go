@@ -682,6 +682,45 @@ func BenchmarkSuite(b *testing.B) {
 	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// BenchmarkFastForward runs the full corpus in the fast-forward
+// functional mode (fused basic-block plans, architectural state only) —
+// the warm-up-leg throughput number the perf-diff CI job tracks alongside
+// the detailed-mode suite. Machines are assembled once outside the timer;
+// each iteration re-runs the programs from a fresh dynamic state, so the
+// metric is pure fast-forward execution speed in simulated cycles/s.
+func BenchmarkFastForward(b *testing.B) {
+	var machines []*sim.Machine
+	var maxCycles []uint64
+	for _, w := range workload.Corpus() {
+		m, err := workload.NewMachine(nil, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.SetEngineMode(sim.EngineFastForward)
+		machines = append(machines, m)
+		maxCycles = append(maxCycles, w.MaxCycles)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cycles = 0
+		for j, m := range machines {
+			ns, err := m.Sim().Fresh()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ns.Run(maxCycles[j])
+			if !ns.Halted() {
+				b.Fatalf("workload %d did not halt", j)
+			}
+			cycles += ns.Cycle()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
 // BenchmarkSuiteParallel is the same corpus on a full worker pool — the
 // wall-time number /api/v1/suite users experience on a multi-core host.
 func BenchmarkSuiteParallel(b *testing.B) {

@@ -109,6 +109,7 @@ func main() {
 		language = flag.String("lang", "", "source language: asm or c (default: by file extension)")
 		optimize = flag.Int("O", 2, "C optimization level 0..3")
 		steps    = flag.Uint64("steps", 0, "cycle limit (0 = run to completion)")
+		fastFwd  = flag.Bool("fast-forward", false, "functional fast-forward mode: architectural state only, no pipeline timing (1 instruction = 1 cycle)")
 		format   = flag.String("format", "text", "output format: text or json")
 		verbose  = flag.Int("v", 1, "verbosity: 0 stats only, 1 +summary, 2 +debug log, 3 +state")
 		dump     = flag.String("dump", "", "memory dump range after the run: label or addr:len")
@@ -197,6 +198,7 @@ func main() {
 		MemFills:     fills,
 		IncludeState: *verbose >= 3,
 		IncludeLog:   *verbose >= 2,
+		FastForward:  *fastFwd,
 	}
 	// A trace filter flag implies -trace itself.
 	if *tracePC != "" || *traceLimit != 0 {
@@ -407,6 +409,9 @@ func runAndCheckpoint(req *api.SimulateRequest, ckptPath string) (*api.SimulateR
 		}
 		ring = r
 		m.SetTracer(ring)
+	}
+	if req.FastForward {
+		m.SetEngineMode(sim.EngineFastForward)
 	}
 	steps := req.Steps
 	if steps == 0 {

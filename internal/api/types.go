@@ -64,6 +64,12 @@ type SimulateRequest struct {
 	// the run and returns its contents in SimulateResponse.Trace. Works
 	// for source builds and checkpoint restores alike.
 	Trace *TraceOptions `json:"trace,omitempty"`
+	// FastForward runs the program in the fast-forward functional mode:
+	// fused basic-block execution of architectural state only, one
+	// committed instruction per reported cycle, no pipeline timing. The
+	// final architectural state (registers, memory, halt reason) is
+	// identical to a detailed run; timing statistics are not meaningful.
+	FastForward bool `json:"fastForward,omitempty"`
 }
 
 // TraceOptions configures pipeline tracing for a run (docs/trace.md).

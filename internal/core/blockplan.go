@@ -1,0 +1,501 @@
+package core
+
+import (
+	"fmt"
+
+	"riscvsim/internal/asm"
+	"riscvsim/internal/expr"
+	"riscvsim/internal/fault"
+	"riscvsim/internal/isa"
+)
+
+// Fused basic-block plans and the fast-forward functional engine.
+//
+// At first fast-forward use the program's static instructions are grouped
+// into basic blocks — a leader starts at the entry of every PC-relative
+// branch target and at the fall-through of every control transfer; a block
+// ends at the first branch or halting instruction — and each block is
+// compiled into one blockPlan: a flat array of fused operations whose
+// operands are pre-resolved to *architectural* register indices (the
+// per-instruction execPlans resolve to renamed source slots instead, which
+// only exist in the detailed pipeline). Executing a block then costs a
+// single plan dispatch plus one tight loop, the per-block trick GVSoC uses
+// to reach tens of MIPS (PAPERS.md, Bruschi et al.).
+//
+// Fast-forward mode (EngineFastForward) executes these plans against the
+// architectural state only: no fetch/rename/ROB/LSU modeling, no cache or
+// predictor traffic, one committed instruction per simulated cycle. The
+// committed instruction stream — and therefore every architectural
+// register, memory byte, the committed count and the halt story — is
+// identical to a detailed run of the same program (ArchHash pins this;
+// the fast-forward-equivalence CI gate proves it on the corpus), while
+// timing state (cycle counts, stall counters, cache/predictor contents)
+// is deliberately not modeled.
+//
+// Control can enter a block mid-way (a jalr landing between two static
+// leaders): block plans are keyed by their start PC and built lazily, so
+// such an entry simply compiles the suffix as its own block ("block
+// split"). Switchover back to the detailed pipeline is legal at any block
+// boundary: fast-forward leaves every pipeline structure empty and keeps
+// fetch's PC at the next instruction, so the detailed engine resumes as if
+// freshly redirected there.
+
+// blockPlan is the load-time compilation of one basic block: the fused
+// operation sequence starting at start and ending at the block's
+// terminator (branch/halt) or at the first instruction of the next block.
+type blockPlan struct {
+	start int
+	ops   []ffOp
+}
+
+// ffOp is one fused operation of a block plan: the specialized opcode with
+// operands resolved to architectural register indices, plus the commit
+// bookkeeping the detailed pipeline would have derived from the
+// descriptor. Instructions outside the specialized subset carry
+// execFallback and run through the expression interpreter.
+type ffOp struct {
+	op       execOp
+	rdFloat  bool // destination lives in the float register file
+	rs2Float bool // store payload comes from the float register file
+	halts    bool
+	memWidth uint8
+	flops    uint8
+	typ      isa.InstrType
+	// Architectural register indices; -1 = absent (or an x0 destination,
+	// which is architecturally discarded).
+	rd  int16
+	rs1 int16
+	rs2 int16
+	imm int32
+	tgt int32
+	// static backs the interpreter fallback, exception messages and load
+	// conversion (LoadValue needs the descriptor).
+	static *asm.Instruction
+}
+
+// ffInit builds the basic-block index on first fast-forward use: the
+// per-PC block-end table (one backward pass) plus eagerly compiled plans
+// for every static leader. Detailed-only simulations never pay for it.
+func (e *ExecEngine) ffInit() {
+	if e.blocks != nil {
+		return
+	}
+	n := len(e.prog.Instructions)
+	e.blocks = make([]*blockPlan, n)
+	e.blockEnd = make([]int32, n)
+	for i := n - 1; i >= 0; i-- {
+		d := e.prog.Instructions[i].Desc
+		if d.IsBranch() || d.Halts || i == n-1 {
+			e.blockEnd[i] = int32(i + 1)
+		} else {
+			e.blockEnd[i] = e.blockEnd[i+1]
+		}
+	}
+	// Static leaders: PC-relative branch targets and the fall-through of
+	// every control transfer. jalr targets are runtime values; blocks
+	// entered there are compiled lazily by blockAt (block split).
+	for i, in := range e.prog.Instructions {
+		if !in.Desc.IsBranch() {
+			continue
+		}
+		if in.Desc.PCRelative {
+			if imm := in.Op("imm"); imm != nil {
+				if t := i + int(imm.Val); t >= 0 && t < n {
+					e.blockAt(t)
+				}
+			}
+		}
+		if i+1 < n {
+			e.blockAt(i + 1)
+		}
+	}
+	if n > 0 {
+		e.blockAt(0)
+	}
+}
+
+// blockAt returns the block plan starting at pc, compiling it on first
+// use. Any pc is a legal block start: entering between two static leaders
+// compiles the suffix of the enclosing block as its own plan.
+func (e *ExecEngine) blockAt(pc int) *blockPlan {
+	if bp := e.blocks[pc]; bp != nil {
+		return bp
+	}
+	end := int(e.blockEnd[pc])
+	bp := &blockPlan{start: pc, ops: make([]ffOp, end-pc)}
+	for i := pc; i < end; i++ {
+		bp.ops[i-pc] = ffCompileOp(&e.plans[i], e.prog.Instructions[i])
+	}
+	e.blocks[pc] = bp
+	return bp
+}
+
+// ffCompileOp fuses one static instruction into a block-plan operation,
+// re-resolving the execPlan's renamed source slots to architectural
+// register indices.
+func ffCompileOp(p *execPlan, in *asm.Instruction) ffOp {
+	d := in.Desc
+	o := ffOp{
+		op: p.op, halts: d.Halts, memWidth: uint8(d.MemWidth),
+		flops: uint8(d.Flops), typ: d.Type,
+		rd: -1, rs1: -1, rs2: -1, imm: p.imm, tgt: int32(p.tgt), static: in,
+	}
+	if p.op == execFallback {
+		return o
+	}
+	if p.rs1 >= 0 {
+		o.rs1 = int16(in.Op("rs1").Reg)
+	}
+	if p.rs2 >= 0 {
+		op := in.Op("rs2")
+		o.rs2 = int16(op.Reg)
+		o.rs2Float = op.Arg.Kind == isa.ArgRegFloat
+	}
+	if dst := d.DestArg(); dst != nil {
+		op := in.Op(dst.Name)
+		o.rdFloat = dst.Kind == isa.ArgRegFloat
+		if o.rdFloat || op.Reg != isa.RegZero {
+			o.rd = int16(op.Reg)
+		}
+	}
+	return o
+}
+
+// ---------------------------------------------------------------------------
+// Fast-forward execution
+// ---------------------------------------------------------------------------
+
+// ffDrained reports whether no speculative work is in flight, i.e. the
+// architectural state is the complete state and a fused block may run.
+func (s *Simulation) ffDrained() bool {
+	return s.rob.Empty() && len(s.pendingDecode()) == 0 &&
+		s.lsu.Drained() && s.fetch.waitBranch == nil
+}
+
+// ffStep advances the simulation one step in fast-forward mode: while
+// in-flight instructions remain from a detailed prefix it runs one
+// detailed cycle with fetch suppressed (the pipeline drains at a block
+// boundary by construction); once drained it executes one fused basic
+// block per call, so every Step lands on a block commit boundary.
+func (s *Simulation) ffStep() {
+	if !s.ffDrained() {
+		now := s.cycle + 1
+		s.commitStep(now)
+		if !s.halted {
+			s.memoryStep(now)
+			s.completeStep(now)
+			s.issueStep(now)
+			s.renameStep(now)
+		}
+		s.cycle = now
+		s.checkPipelineEmpty(now)
+		return
+	}
+	if !s.ffFlushed {
+		// A detailed prefix may have left dirty lines in the cache;
+		// fast-forward reads memory directly, so make it coherent once
+		// per switchover.
+		s.l1.FlushAll(s.cycle)
+		s.ffFlushed = true
+	}
+	pc := s.fetch.pc
+	if pc < 0 || pc >= len(s.prog.Instructions) {
+		// The program ran off the code segment (the entry routine
+		// returned to the sentinel address): same end story as the
+		// detailed pipeline draining empty.
+		s.halted = true
+		s.haltReason = "pipeline empty"
+		s.logf(s.cycle, "halt: pipeline empty after %d committed instructions", s.committedCount)
+		s.l1.FlushAll(s.cycle)
+		return
+	}
+	s.ffRunBlock(s.eng.blockAt(pc))
+}
+
+// ffRunBlock executes one fused block against the architectural state:
+// one committed instruction per cycle, branch early-out at the
+// terminator, fetch's PC tracking the commit point so a switchover to
+// detailed mode resumes exactly there.
+func (s *Simulation) ffRunBlock(bp *blockPlan) {
+	for i := range bp.ops {
+		pc := bp.start + i
+		if pc == s.ffStopPC && pc != bp.start {
+			// FastForwardToPC lands mid-block: cut the block here (any
+			// PC is a legal block boundary) without executing further.
+			s.fetch.pc = pc
+			return
+		}
+		o := &bp.ops[i]
+		next := pc + 1
+		s.cycle++
+		if s.eng.forceGeneric || o.op == execFallback {
+			n, ok := s.ffGenericOp(o, pc)
+			if !ok {
+				return // exception: the halt story is already recorded
+			}
+			next = n
+		} else if !s.ffSpecOp(o, pc, &next) {
+			return
+		}
+		s.committedCount++
+		s.dynMix[o.typ]++
+		s.flops += uint64(o.flops)
+		s.fetch.pc = next
+		if o.halts {
+			s.halted = true
+			s.haltReason = fmt.Sprintf("%s executed (the simulator runs no OS; environment calls end the program)", o.static.Desc.Name)
+			s.logf(s.cycle, "halt: %s", s.haltReason)
+			s.l1.FlushAll(s.cycle)
+			return
+		}
+	}
+}
+
+// ffSpecOp executes one specialized fused operation, mirroring the
+// semantics (and exception stories) of ExecEngine.Execute plus the
+// memory/writeback stages the detailed pipeline would run afterwards.
+// It reports false when the operation faulted.
+func (s *Simulation) ffSpecOp(o *ffOp, pc int, next *int) bool {
+	var a, b int32
+	if o.rs1 >= 0 {
+		a = s.rf.ArchValue(isa.RegInt, int(o.rs1)).Int()
+	}
+	if o.rs2 >= 0 && o.op != execStoreAddr {
+		b = s.rf.ArchValue(isa.RegInt, int(o.rs2)).Int()
+	}
+	switch o.op {
+	case execNop:
+	case execLUI:
+		s.ffSetInt(o, a, b, o.imm<<12)
+	case execAUIPC:
+		s.ffSetInt(o, a, b, o.imm<<12+int32(pc))
+	case execJAL:
+		s.ffSetInt(o, a, b, int32(pc)+1)
+		*next = int(o.tgt)
+	case execJALR:
+		s.ffSetInt(o, a, b, int32(pc)+1)
+		*next = int(a + o.imm)
+	case execBEQ:
+		if a == b {
+			*next = int(o.tgt)
+		}
+	case execBNE:
+		if a != b {
+			*next = int(o.tgt)
+		}
+	case execBLT:
+		if a < b {
+			*next = int(o.tgt)
+		}
+	case execBGE:
+		if a >= b {
+			*next = int(o.tgt)
+		}
+	case execBLTU:
+		if uint32(a) < uint32(b) {
+			*next = int(o.tgt)
+		}
+	case execBGEU:
+		if uint32(a) >= uint32(b) {
+			*next = int(o.tgt)
+		}
+	case execLoadAddr:
+		addr := int(a + o.imm)
+		if exc := s.ffCheckAddr(o.static.Desc, addr); exc != nil {
+			s.ffFault(exc, pc)
+			return false
+		}
+		raw, _ := s.mem.ReadRaw(addr, int(o.memWidth))
+		if o.rd >= 0 {
+			cls := isa.RegInt
+			if o.rdFloat {
+				cls = isa.RegFloat
+			}
+			s.rf.SetArchValue(cls, int(o.rd), LoadValue(o.static.Desc, raw))
+		}
+	case execStoreAddr:
+		addr := int(a + o.imm)
+		if exc := s.ffCheckAddr(o.static.Desc, addr); exc != nil {
+			s.ffFault(exc, pc)
+			return false
+		}
+		cls := isa.RegInt
+		if o.rs2Float {
+			cls = isa.RegFloat
+		}
+		_ = s.mem.WriteRaw(addr, int(o.memWidth), s.rf.ArchValue(cls, int(o.rs2)).Bits())
+	case execADDI:
+		s.ffSetInt(o, a, b, a+o.imm)
+	case execSLTI:
+		s.ffSetInt(o, a, b, b2i(a < o.imm))
+	case execSLTIU:
+		s.ffSetInt(o, a, b, b2i(uint32(a) < uint32(o.imm)))
+	case execXORI:
+		s.ffSetInt(o, a, b, a^o.imm)
+	case execORI:
+		s.ffSetInt(o, a, b, a|o.imm)
+	case execANDI:
+		s.ffSetInt(o, a, b, a&o.imm)
+	case execSLLI:
+		s.ffSetInt(o, a, b, int32(uint32(a)<<(uint32(o.imm)&31)))
+	case execSRLI:
+		s.ffSetInt(o, a, b, int32(uint32(a)>>(uint32(o.imm)&31)))
+	case execSRAI:
+		s.ffSetInt(o, a, b, a>>(uint32(o.imm)&31))
+	case execADD:
+		s.ffSetInt(o, a, b, a+b)
+	case execSUB:
+		s.ffSetInt(o, a, b, a-b)
+	case execSLL:
+		s.ffSetInt(o, a, b, int32(uint32(a)<<(uint32(b)&31)))
+	case execSLT:
+		s.ffSetInt(o, a, b, b2i(a < b))
+	case execSLTU:
+		s.ffSetInt(o, a, b, b2i(uint32(a) < uint32(b)))
+	case execXOR:
+		s.ffSetInt(o, a, b, a^b)
+	case execSRL:
+		s.ffSetInt(o, a, b, int32(uint32(a)>>(uint32(b)&31)))
+	case execSRA:
+		s.ffSetInt(o, a, b, a>>(uint32(b)&31))
+	case execOR:
+		s.ffSetInt(o, a, b, a|b)
+	case execAND:
+		s.ffSetInt(o, a, b, a&b)
+	case execMUL:
+		s.ffSetInt(o, a, b, a*b)
+	case execMULH:
+		s.ffSetInt(o, a, b, int32((int64(a)*int64(b))>>32))
+	case execMULHSU:
+		s.ffSetInt(o, a, b, int32((int64(a)*int64(uint64(uint32(b))))>>32))
+	case execMULHU:
+		s.ffSetInt(o, a, b, int32((uint64(uint32(a))*uint64(uint32(b)))>>32))
+	case execDIV:
+		switch {
+		case b == 0:
+			s.ffDivZero(o, pc, "integer division %d / 0", a)
+			return false
+		case a == -1<<31 && b == -1:
+			s.ffSetInt(o, a, b, -1<<31) // RISC-V overflow semantics
+		default:
+			s.ffSetInt(o, a, b, a/b)
+		}
+	case execDIVU:
+		if b == 0 {
+			s.ffDivZero(o, pc, "unsigned division %d / 0", a)
+			return false
+		}
+		s.ffSetInt(o, a, b, int32(uint32(a)/uint32(b)))
+	case execREM:
+		switch {
+		case b == 0:
+			s.ffDivZero(o, pc, "integer remainder %d %% 0", a)
+			return false
+		case a == -1<<31 && b == -1:
+			s.ffSetInt(o, a, b, 0)
+		default:
+			s.ffSetInt(o, a, b, a%b)
+		}
+	case execREMU:
+		if b == 0 {
+			s.ffDivZero(o, pc, "unsigned remainder %d %% 0", a)
+			return false
+		}
+		s.ffSetInt(o, a, b, int32(uint32(a)%uint32(b)))
+	}
+	return true
+}
+
+// ffSetInt publishes an integer result to the architectural register
+// file, running it through the same injected-bug hook as the detailed
+// specialized path so the co-simulation harness covers fused plans too.
+// An x0 (or absent) destination computes and discards, like the pipeline.
+func (s *Simulation) ffSetInt(o *ffOp, a, b, v int32) {
+	if semanticBug != nil {
+		v = semanticBug(o.static.Desc.Name, a, b, v)
+	}
+	if o.rd >= 0 {
+		s.rf.SetArchValue(isa.RegInt, int(o.rd), expr.NewInt(v))
+	}
+}
+
+// ffCheckAddr mirrors checkAddress: same bounds, same exception text, so
+// a fast-forward run and a detailed run fault with identical stories.
+func (s *Simulation) ffCheckAddr(d *isa.Desc, addr int) *fault.Exception {
+	if addr < 0 || addr+d.MemWidth > s.mem.Size() {
+		return fault.New(fault.InvalidMemoryAccess,
+			"%s accesses %d bytes at address %d outside memory of %d bytes",
+			d.Name, d.MemWidth, addr, s.mem.Size())
+	}
+	return nil
+}
+
+// ffDivZero faults with the interpreter-identical division-by-zero story.
+func (s *Simulation) ffDivZero(o *ffOp, pc int, format string, a int32) {
+	s.ffFault(fault.New(fault.DivisionByZero, format, a), pc)
+}
+
+// ffFault ends the run exactly as a detailed commit would raise the
+// exception: the faulting instruction does not count as committed.
+func (s *Simulation) ffFault(exc *fault.Exception, pc int) {
+	exc.Cycle = s.cycle
+	exc.PC = pc
+	s.fetch.pc = pc
+	s.haltWithException(exc, s.cycle)
+}
+
+// ffGenericOp executes one operation through the expression interpreter —
+// the total-coverage fallback (and, with the interpreter forced, the
+// functional reference leg of the three-way co-simulation). The reusable
+// scratch instruction is populated the way renameStep captures sources,
+// with values read directly from the architectural file. Returns the next
+// PC and false when the operation faulted.
+func (s *Simulation) ffGenericOp(o *ffOp, pc int) (int, bool) {
+	si := &s.ffScratch
+	*si = SimInstr{Static: o.static, PC: pc}
+	desc := o.static.Desc
+	rp := &s.eng.rplans[pc]
+	for i := 0; i < int(rp.nsrc); i++ {
+		rs := &rp.srcs[i]
+		si.srcs[si.nsrc] = srcOperand{
+			name: rs.name, class: rs.class, reg: int(rs.reg),
+			captured: true, value: s.rf.ArchValue(rs.class, int(rs.reg)),
+		}
+		si.nsrc++
+	}
+	si.hasDest = rp.hasDest
+	s.eng.executeGeneric(si, s.cycle)
+	if si.Exc.Occurred() {
+		s.ffFault(si.Exc, pc)
+		return 0, false
+	}
+	next := pc + 1
+	switch {
+	case desc.IsBranch():
+		next = si.actualTgt
+	case desc.IsLoad():
+		if exc := s.ffCheckAddr(desc, si.effAddr); exc != nil {
+			s.ffFault(exc, pc)
+			return 0, false
+		}
+		raw, _ := s.mem.ReadRaw(si.effAddr, desc.MemWidth)
+		si.result = LoadValue(desc, raw)
+		si.resultReady = true
+	case desc.IsStore():
+		if exc := s.ffCheckAddr(desc, si.effAddr); exc != nil {
+			s.ffFault(exc, pc)
+			return 0, false
+		}
+		_ = s.mem.WriteRaw(si.effAddr, desc.MemWidth, si.storeData)
+	}
+	if si.hasDest && !desc.IsStore() {
+		// Mirror writebackDest + commit: an unassigned destination
+		// publishes zero, exactly like the pipeline's bookkeeping.
+		v := expr.NewInt(0)
+		if si.resultReady {
+			v = si.result
+		}
+		s.rf.SetArchValue(rp.destClass, int(rp.destReg), v)
+	}
+	return next, true
+}

@@ -24,22 +24,53 @@ const (
 	// EngineInterpreter forces the expression interpreter for every
 	// instruction — the functional reference path.
 	EngineInterpreter
+	// EngineFastForward executes fused basic-block plans against the
+	// architectural state only (blockplan.go): no pipeline, cache or
+	// predictor modeling, one committed instruction per cycle. The
+	// committed instruction stream is identical to the detailed engines
+	// (ArchHash); timing statistics are not.
+	EngineFastForward
 )
 
 // String names the mode for reports and error messages.
 func (m EngineMode) String() string {
-	if m == EngineInterpreter {
+	switch m {
+	case EngineInterpreter:
 		return "interpreter"
+	case EngineFastForward:
+		return "fast-forward"
 	}
 	return "specialized"
 }
 
 // SetEngineMode selects the semantic engine. Switching mid-run is legal —
-// the knob only affects how future Execute calls compute results.
+// for the semantic-only modes the knob affects how future Execute calls
+// compute results; entering fast-forward first drains any in-flight
+// detailed work at the next Step (blockplan.go), and leaving it resumes
+// detailed fetch at the exact commit point.
 func (s *Simulation) SetEngineMode(m EngineMode) {
 	s.engineMode = m
 	s.eng.forceGeneric = m == EngineInterpreter
+	if m == EngineFastForward {
+		s.eng.ffInit()
+		// A detailed prefix may have written through the cache; the next
+		// fast-forward block must see coherent memory (blockplan.go).
+		s.ffFlushed = false
+	}
 }
+
+// SetFastForwardInterpreter routes fast-forward execution through the
+// expression interpreter instead of the fused specialized operations —
+// the functional reference leg for co-simulating the fast-forward engine
+// against itself (internal/fuzz). Only meaningful in EngineFastForward.
+func (s *Simulation) SetFastForwardInterpreter(v bool) {
+	s.eng.forceGeneric = v
+}
+
+// SetFFStopPC makes fast-forward execution stop when the commit point
+// reaches the given code index, cutting the enclosing block at that
+// instruction (any PC is a legal block boundary). -1 clears the stop.
+func (s *Simulation) SetFFStopPC(pc int) { s.ffStopPC = pc }
 
 // EngineMode returns the active semantic engine.
 func (s *Simulation) EngineMode() EngineMode { return s.engineMode }

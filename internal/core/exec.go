@@ -229,13 +229,21 @@ func specializePlan(in *asm.Instruction) execPlan {
 // interpreter as the total fallback. Not safe for concurrent use (the
 // pipeline executes sequentially).
 type ExecEngine struct {
-	plans []execPlan
-	ev    *expr.Evaluator
-	env   instrEnv // reusable fallback Env; passing &env avoids boxing
+	prog   *asm.Program
+	plans  []execPlan
+	rplans []renamePlan
+	ev     *expr.Evaluator
+	env    instrEnv // reusable fallback Env; passing &env avoids boxing
 	// forceGeneric routes every instruction through the expression
 	// interpreter, ignoring the specialized plans — the functional
 	// reference path of the co-simulation harness (EngineInterpreter).
 	forceGeneric bool
+	// Basic-block index for the fast-forward functional mode and fetch
+	// batching, built lazily on first use (blockplan.go). blockEnd[i] is
+	// the exclusive end of the block containing instruction i; blocks is
+	// the per-start-PC fused plan cache.
+	blocks   []*blockPlan
+	blockEnd []int32
 }
 
 // semanticBug, when non-nil, post-processes every specialized ALU result.
@@ -255,8 +263,10 @@ func SetSemanticBugForTesting(f func(op string, a, b, result int32) int32) {
 // newExecEngine compiles every static instruction of the program.
 func newExecEngine(prog *asm.Program) *ExecEngine {
 	e := &ExecEngine{
-		plans: make([]execPlan, len(prog.Instructions)),
-		ev:    expr.NewEvaluator(),
+		prog:   prog,
+		plans:  make([]execPlan, len(prog.Instructions)),
+		rplans: newRenamePlans(prog),
+		ev:     expr.NewEvaluator(),
 	}
 	for i, in := range prog.Instructions {
 		e.plans[i] = specializePlan(in)

@@ -22,11 +22,16 @@ type fetchInfo struct {
 // fetching up to the configured width per cycle and up to JumpsPerCycle
 // taken jumps within a single cycle (paper §II-C).
 type fetchUnit struct {
-	prog  *asm.Program
-	pred  *predictor.Predictor
-	info  []fetchInfo // indexed by PC
-	width int
-	jumps int
+	prog *asm.Program
+	pred *predictor.Predictor
+	info []fetchInfo // indexed by PC
+	// nextBranch[i] is the code index of the first branch at or after i —
+	// the fetch-side half of the basic-block index (blockplan.go): the
+	// span [i, nextBranch[i]) is straight-line, so the fetch loop batches
+	// it without per-PC control-flow checks.
+	nextBranch []int32
+	width      int
+	jumps      int
 
 	pc           int
 	stalledUntil uint64    // flush-penalty stall
@@ -45,6 +50,7 @@ type fetchUnit struct {
 func newFetchUnit(prog *asm.Program, pred *predictor.Predictor, width, jumps, entry int) *fetchUnit {
 	f := &fetchUnit{prog: prog, pred: pred, width: width, jumps: jumps, pc: entry}
 	f.info = make([]fetchInfo, len(prog.Instructions))
+	f.nextBranch = make([]int32, len(prog.Instructions))
 	for i, in := range prog.Instructions {
 		fi := &f.info[i]
 		fi.isBranch = in.Desc.IsBranch()
@@ -54,6 +60,15 @@ func newFetchUnit(prog *asm.Program, pred *predictor.Predictor, width, jumps, en
 				fi.targetKnown = true
 				fi.target = i + int(imm.Val)
 			}
+		}
+	}
+	for i := len(prog.Instructions) - 1; i >= 0; i-- {
+		if f.info[i].isBranch {
+			f.nextBranch[i] = int32(i)
+		} else if i == len(prog.Instructions)-1 {
+			f.nextBranch[i] = int32(i + 1)
+		} else {
+			f.nextBranch[i] = f.nextBranch[i+1]
 		}
 	}
 	return f
@@ -103,6 +118,21 @@ func (f *fetchUnit) Fetch(now uint64, room int, s *Simulation) []*SimInstr {
 	for len(out) < f.width && len(out) < room {
 		if f.pc < 0 || f.pc >= len(f.prog.Instructions) {
 			break
+		}
+		// Straight-line span: everything up to the next branch fetches in
+		// one batch with no per-PC control-flow checks — same
+		// instructions, same order, same cycle as the scalar walk.
+		if nb := int(f.nextBranch[f.pc]); f.pc < nb {
+			end := f.pc + min(f.width-len(out), room-len(out))
+			if end > nb {
+				end = nb
+			}
+			for ; f.pc < end; f.pc++ {
+				si := s.newInstr(f.prog.Instructions[f.pc], f.pc, now)
+				f.fetched++
+				out = append(out, si)
+			}
+			continue
 		}
 		st := f.prog.Instructions[f.pc]
 		fi := &f.info[f.pc]

@@ -306,6 +306,32 @@ func (l *LSU) RemoveSquashed() {
 	l.stores = stores
 }
 
+// DrainAll forces every committed store through the memory port at once.
+// Halt paths call it: a committed store is architecturally performed, so
+// it must reach memory before the final cache flush even though the
+// one-store-per-cycle drain schedule never got to it — otherwise the
+// final memory image silently loses it. Timing is over at this point, so
+// the port occupancy counter is not advanced; drainedStores still is,
+// because the store does drain. Faults cannot occur here: the address
+// was bounds-checked at execute, before the store could commit.
+func (l *LSU) DrainAll(now uint64) {
+	for _, st := range l.committed {
+		l.tx = memory.Transaction{
+			Addr: st.effAddr, Size: st.Static.Desc.MemWidth,
+			IsStore: true, Data: st.storeData,
+		}
+		l.port.Access(&l.tx, now)
+		l.drainedStores++
+		if l.onRecycle != nil {
+			l.onRecycle(st)
+		}
+	}
+	for i := range l.committed {
+		l.committed[i] = nil
+	}
+	l.committed = l.committed[:0]
+}
+
 // Drained reports whether no committed store is waiting for memory.
 func (l *LSU) Drained() bool { return len(l.committed) == 0 }
 

@@ -9,11 +9,12 @@ import (
 	"riscvsim/internal/fault"
 )
 
-// RV32M edge-case semantics, pinned in BOTH engines: the specialized
-// execPlan fast path and the forced expression interpreter must agree on
-// the division-overflow case, every division/remainder-by-zero, and all
-// mulh sign combinations — the first divergences a co-simulation fuzzer
-// would otherwise find (internal/fuzz relies on these being identical).
+// RV32M edge-case semantics, pinned in ALL engines: the specialized
+// execPlan fast path, the forced expression interpreter and the fused
+// fast-forward block plans must agree on the division-overflow case,
+// every division/remainder-by-zero, and all mulh sign combinations — the
+// first divergences a co-simulation fuzzer would otherwise find
+// (internal/fuzz relies on these being identical).
 
 // rv32mCase is one op applied to (a, b). Either want (a register value)
 // or wantExc (an exact exception message) is checked.
@@ -77,11 +78,11 @@ func runRV32MCase(t *testing.T, mode EngineMode, c rv32mCase) (int32, *fault.Exc
 	return intReg(t, sim, "a2"), sim.Exception()
 }
 
-func TestRV32MEdgeCasesBothEngines(t *testing.T) {
+func TestRV32MEdgeCasesAllEngines(t *testing.T) {
 	for _, c := range rv32mCases() {
 		c := c
 		t.Run(fmt.Sprintf("%s/%d/%d", c.op, c.a, c.b), func(t *testing.T) {
-			for _, mode := range []EngineMode{EngineSpecialized, EngineInterpreter} {
+			for _, mode := range []EngineMode{EngineSpecialized, EngineInterpreter, EngineFastForward} {
 				got, exc := runRV32MCase(t, mode, c)
 				if c.wantExc != "" {
 					if exc == nil {

@@ -66,6 +66,15 @@ type Simulation struct {
 	eng        *ExecEngine
 	engineMode EngineMode
 
+	// Fast-forward mode state (blockplan.go). ffStopPC cuts block
+	// execution at a code index (-1 = none); ffFlushed records that the
+	// cache was made coherent after the last detailed→fast-forward
+	// switch; ffScratch is the reusable instruction backing the
+	// interpreter-fallback path so fast-forward stays allocation-free.
+	ffStopPC  int
+	ffFlushed bool
+	ffScratch SimInstr
+
 	// freeInstrs is the SimInstr free list: instances are reclaimed when
 	// an instruction commits, is squashed, or (for stores) drains to the
 	// cache, so steady-state stepping allocates nothing.
@@ -149,6 +158,7 @@ func New(cfg *config.CPU, set *isa.Set, regs *isa.RegisterFile, prog *asm.Progra
 		decodeCap:  2 * cfg.FetchWidth,
 		eng:        newExecEngine(prog),
 		logBound:   cfg.LogBound(),
+		ffStopPC:   -1,
 	}
 	s.lsu.onRecycle = s.recycleInstr
 	s.windows[isa.FX] = newIssueWindow(isa.FX, cfg.FXWindow)
@@ -313,6 +323,12 @@ func (s *Simulation) Step() {
 	if s.halted || s.paused {
 		return
 	}
+	if s.engineMode == EngineFastForward {
+		// Fused basic-block execution: one Step = one block (or one
+		// drain cycle of a detailed prefix) — see blockplan.go.
+		s.ffStep()
+		return
+	}
 	now := s.cycle + 1
 
 	s.commitStep(now)
@@ -404,6 +420,7 @@ func (s *Simulation) commitStep(now uint64) {
 			s.halted = true
 			s.haltReason = fmt.Sprintf("%s executed (the simulator runs no OS; environment calls end the program)", si.Static.Desc.Name)
 			s.logf(now, "halt: %s", s.haltReason)
+			s.lsu.DrainAll(now)
 			s.l1.FlushAll(now)
 			return
 		}
@@ -585,47 +602,34 @@ func (s *Simulation) renameStep(now uint64) {
 		}
 
 		// Rename sources first so an instruction that reads and writes
-		// the same register sees the older copy.
-		for i := range desc.Args {
-			a := &desc.Args[i]
-			if a.WriteBack || (a.Kind != isa.ArgRegInt && a.Kind != isa.ArgRegFloat) {
-				continue
-			}
-			op := si.Static.Op(a.Name)
-			class := isa.RegInt
-			if a.Kind == isa.ArgRegFloat {
-				class = isa.RegFloat
-			}
-			ref := s.rf.LookupSrc(class, op.Reg)
+		// the same register sees the older copy. Operand classes and
+		// register indices were pre-resolved at load (renameplan.go).
+		rp := &s.eng.rplans[si.PC]
+		for i := 0; i < int(rp.nsrc); i++ {
+			rs := &rp.srcs[i]
+			ref := s.rf.LookupSrc(rs.class, int(rs.reg))
 			si.srcs[si.nsrc] = srcOperand{
-				name: a.Name, class: class, reg: op.Reg, ref: ref,
+				name: rs.name, class: rs.class, reg: int(rs.reg), ref: ref,
 			}
 			si.nsrc++
 		}
 
 		// Rename the destination; a write to x0 is architecturally
-		// discarded and allocates nothing.
-		if dst := desc.DestArg(); dst != nil {
-			op := si.Static.Op(dst.Name)
-			class := isa.RegInt
-			if dst.Kind == isa.ArgRegFloat {
-				class = isa.RegFloat
+		// discarded and allocates nothing (hasDest pre-excludes it).
+		if rp.hasDest {
+			tag, prev, ok := s.rf.Alloc(rp.destClass, int(rp.destReg))
+			if !ok {
+				// Rename file exhausted: undo source refs and stall.
+				si.releaseRefs(s.rf)
+				si.nsrc = 0
+				s.renameStalls++
+				return
 			}
-			if !(class == isa.RegInt && op.Reg == isa.RegZero) {
-				tag, prev, ok := s.rf.Alloc(class, op.Reg)
-				if !ok {
-					// Rename file exhausted: undo source refs and stall.
-					si.releaseRefs(s.rf)
-					si.nsrc = 0
-					s.renameStalls++
-					return
-				}
-				si.hasDest = true
-				si.destClass = class
-				si.destReg = op.Reg
-				si.destTag = tag
-				si.destPrev = prev
-			}
+			si.hasDest = true
+			si.destClass = rp.destClass
+			si.destReg = int(rp.destReg)
+			si.destTag = tag
+			si.destPrev = prev
 		}
 
 		s.rob.Push(si)
@@ -759,6 +763,9 @@ func (s *Simulation) haltWithException(exc *fault.Exception, now uint64) {
 	s.exception = exc
 	s.haltReason = "exception: " + exc.Error()
 	s.logf(now, "exception at pc=%d cycle=%d: %s", exc.PC, exc.Cycle, exc.Error())
+	// Stores older than the faulting instruction have committed and are
+	// architecturally performed; make them visible before the final flush.
+	s.lsu.DrainAll(now)
 	s.l1.FlushAll(now)
 }
 

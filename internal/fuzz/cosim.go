@@ -18,6 +18,14 @@ import (
 // the engines' semantics disagreed. At the end the full checkpoint
 // StateHash is compared as a total check covering memory and every
 // counter the per-cycle probe does not look at.
+//
+// A third engine joins the lockstep: the fast-forward functional mode
+// (core/blockplan.go) runs the program twice more — fused block plans vs
+// the interpreter routed through the same block walker — compared at
+// every block commit boundary (one fast-forward Step = one basic block),
+// and the fused run's final architectural state is then checked against
+// the detailed run (ArchStateHash). Divergences in fused plans shrink to
+// reproducers exactly like detailed-engine ones.
 
 // windowCap bounds the disassembled commit window kept for reports.
 const windowCap = 24
@@ -28,7 +36,10 @@ type Divergence struct {
 	// Cycle is the clock cycle at which the runs first differ.
 	Cycle uint64
 	// Kind classifies what differed: "register", "fp-register", "pc",
-	// "committed", "halt", "exception", "memory" or "state-hash".
+	// "committed", "halt", "exception", "memory" or "state-hash" for the
+	// detailed-vs-functional pair; the same names with an "ff-" prefix
+	// (plus "ff-arch-hash") for the fast-forward engine pair and the
+	// fast-forward-vs-detailed final state.
 	Kind string
 	// Detail is the human-readable difference, detailed-vs-functional.
 	Detail string
@@ -51,22 +62,36 @@ func (d *Divergence) String() string {
 	return b.String()
 }
 
-// Cosim assembles src once per engine mode and runs both machines in
-// lockstep for up to maxCycles. It returns the first divergence, or nil
-// when the runs are byte-identical (equal StateHash). A program that does
+// Cosim assembles src once per engine mode and runs the engines in
+// lockstep for up to maxCycles: first the detailed pair (specialized vs
+// forced interpreter, compared every cycle), then the fast-forward pair
+// (fused block plans vs interpreter, compared every block), then the
+// fused run's architectural state against the detailed run. It returns
+// the first divergence, or nil when all runs agree. A program that does
 // not assemble returns an error — generator bugs must not read as engine
 // bugs.
 func Cosim(cfg *config.CPU, src string, maxCycles uint64) (*Divergence, error) {
 	if cfg == nil {
 		cfg = config.Default()
 	}
+	d, det, ring, err := cosimDetailed(cfg, src, maxCycles)
+	if d != nil || err != nil {
+		return d, err
+	}
+	return cosimFastForward(cfg, src, maxCycles, det, ring)
+}
+
+// cosimDetailed is the detailed-engine leg: specialized vs forced
+// interpreter in per-cycle lockstep. On agreement it hands back the
+// halted detailed machine and its commit window for the fast-forward leg.
+func cosimDetailed(cfg *config.CPU, src string, maxCycles uint64) (*Divergence, *sim.Machine, *trace.Ring, error) {
 	det, err := sim.NewFromAsm(cfg, src, "")
 	if err != nil {
-		return nil, fmt.Errorf("fuzz: program does not assemble: %w", err)
+		return nil, nil, nil, fmt.Errorf("fuzz: program does not assemble: %w", err)
 	}
 	fun, err := sim.NewFromAsm(cfg, src, "")
 	if err != nil {
-		return nil, fmt.Errorf("fuzz: program does not assemble: %w", err)
+		return nil, nil, nil, fmt.Errorf("fuzz: program does not assemble: %w", err)
 	}
 	fun.SetEngineMode(sim.EngineInterpreter)
 
@@ -84,7 +109,7 @@ func Cosim(cfg *config.CPU, src string, maxCycles uint64) (*Divergence, error) {
 		fun.Step()
 		if d := compareCycle(det, fun, cycle); d != nil {
 			d.Window = commitWindow(ring)
-			return d, nil
+			return d, nil, nil, nil
 		}
 	}
 
@@ -93,24 +118,100 @@ func Cosim(cfg *config.CPU, src string, maxCycles uint64) (*Divergence, error) {
 		// the cycle budget bounds pathological programs. Identical state
 		// so far is still checked below.
 		if h1, h2 := det.StateHash(), fun.StateHash(); h1 != h2 {
-			return hashDivergence(det, fun, h1, h2, ring), nil
+			return hashDivergence(det, fun, h1, h2, ring), nil, nil, nil
 		}
-		return nil, nil
+		return nil, det, ring, nil
 	}
 
 	// Both halted at the same cycle. Compare the end-of-run story, then
 	// the total state.
 	if r1, r2 := det.HaltReason(), fun.HaltReason(); r1 != r2 {
 		return &Divergence{Cycle: det.Cycle(), Kind: "halt",
-			Detail: fmt.Sprintf("halt reason %q vs %q", r1, r2), Window: commitWindow(ring)}, nil
+			Detail: fmt.Sprintf("halt reason %q vs %q", r1, r2), Window: commitWindow(ring)}, nil, nil, nil
 	}
 	e1, e2 := det.Exception(), fun.Exception()
 	if (e1 == nil) != (e2 == nil) || (e1 != nil && e1.Error() != e2.Error()) {
 		return &Divergence{Cycle: det.Cycle(), Kind: "exception",
-			Detail: fmt.Sprintf("exception %v vs %v", e1, e2), Window: commitWindow(ring)}, nil
+			Detail: fmt.Sprintf("exception %v vs %v", e1, e2), Window: commitWindow(ring)}, nil, nil, nil
 	}
 	if h1, h2 := det.StateHash(), fun.StateHash(); h1 != h2 {
-		return hashDivergence(det, fun, h1, h2, ring), nil
+		return hashDivergence(det, fun, h1, h2, ring), nil, nil, nil
+	}
+	return nil, det, ring, nil
+}
+
+// cosimFastForward is the fast-forward leg: the fused block-plan engine
+// vs the interpreter routed through the same block walker, in per-block
+// lockstep (one fast-forward Step executes exactly one basic block, so
+// every comparison lands on a block commit boundary), then the fused
+// run's final architectural state against the detailed run. det is the
+// halted detailed machine from the first leg, or nil when that leg hit
+// the cycle budget before halting.
+func cosimFastForward(cfg *config.CPU, src string, maxCycles uint64, det *sim.Machine, ring *trace.Ring) (*Divergence, error) {
+	ffs, err := sim.NewFromAsm(cfg, src, "")
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: program does not assemble: %w", err)
+	}
+	fff, err := sim.NewFromAsm(cfg, src, "")
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: program does not assemble: %w", err)
+	}
+	ffs.SetEngineMode(sim.EngineFastForward)
+	fff.SetEngineMode(sim.EngineFastForward)
+	fff.Sim().SetFastForwardInterpreter(true)
+
+	// Fast-forward spends one cycle per committed instruction, so a
+	// detailed run of maxCycles cycles maps to at most
+	// maxCycles×commit-width instructions; 4× covers every preset.
+	budget := 4 * maxCycles
+	for ffs.Cycle() <= budget {
+		if ffs.Halted() && fff.Halted() {
+			break
+		}
+		ffs.Step()
+		fff.Step()
+		if d := compareCycle(ffs, fff, ffs.Cycle()); d != nil {
+			d.Kind = "ff-" + d.Kind
+			d.Window = commitWindow(ring)
+			return d, nil
+		}
+	}
+	if r1, r2 := ffs.HaltReason(), fff.HaltReason(); r1 != r2 {
+		return &Divergence{Cycle: ffs.Cycle(), Kind: "ff-halt",
+			Detail: fmt.Sprintf("halt reason %q vs %q", r1, r2), Window: commitWindow(ring)}, nil
+	}
+	if h1, h2 := ffs.ArchStateHash(), fff.ArchStateHash(); h1 != h2 {
+		d := hashDivergence(ffs, fff, h1, h2, ring)
+		d.Kind = "ff-" + d.Kind
+		return d, nil
+	}
+
+	// Fused fast-forward vs the detailed run: same committed stream, so
+	// the architectural end state must match exactly.
+	if det == nil || !det.Halted() || !ffs.Halted() {
+		return nil, nil // budget-bounded runs have no comparable end state
+	}
+	if r1, r2 := ffs.HaltReason(), det.HaltReason(); r1 != r2 {
+		return &Divergence{Cycle: ffs.Cycle(), Kind: "ff-halt",
+			Detail: fmt.Sprintf("fast-forward halt reason %q vs detailed %q", r1, r2), Window: commitWindow(ring)}, nil
+	}
+	e1, e2 := ffs.Exception(), det.Exception()
+	if (e1 == nil) != (e2 == nil) || (e1 != nil && e1.Error() != e2.Error()) {
+		return &Divergence{Cycle: ffs.Cycle(), Kind: "ff-exception",
+			Detail: fmt.Sprintf("fast-forward exception %v vs detailed %v", e1, e2), Window: commitWindow(ring)}, nil
+	}
+	if c1, c2 := ffs.Committed(), det.Committed(); c1 != c2 {
+		return &Divergence{Cycle: ffs.Cycle(), Kind: "ff-committed",
+			Detail: fmt.Sprintf("fast-forward committed %d vs detailed %d", c1, c2), Window: commitWindow(ring)}, nil
+	}
+	if h1, h2 := ffs.ArchStateHash(), det.ArchStateHash(); h1 != h2 {
+		d := hashDivergence(ffs, det, h1, h2, ring)
+		if d.Kind == "state-hash" { // memory scan found no byte: register-file or bookkeeping delta
+			d.Detail = fmt.Sprintf("final ArchStateHash %#x vs %#x", h1, h2)
+		}
+		d.Kind = "ff-arch-hash"
+		d.Detail = "fast-forward vs detailed: " + d.Detail
+		return d, nil
 	}
 	return nil, nil
 }

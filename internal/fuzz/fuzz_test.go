@@ -60,20 +60,23 @@ func TestCosimSmoke(t *testing.T) {
 	for _, tc := range configs {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
+			// Seed-stable sharding: shard s covers campaign indices
+			// [s*ceil, min((s+1)*ceil, perConfig)), so the union is
+			// exactly the perConfig distinct programs [0, perConfig) and
+			// every index maps to the same seed regardless of which shard
+			// runs it.
+			ceil := (perConfig + shards - 1) / shards
 			for s := 0; s < shards; s++ {
-				s := s
+				start := s * ceil
+				end := min(start+ceil, perConfig)
+				if start >= end {
+					continue
+				}
 				t.Run("", func(t *testing.T) {
 					t.Parallel()
-					n := perConfig / shards
-					if s == 0 {
-						n += perConfig % shards
-					}
-					// Shards use disjoint seed ranges of the same base:
-					// shard s covers campaign indices [s*ceil, ...), so
-					// the union is exactly perConfig distinct programs.
 					fails, err := Run(Options{
-						N:      n,
-						Seed:   seeds.Derive(tc.base, s*(perConfig/shards+1)),
+						N:      end - start,
+						Seed:   seeds.Derive(tc.base, start),
 						Config: tc.cfg,
 					})
 					if err != nil {

@@ -9,6 +9,7 @@ package memory
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"riscvsim/internal/fault"
 )
@@ -185,6 +186,34 @@ func (m *Main) writeRaw(addr, size int, v uint64) {
 	for i := 0; i < size; i++ {
 		m.data[addr+i] = byte(v >> (8 * i))
 	}
+}
+
+// ReadRaw returns size little-endian bytes at addr as a uint64, bypassing
+// timing and access statistics — the fast-forward functional engine's
+// memory interface (core/blockplan.go). Bounds are checked; callers that
+// already validated the access may discard the exception.
+func (m *Main) ReadRaw(addr, size int) (uint64, *fault.Exception) {
+	if exc := m.checkRange(addr, size); exc != nil {
+		return 0, exc
+	}
+	return m.readRaw(addr, size), nil
+}
+
+// WriteRaw stores the low size bytes of v at addr little-endian, bypassing
+// timing and access statistics (fast-forward functional engine).
+func (m *Main) WriteRaw(addr, size int, v uint64) *fault.Exception {
+	if exc := m.checkRange(addr, size); exc != nil {
+		return exc
+	}
+	m.writeRaw(addr, size, v)
+	return nil
+}
+
+// WriteTo streams the full memory contents to w (architectural state
+// hashing). It implements io.WriterTo.
+func (m *Main) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(m.data)
+	return int64(n), err
 }
 
 // ReadBytes copies n bytes starting at addr. It is a debug/GUI interface

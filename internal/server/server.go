@@ -502,6 +502,9 @@ func (s *Server) runSimulate(req *api.SimulateRequest) (*api.SimulateResponse, *
 		}
 		m.SetTracer(ring)
 	}
+	if req.FastForward {
+		m.SetEngineMode(sim.EngineFastForward)
+	}
 	steps := req.Steps
 	if steps == 0 || steps > maxBatchCycles {
 		steps = maxBatchCycles

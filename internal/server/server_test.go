@@ -61,6 +61,31 @@ func TestSimulateEndpoint(t *testing.T) {
 	}
 }
 
+func TestSimulateFastForward(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/simulate", &SimulateRequest{
+		Code: tinyProgram, FastForward: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Halted {
+		t.Error("program should halt")
+	}
+	if sr.Stats == nil || sr.Stats.Committed != 3 {
+		t.Errorf("stats = %+v", sr.Stats)
+	}
+	// The fast-forward convention: one committed instruction per cycle,
+	// so the same program reports fewer cycles than the detailed run's 6.
+	if sr.Cycles != 3 {
+		t.Errorf("fast-forward cycles = %d, want 3", sr.Cycles)
+	}
+}
+
 func TestSimulateWithStateAndLog(t *testing.T) {
 	_, ts := newTestServer(t)
 	_, body := postJSON(t, ts.URL+"/simulate", &SimulateRequest{

@@ -66,6 +66,7 @@ type (
 const (
 	EngineSpecialized = core.EngineSpecialized
 	EngineInterpreter = core.EngineInterpreter
+	EngineFastForward = core.EngineFastForward
 )
 
 // NewTraceRing builds a bounded ring-buffer trace collector; attach it
@@ -133,6 +134,11 @@ type Machine struct {
 	snapInterval uint64
 	snaps        []snapshot
 	maxSnaps     int
+
+	// ffBarrier is the cycle of the most recent engine-mode transition
+	// involving fast-forward (fastforward.go): cycles below it have no
+	// replayable timing history, so rewinds there are refused.
+	ffBarrier uint64
 }
 
 // NewFromAsm assembles RISC-V assembly source and builds a machine. entry
@@ -318,8 +324,13 @@ func (m *Machine) Tracer() Tracer { return m.sim.Tracer() }
 // cycle-identical exactly when the engines' semantics agree — the
 // invariant the co-simulation fuzzer checks (docs/fuzzing.md). The mode
 // is a runtime knob: it is not part of the architecture configuration
-// and is not recorded in checkpoints.
-func (m *Machine) SetEngineMode(mode EngineMode) { m.sim.SetEngineMode(mode) }
+// and is not recorded in checkpoints. Transitions into or out of
+// EngineFastForward additionally move the rewind barrier
+// (fastforward.go): the fast-forwarded region has no timing history.
+func (m *Machine) SetEngineMode(mode EngineMode) {
+	m.noteModeSwitch(mode)
+	m.sim.SetEngineMode(mode)
+}
 
 // EngineMode returns the active semantic engine.
 func (m *Machine) EngineMode() EngineMode { return m.sim.EngineMode() }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"fmt"
 
 	"riscvsim/internal/ckpt"
 )
@@ -102,6 +103,46 @@ func (m *Machine) maybeSnapshot() {
 		// deterministic, so the retained snapshots are still valid.
 		return
 	}
+	m.captureSnapshot(c)
+}
+
+// forceSnapshot captures state at the current cycle regardless of
+// interval alignment — the anchor at an engine-mode transition
+// (fastforward.go), where rewinds must be able to land without replaying
+// across the fast-forwarded region.
+func (m *Machine) forceSnapshot() {
+	if m.snapInterval == 0 {
+		return
+	}
+	c := m.sim.Cycle()
+	if c == 0 || m.sim.Halted() || m.sim.Paused() {
+		return
+	}
+	if n := len(m.snaps); n > 0 && m.snaps[n-1].cycle >= c {
+		return
+	}
+	m.captureSnapshot(c)
+}
+
+// dropSnapshotsBelow discards snapshots older than cycle c — they became
+// unreachable when an engine-mode transition at c erased the replayable
+// history below it.
+func (m *Machine) dropSnapshotsBelow(c uint64) {
+	kept := m.snaps[:0]
+	for i := range m.snaps {
+		if m.snaps[i].cycle >= c {
+			kept = append(kept, m.snaps[i])
+		}
+	}
+	for i := len(kept); i < len(m.snaps); i++ {
+		m.snaps[i] = snapshot{}
+	}
+	m.snaps = kept
+}
+
+// captureSnapshot encodes and retains the current state at cycle c,
+// thinning the retained set when it exceeds the bound.
+func (m *Machine) captureSnapshot(c uint64) {
 	// Snapshots are in-process and bound to this machine, so only the
 	// dynamic state section is encoded — no header, no embedded source,
 	// no config round-trip (Machine.Checkpoint stays the portable
@@ -145,12 +186,22 @@ func (m *Machine) nearestSnapshot(target uint64) int {
 
 // rewindTo repositions the machine at an earlier cycle: restore from the
 // nearest snapshot and replay the remainder, falling back to the paper's
-// from-zero replay when no snapshot precedes the target.
+// from-zero replay when no snapshot precedes the target. After an
+// engine-mode transition (fastforward.go) the cycles below the barrier
+// have no timing history and from-zero replay would re-run the
+// fast-forwarded region under different semantics of time, so only
+// snapshot restores at or above the barrier are sound there.
 func (m *Machine) rewindTo(target uint64) error {
+	if m.ffBarrier > 0 && target < m.ffBarrier {
+		return m.errBelowBarrier(target)
+	}
 	if m.snapInterval > 0 {
-		if i := m.nearestSnapshot(target); i >= 0 {
+		if i := m.nearestSnapshot(target); i >= 0 && m.snaps[i].cycle >= m.ffBarrier {
 			return m.restoreSnapshot(i, target)
 		}
+	}
+	if m.ffBarrier > 0 {
+		return fmt.Errorf("sim: cannot replay to cycle %d: replay would cross the fast-forwarded region below cycle %d and no snapshot covers it", target, m.ffBarrier)
 	}
 	ns, err := m.sim.ReplayTo(target)
 	if err != nil {
