@@ -16,6 +16,7 @@ package riscvsim
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -719,6 +720,63 @@ func BenchmarkFastForward(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// ---------------------------------------------------------------------------
+// Time-parallel simulation: one long run split across K cores
+// ---------------------------------------------------------------------------
+
+// BenchmarkParallel is the time-parallel acceptance benchmark: one
+// ≥50M-cycle detailed run (workload.LongStreamBench), serial versus
+// RunParallel at K ∈ {2, 4, 8}. Each sub-benchmark reports simulated
+// cycles per wall-clock second; the K-way numbers divided by Serial's
+// are the speedup the perf-diff CI job publishes into BENCH_<sha>.json
+// (target: ≥3x at K=8 on a multi-core runner — on fewer cores the
+// speedup degrades toward the scout+warm-up overhead floor, which is
+// itself the number worth tracking).
+func BenchmarkParallel(b *testing.B) {
+	w := workload.LongStreamBench()
+
+	b.Run("Serial", func(b *testing.B) {
+		var cycles uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := workload.NewMachine(nil, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = m.Run(w.MaxCycles)
+			if !m.Halted() {
+				b.Fatal("serial run did not halt")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+	})
+
+	for _, k := range []int{2, 4, 8} {
+		k := k
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			var res *sim.ParallelResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := workload.NewMachine(nil, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = m.RunParallel(k, sim.ParallelOptions{MaxCycles: w.MaxCycles})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			// Stitched cycles are the serial-equivalent work performed;
+			// wall time includes the scout pass, warm-ups and any healing.
+			b.ReportMetric(float64(res.Report.Cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+			b.ReportMetric(float64(res.Workers), "workers")
+			b.ReportMetric(float64(res.Healed), "healed")
+		})
+	}
 }
 
 // BenchmarkSuiteParallel is the same corpus on a full worker pool — the

@@ -110,6 +110,8 @@ func main() {
 		optimize = flag.Int("O", 2, "C optimization level 0..3")
 		steps    = flag.Uint64("steps", 0, "cycle limit (0 = run to completion)")
 		fastFwd  = flag.Bool("fast-forward", false, "functional fast-forward mode: architectural state only, no pipeline timing (1 instruction = 1 cycle)")
+		parallel = flag.Int("parallel", 0, "time-parallel detailed simulation on K cores (>= 2; requires a terminating program; final state bit-exact, timing stitched within the warm-up bound — docs/parallel.md)")
+		warmup   = flag.Uint64("warmup", 0, "per-interval detailed warm-up in committed instructions whose metrics are discarded (0 = default; with -parallel)")
 		format   = flag.String("format", "text", "output format: text or json")
 		verbose  = flag.Int("v", 1, "verbosity: 0 stats only, 1 +summary, 2 +debug log, 3 +state")
 		dump     = flag.String("dump", "", "memory dump range after the run: label or addr:len")
@@ -199,6 +201,11 @@ func main() {
 		IncludeState: *verbose >= 3,
 		IncludeLog:   *verbose >= 2,
 		FastForward:  *fastFwd,
+		Parallelism:  *parallel,
+		WarmupCycles: *warmup,
+	}
+	if *parallel >= 2 && *ckptOut != "" {
+		fatal("-parallel produces no serial timing history to checkpoint; drop one of the flags")
 	}
 	// A trace filter flag implies -trace itself.
 	if *tracePC != "" || *traceLimit != 0 {
@@ -258,6 +265,9 @@ func main() {
 	default:
 		if *verbose >= 1 {
 			fmt.Printf("halted=%v (%s) after %d cycles\n", resp.Halted, resp.HaltReason, resp.Cycles)
+			if p := resp.Parallel; p != nil {
+				fmt.Printf("time-parallel: %d workers, %d healed intervals\n", p.Workers, p.Healed)
+			}
 		}
 		fmt.Println(resp.Stats.FormatText())
 		if *verbose >= 2 {

@@ -36,6 +36,12 @@ const (
 	// CodeUnprocessable: a session operation failed on a valid session
 	// (e.g. goto past the end of the debug log).
 	CodeUnprocessable = "unprocessable"
+	// CodeRewindBarrier: backward navigation (goto / negative step) was
+	// refused because the target lies below the session's rewind barrier —
+	// the region was executed fast-forward or time-parallel and has no
+	// detailed timing history to replay. Forward navigation from the
+	// barrier remains available.
+	CodeRewindBarrier = "rewind_barrier"
 	// CodeBadFilter: a workload-suite filter term matches nothing in the
 	// embedded corpus.
 	CodeBadFilter = "bad_filter"

@@ -70,6 +70,39 @@ type SimulateRequest struct {
 	// final architectural state (registers, memory, halt reason) is
 	// identical to a detailed run; timing statistics are not meaningful.
 	FastForward bool `json:"fastForward,omitempty"`
+	// Parallelism, when >= 2, runs the simulation time-parallel
+	// (docs/parallel.md): the run is split into up to Parallelism
+	// committed-instruction intervals, each warmed speculatively via
+	// fast-forward and simulated in detailed mode concurrently, with
+	// speculation verified at every boundary. The final architectural
+	// state is bit-exact versus a serial run; timing statistics are
+	// stitched per-interval deltas whose accuracy is bounded by the
+	// warm-up length. Requires a terminating program (Steps still bounds
+	// the run) and a from-source build; mutually exclusive with
+	// FastForward, Trace and Checkpoint.
+	Parallelism int `json:"parallelism,omitempty"`
+	// WarmupCycles is the per-interval detailed warm-up length, in
+	// committed instructions, whose metrics are discarded before interval
+	// measurement begins (0 selects the default; only meaningful with
+	// Parallelism >= 2).
+	WarmupCycles uint64 `json:"warmupCycles,omitempty"`
+}
+
+// MaxParallelism caps SimulateRequest.Parallelism server-side: each
+// worker holds a full dynamic-state fork, so the knob is clamped rather
+// than trusted.
+const MaxParallelism = 32
+
+// ParallelInfo reports how a time-parallel run was split and verified.
+type ParallelInfo struct {
+	// Workers is the number of intervals actually simulated (the
+	// requested parallelism shrinks on short runs, down to 1 = serial).
+	Workers int `json:"workers"`
+	// Healed counts intervals whose speculative start state was refuted
+	// at verification and that were re-run from the exact state.
+	Healed int `json:"healed"`
+	// Intervals describes each interval's committed-instruction range.
+	Intervals []sim.IntervalResult `json:"intervals,omitempty"`
 }
 
 // TraceOptions configures pipeline tracing for a run (docs/trace.md).
@@ -112,6 +145,9 @@ type SimulateResponse struct {
 	State      *sim.State     `json:"state,omitempty"`
 	Log        []sim.LogEntry `json:"log,omitempty"`
 	Trace      *TraceResult   `json:"trace,omitempty"`
+	// Parallel describes how a Parallelism >= 2 run was split and
+	// verified; nil on serial runs.
+	Parallel *ParallelInfo `json:"parallel,omitempty"`
 }
 
 // CompileRequest compiles C to assembly.

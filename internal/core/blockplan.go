@@ -219,6 +219,13 @@ func (s *Simulation) ffStep() {
 func (s *Simulation) ffRunBlock(bp *blockPlan) {
 	for i := range bp.ops {
 		pc := bp.start + i
+		if s.commitLimit != 0 && s.committedCount >= s.commitLimit {
+			// Commit-limit cut (RunToCommitted): stop before retiring
+			// past the boundary; any PC is a legal block boundary, and
+			// the caller's loop exits before re-entering the block.
+			s.fetch.pc = pc
+			return
+		}
 		if pc == s.ffStopPC && pc != bp.start {
 			// FastForwardToPC lands mid-block: cut the block here (any
 			// PC is a legal block boundary) without executing further.

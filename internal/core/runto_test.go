@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"riscvsim/internal/config"
+)
+
+// srcRunTo is a store-heavy loop: wide enough commit pressure that the
+// 2-wide commit stage would overshoot naive cycle-based stops, with
+// memory traffic so coherence (store buffer, dirty lines) matters.
+const srcRunTo = `
+  li x5, 40
+  li x6, 0
+  li x7, 2048
+loop:
+  add x6, x6, x5
+  sw x6, 0(x7)
+  addi x7, x7, 4
+  addi x5, x5, -1
+  bne x5, x0, loop
+  ecall
+`
+
+// TestRunToCommittedExact: RunToCommitted stops at exactly the requested
+// committed count in both engines, and a cut-then-continue run reaches
+// the same final architectural state as an uninterrupted one.
+func TestRunToCommittedExact(t *testing.T) {
+	ref := runSrc(t, srcRunTo)
+	total := ref.Committed()
+	if total < 50 {
+		t.Fatalf("reference run committed only %d instructions", total)
+	}
+	for _, mode := range []EngineMode{EngineSpecialized, EngineFastForward} {
+		for _, n := range []uint64{1, 3, total / 3, total / 2, total - 1} {
+			s := buildSim(t, config.Default(), srcRunTo)
+			s.SetEngineMode(mode)
+			s.RunToCommitted(n, 1_000_000)
+			if got := s.Committed(); got != n {
+				t.Fatalf("%v RunToCommitted(%d): committed %d", mode, n, got)
+			}
+			if s.Halted() {
+				t.Fatalf("%v RunToCommitted(%d): halted early", mode, n)
+			}
+			s.Run(1_000_000)
+			if got, want := s.Committed(), total; got != want {
+				t.Errorf("%v cut at %d then continue: committed %d, want %d", mode, n, got, want)
+			}
+			if got, want := s.ArchHash(), ref.ArchHash(); got != want {
+				t.Errorf("%v cut at %d then continue: ArchHash %#x, want %#x", mode, n, got, want)
+			}
+		}
+	}
+}
+
+// TestRunToCommittedCrossEngine: the architectural state at a
+// committed-count boundary is path-independent — a detailed run and a
+// fast-forward run stopped at the same count hash identically once the
+// memory hierarchy is made coherent. This is the verification invariant
+// of time-parallel interval simulation (sim/parallel.go).
+func TestRunToCommittedCrossEngine(t *testing.T) {
+	ref := runSrc(t, srcRunTo)
+	total := ref.Committed()
+	for _, n := range []uint64{2, total / 4, total / 2, total - 3} {
+		det := buildSim(t, config.Default(), srcRunTo)
+		det.RunToCommitted(n, 1_000_000)
+		det.DrainCoherent()
+
+		ff := buildSim(t, config.Default(), srcRunTo)
+		ff.SetEngineMode(EngineFastForward)
+		ff.RunToCommitted(n, 1_000_000)
+		ff.DrainCoherent()
+
+		if got, want := det.Committed(), n; got != want {
+			t.Fatalf("detailed stop at %d: committed %d", n, got)
+		}
+		if got, want := ff.Committed(), n; got != want {
+			t.Fatalf("fast-forward stop at %d: committed %d", n, got)
+		}
+		if got, want := det.ArchHash(), ff.ArchHash(); got != want {
+			t.Errorf("boundary %d: detailed ArchHash %#x != fast-forward %#x", n, got, want)
+		}
+	}
+}
+
+// TestRunToCommittedDrainContinue: DrainCoherent mid-run (the healing
+// path hashes a live machine, then keeps simulating on it) perturbs only
+// timing — the continued run still ends in the exact final state.
+func TestRunToCommittedDrainContinue(t *testing.T) {
+	ref := runSrc(t, srcRunTo)
+	total := ref.Committed()
+	s := buildSim(t, config.Default(), srcRunTo)
+	s.RunToCommitted(total/2, 1_000_000)
+	s.DrainCoherent()
+	s.Run(1_000_000)
+	if !s.Halted() {
+		t.Fatal("drained run did not halt")
+	}
+	if got, want := s.Committed(), total; got != want {
+		t.Errorf("committed %d, want %d", got, want)
+	}
+	if got, want := s.ArchHash(), ref.ArchHash(); got != want {
+		t.Errorf("ArchHash %#x, want %#x", got, want)
+	}
+}

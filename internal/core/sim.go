@@ -75,6 +75,14 @@ type Simulation struct {
 	ffFlushed bool
 	ffScratch SimInstr
 
+	// commitLimit freezes the committed-instruction count at an exact
+	// value: commit (and fast-forward block execution) refuses to retire
+	// instruction commitLimit+1 while the rest of the pipeline keeps
+	// cycling. 0 = unlimited. A runtime knob like engineMode — not part
+	// of encoded state — used by RunToCommitted to land on exact
+	// committed-count boundaries for time-parallel interval simulation.
+	commitLimit uint64
+
 	// freeInstrs is the SimInstr free list: instances are reclaimed when
 	// an instruction commits, is squashed, or (for stores) drains to the
 	// cache, so steady-state stepping allocates nothing.
@@ -362,12 +370,46 @@ func (s *Simulation) Run(maxCycles uint64) uint64 {
 	return s.cycle - start
 }
 
+// RunToCommitted advances until exactly target instructions have
+// committed (or the simulation halts / maxCycles elapse). Unlike Run, the
+// stop point is exact in committed-instruction space: a temporary commit
+// limit keeps the final cycle from retiring past the boundary even on a
+// multi-wide commit stage, and cuts fused fast-forward blocks mid-block.
+// Committed-count boundaries are the coordinate system of time-parallel
+// interval simulation — two runs stopped at the same committed count have
+// identical architectural state regardless of engine or timing path.
+// It returns the number of cycles executed in this call.
+func (s *Simulation) RunToCommitted(target, maxCycles uint64) uint64 {
+	prev := s.commitLimit
+	s.commitLimit = target
+	start := s.cycle
+	for !s.halted && !s.paused && s.committedCount < target && s.cycle-start < maxCycles {
+		s.Step()
+	}
+	s.commitLimit = prev
+	return s.cycle - start
+}
+
+// DrainCoherent makes the memory hierarchy architecturally coherent —
+// committed stores drained from the store buffer, dirty cache lines
+// written back — so ArchHash observes the full memory image mid-run (the
+// halt paths do this implicitly). It perturbs timing state (lines become
+// clean), so callers either discard the machine afterwards or accept the
+// perturbation; in-flight speculative state is untouched.
+func (s *Simulation) DrainCoherent() {
+	s.lsu.DrainAll(s.cycle)
+	s.l1.FlushAll(s.cycle)
+}
+
 // ---------------------------------------------------------------------------
 // Pipeline stages
 // ---------------------------------------------------------------------------
 
 func (s *Simulation) commitStep(now uint64) {
 	for n := 0; n < s.cfg.CommitWidth; n++ {
+		if s.commitLimit != 0 && s.committedCount >= s.commitLimit {
+			return
+		}
 		if s.rob.Empty() || !s.rob.HeadDone() {
 			if n == 0 && !s.rob.Empty() {
 				s.commitStalls++

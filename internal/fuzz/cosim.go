@@ -26,6 +26,15 @@ import (
 // and the fused run's final architectural state is then checked against
 // the detailed run (ArchStateHash). Divergences in fused plans shrink to
 // reproducers exactly like detailed-engine ones.
+//
+// A fourth leg covers the time-parallel coordinator (sim/parallel.go):
+// every halting program also runs under RunParallel(K=2) with a tiny
+// warm-up, and the coordinator's final architectural state, halt story
+// and stitched instruction counters are compared against the serial
+// detailed run. The bit-exactness contract makes any difference — a
+// mis-speculated interval the verifier failed to heal, a stitching bug,
+// a boundary off by one — a reportable "par-" divergence that shrinks
+// like the others.
 
 // windowCap bounds the disassembled commit window kept for reports.
 const windowCap = 24
@@ -39,7 +48,9 @@ type Divergence struct {
 	// "committed", "halt", "exception", "memory" or "state-hash" for the
 	// detailed-vs-functional pair; the same names with an "ff-" prefix
 	// (plus "ff-arch-hash") for the fast-forward engine pair and the
-	// fast-forward-vs-detailed final state.
+	// fast-forward-vs-detailed final state; "par-scout", "par-halt",
+	// "par-committed", "par-stats" and "par-arch-hash" for the
+	// time-parallel coordinator vs the serial detailed run.
 	Kind string
 	// Detail is the human-readable difference, detailed-vs-functional.
 	Detail string
@@ -78,7 +89,67 @@ func Cosim(cfg *config.CPU, src string, maxCycles uint64) (*Divergence, error) {
 	if d != nil || err != nil {
 		return d, err
 	}
-	return cosimFastForward(cfg, src, maxCycles, det, ring)
+	d, err = cosimFastForward(cfg, src, maxCycles, det, ring)
+	if d != nil || err != nil {
+		return d, err
+	}
+	return cosimParallel(cfg, src, maxCycles, det, ring)
+}
+
+// cosimParallelWarmup keeps the warm-up prefix tiny so that even the
+// short generated programs actually split into two measured intervals.
+const cosimParallelWarmup = 4
+
+// cosimParallel is the time-parallel leg: RunParallel(K=2) over the same
+// program, checked against the halted serial detailed run. Timing metrics
+// are approximate by design (warm-up error), but the architectural end
+// state, the halt story and the stitched instruction counters are
+// contractually bit-exact.
+func cosimParallel(cfg *config.CPU, src string, maxCycles uint64, det *sim.Machine, ring *trace.Ring) (*Divergence, error) {
+	if det == nil || !det.Halted() {
+		return nil, nil // budget-bounded run: no commit horizon to split
+	}
+	par, err := sim.NewFromAsm(cfg, src, "")
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: program does not assemble: %w", err)
+	}
+	res, err := par.RunParallel(2, sim.ParallelOptions{
+		WarmupInstructions: cosimParallelWarmup,
+		MaxCycles:          maxCycles,
+	})
+	if err != nil {
+		// The serial detailed run halted inside the same budget, so the
+		// coordinator refusing the program is itself a disagreement (the
+		// fast-forward scout lost the program), not a campaign error.
+		return &Divergence{Cycle: det.Cycle(), Kind: "par-scout",
+			Detail: fmt.Sprintf("RunParallel(2) failed on a halting program: %v", err),
+			Window: commitWindow(ring)}, nil
+	}
+	if !par.Halted() || par.HaltReason() != det.HaltReason() {
+		return &Divergence{Cycle: par.Cycle(), Kind: "par-halt",
+			Detail: fmt.Sprintf("parallel halted=%v (%s) vs detailed halted=true (%s)",
+				par.Halted(), par.HaltReason(), det.HaltReason()), Window: commitWindow(ring)}, nil
+	}
+	if c1, c2 := par.Committed(), det.Committed(); c1 != c2 {
+		return &Divergence{Cycle: par.Cycle(), Kind: "par-committed",
+			Detail: fmt.Sprintf("parallel committed %d vs detailed %d", c1, c2),
+			Window: commitWindow(ring)}, nil
+	}
+	if c1, c2 := res.Report.Committed, det.Committed(); c1 != c2 {
+		return &Divergence{Cycle: par.Cycle(), Kind: "par-stats",
+			Detail: fmt.Sprintf("stitched report committed %d vs detailed %d", c1, c2),
+			Window: commitWindow(ring)}, nil
+	}
+	if h1, h2 := par.ArchStateHash(), det.ArchStateHash(); h1 != h2 {
+		d := hashDivergence(par, det, h1, h2, ring)
+		if d.Kind == "state-hash" {
+			d.Detail = fmt.Sprintf("final ArchStateHash %#x vs %#x", h1, h2)
+		}
+		d.Kind = "par-arch-hash"
+		d.Detail = "parallel vs detailed: " + d.Detail
+		return d, nil
+	}
+	return nil, nil
 }
 
 // cosimDetailed is the detailed-engine leg: specialized vs forced

@@ -270,7 +270,7 @@ func statusForCode(code string) int {
 	case api.CodeBodyTooLarge, api.CodeBatchTooLarge:
 		return http.StatusRequestEntityTooLarge
 	case api.CodeUnknownPreset, api.CodeBadConfig, api.CodeBuildFailed,
-		api.CodeMemFill, api.CodeUnprocessable,
+		api.CodeMemFill, api.CodeUnprocessable, api.CodeRewindBarrier,
 		api.CodeCheckpointVersion, api.CodeCheckpointConfig:
 		return http.StatusUnprocessableEntity
 	case api.CodeBadCheckpoint, api.CodeCheckpointTruncated:
@@ -491,6 +491,9 @@ func TraceResultOf(ring *sim.TraceRing) *api.TraceResult {
 // runSimulate executes one SimulateRequest start-to-finish: the shared
 // core of /api/v1/simulate and each /api/v1/batch entry.
 func (s *Server) runSimulate(req *api.SimulateRequest) (*api.SimulateResponse, *api.Error) {
+	if req.Parallelism >= 2 {
+		return s.runSimulateParallel(req)
+	}
 	m, aerr := s.buildMachine(req)
 	if aerr != nil {
 		return nil, aerr
@@ -525,6 +528,62 @@ func (s *Server) runSimulate(req *api.SimulateRequest) (*api.SimulateResponse, *
 	}
 	if ring != nil {
 		resp.Trace = TraceResultOf(ring)
+	}
+	return resp, nil
+}
+
+// runSimulateParallel is the Parallelism >= 2 leg of runSimulate: a
+// time-parallel detailed run (docs/parallel.md) with a stitched report.
+// The final architectural state — and therefore State — is bit-exact
+// versus serial; Stats carries the merged per-interval deltas.
+func (s *Server) runSimulateParallel(req *api.SimulateRequest) (*api.SimulateResponse, *api.Error) {
+	switch {
+	case req.FastForward:
+		return nil, api.Errorf(api.CodeBadRequest, "parallelism and fastForward are mutually exclusive")
+	case req.Trace != nil:
+		return nil, api.Errorf(api.CodeBadRequest, "parallelism does not support pipeline tracing")
+	case len(req.Checkpoint) != 0:
+		return nil, api.Errorf(api.CodeBadRequest, "parallelism requires a from-zero run, not a checkpoint restore")
+	}
+	m, aerr := s.buildMachine(req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	k := req.Parallelism
+	if k > api.MaxParallelism {
+		k = api.MaxParallelism
+	}
+	steps := req.Steps
+	if steps == 0 || steps > maxBatchCycles {
+		steps = maxBatchCycles
+	}
+	sstart := time.Now()
+	res, err := m.RunParallel(k, sim.ParallelOptions{
+		WarmupInstructions: req.WarmupCycles,
+		MaxCycles:          steps,
+	})
+	s.simNs.Add(uint64(time.Since(sstart)))
+	if err != nil {
+		// The program did not terminate within the budget, or the machine
+		// was not runnable time-parallel — a property of this request, not
+		// a server fault.
+		return nil, api.WrapError(api.CodeUnprocessable, err)
+	}
+	resp := &api.SimulateResponse{
+		Halted:     m.Halted(),
+		HaltReason: m.HaltReason(),
+		Cycles:     res.Report.Cycles,
+		Stats:      res.Report,
+		Parallel: &api.ParallelInfo{
+			Workers:   res.Workers,
+			Healed:    res.Healed,
+			Intervals: res.Intervals,
+		},
+	}
+	if req.IncludeState {
+		resp.State = m.State(req.IncludeLog)
+	} else if req.IncludeLog {
+		resp.Log = m.Log()
 	}
 	return resp, nil
 }

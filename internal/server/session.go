@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"net/http"
 	"time"
 
@@ -12,6 +13,17 @@ import (
 
 // maxInteractiveStep bounds one interactive request.
 const maxInteractiveStep = 10_000_000
+
+// rewindError maps a failed backward navigation onto its stable code:
+// crossing the rewind barrier (fast-forwarded or time-parallel region,
+// no timing history) is its own condition clients can dispatch on;
+// everything else stays the generic unprocessable.
+func rewindError(err error) *api.Error {
+	if errors.Is(err, sim.ErrRewindBarrier) {
+		return api.WrapError(api.CodeRewindBarrier, err)
+	}
+	return api.WrapError(api.CodeUnprocessable, err)
+}
 
 func (s *Server) handleSessionNew(w http.ResponseWriter, r *http.Request) (any, int, error) {
 	var req api.SessionNewRequest
@@ -90,7 +102,7 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) (any,
 		}
 		if err := sess.machine.GotoCycle(uint64(target)); err != nil {
 			s.simNs.Add(uint64(time.Since(sstart)))
-			return nil, 0, api.WrapError(api.CodeUnprocessable, err)
+			return nil, 0, rewindError(err)
 		}
 	}
 	s.simNs.Add(uint64(time.Since(sstart)))
@@ -110,7 +122,7 @@ func (s *Server) handleSessionGoto(w http.ResponseWriter, r *http.Request) (any,
 	sstart := time.Now()
 	if err := sess.machine.GotoCycle(req.Cycle); err != nil {
 		s.simNs.Add(uint64(time.Since(sstart)))
-		return nil, 0, api.WrapError(api.CodeUnprocessable, err)
+		return nil, 0, rewindError(err)
 	}
 	s.simNs.Add(uint64(time.Since(sstart)))
 	return &api.SessionStateResponse{State: sess.machine.State(false)}, 0, nil

@@ -1,0 +1,265 @@
+package stats
+
+import "math"
+
+// Diff and Merge make the statistics report an interval algebra: Diff
+// slices one run's counters into an interval ([start, end) as the delta
+// of two snapshots of the same machine), Merge stitches adjacent
+// intervals back together. Both recompute every derived rate from the
+// integer counters they produce, so for any boundary
+//
+//	Merge(prefix, Diff(full, prefix)) == full
+//
+// holds exactly on all integer counters (and to float rounding on the
+// recomputed rates) — the property time-parallel simulation
+// (sim/parallel.go) relies on to stitch per-interval statistics into one
+// serial-equivalent report. Merge is associative: integer counters sum,
+// cycle-weighted means reconstruct their integer sums first.
+//
+// Non-additive fields take the chronologically later side: HaltReason,
+// ExceptionMsg and the Rename.InUse/Free gauges describe the end of the
+// combined interval, StaticMix and Architecture are static properties.
+
+// Diff returns the interval report end minus start: two snapshots of the
+// same run, start taken earlier. Counter subtraction saturates at zero
+// so a misordered pair degrades to zeros instead of wrapping.
+func Diff(end, start *Report) *Report {
+	if start == nil {
+		return cloneReport(end)
+	}
+	d := cloneReport(end)
+	d.Cycles = subU64(end.Cycles, start.Cycles)
+	d.Committed = subU64(end.Committed, start.Committed)
+	d.Fetched = subU64(end.Fetched, start.Fetched)
+	d.Squashed = subU64(end.Squashed, start.Squashed)
+	d.Flops = subU64(end.Flops, start.Flops)
+	d.ROBFlushes = subU64(end.ROBFlushes, start.ROBFlushes)
+	d.FetchStalls = subU64(end.FetchStalls, start.FetchStalls)
+	d.DecodeStalls = subU64(end.DecodeStalls, start.DecodeStalls)
+	d.CommitStalls = subU64(end.CommitStalls, start.CommitStalls)
+	d.RenameStalls = subU64(end.RenameStalls, start.RenameStalls)
+	d.WindowStalls = subU64(end.WindowStalls, start.WindowStalls)
+
+	d.DynamicMix = map[string]uint64{}
+	for k, v := range end.DynamicMix {
+		if n := subU64(v, start.DynamicMix[k]); n != 0 {
+			d.DynamicMix[k] = n
+		}
+	}
+
+	d.Predictor.Predictions = subU64(end.Predictor.Predictions, start.Predictor.Predictions)
+	d.Predictor.Correct = subU64(end.Predictor.Correct, start.Predictor.Correct)
+	d.Predictor.Mispredicts = subU64(end.Predictor.Mispredicts, start.Predictor.Mispredicts)
+	d.Predictor.BTBHits = subU64(end.Predictor.BTBHits, start.Predictor.BTBHits)
+	d.Predictor.BTBMisses = subU64(end.Predictor.BTBMisses, start.Predictor.BTBMisses)
+
+	d.Cache.Accesses = subU64(end.Cache.Accesses, start.Cache.Accesses)
+	d.Cache.Hits = subU64(end.Cache.Hits, start.Cache.Hits)
+	d.Cache.Misses = subU64(end.Cache.Misses, start.Cache.Misses)
+	d.Cache.Evictions = subU64(end.Cache.Evictions, start.Cache.Evictions)
+	d.Cache.Writebacks = subU64(end.Cache.Writebacks, start.Cache.Writebacks)
+	d.Cache.BytesWritten = subU64(end.Cache.BytesWritten, start.Cache.BytesWritten)
+
+	d.Memory.Reads = subU64(end.Memory.Reads, start.Memory.Reads)
+	d.Memory.Writes = subU64(end.Memory.Writes, start.Memory.Writes)
+	d.Memory.BytesRead = subU64(end.Memory.BytesRead, start.Memory.BytesRead)
+	d.Memory.BytesWritten = subU64(end.Memory.BytesWritten, start.Memory.BytesWritten)
+
+	d.Rename.Allocations = subU64(end.Rename.Allocations, start.Rename.Allocations)
+	d.Rename.StallsEmpty = subU64(end.Rename.StallsEmpty, start.Rename.StallsEmpty)
+	// InUse/Free are gauges, not counters: keep end's (cloned).
+
+	d.LSU = LSUStat{
+		Loads:          subU64(end.LSU.Loads, start.LSU.Loads),
+		Stores:         subU64(end.LSU.Stores, start.LSU.Stores),
+		Forwards:       subU64(end.LSU.Forwards, start.LSU.Forwards),
+		StallsUnknown:  subU64(end.LSU.StallsUnknown, start.LSU.StallsUnknown),
+		StallsPartial:  subU64(end.LSU.StallsPartial, start.LSU.StallsPartial),
+		BusBusyCycles:  subU64(end.LSU.BusBusyCycles, start.LSU.BusBusyCycles),
+		LoadBufStalls:  subU64(end.LSU.LoadBufStalls, start.LSU.LoadBufStalls),
+		StoreBufStalls: subU64(end.LSU.StoreBufStalls, start.LSU.StoreBufStalls),
+	}
+
+	for i := range d.FUs {
+		var s FUStat
+		if i < len(start.FUs) && start.FUs[i].Name == d.FUs[i].Name {
+			s = start.FUs[i]
+		} else {
+			s = findFU(start.FUs, d.FUs[i].Name)
+		}
+		d.FUs[i].BusyCycles = subU64(end.FUs[i].BusyCycles, s.BusyCycles)
+		d.FUs[i].ExecCount = subU64(end.FUs[i].ExecCount, s.ExecCount)
+	}
+
+	d.WallTimeSec = end.WallTimeSec - start.WallTimeSec
+	robSum := subU64(occSum(end.ROBOccupancy, end.Cycles, 1), occSum(start.ROBOccupancy, start.Cycles, 1))
+	winSum := subU64(occSum(end.WindowOccup, end.Cycles, 4), occSum(start.WindowOccup, start.Cycles, 4))
+	deriveRates(d, robSum, winSum)
+	return d
+}
+
+// Merge returns the concatenation of two adjacent interval reports, a
+// chronologically before b. It is nil-tolerant (Merge(nil, b) clones b)
+// so a fold over intervals needs no seed report.
+func Merge(a, b *Report) *Report {
+	if a == nil {
+		return cloneReport(b)
+	}
+	if b == nil {
+		return cloneReport(a)
+	}
+	m := cloneReport(b) // later side: halt story, gauges, static fields
+	if m.Architecture == "" {
+		m.Architecture = a.Architecture
+	}
+	if m.HaltReason == "" {
+		m.HaltReason = a.HaltReason
+	}
+	if m.ExceptionMsg == "" {
+		m.ExceptionMsg = a.ExceptionMsg
+	}
+	if len(m.StaticMix) == 0 {
+		m.StaticMix = cloneU64Map(a.StaticMix)
+	}
+	m.Cycles = a.Cycles + b.Cycles
+	m.Committed = a.Committed + b.Committed
+	m.Fetched = a.Fetched + b.Fetched
+	m.Squashed = a.Squashed + b.Squashed
+	m.Flops = a.Flops + b.Flops
+	m.ROBFlushes = a.ROBFlushes + b.ROBFlushes
+	m.FetchStalls = a.FetchStalls + b.FetchStalls
+	m.DecodeStalls = a.DecodeStalls + b.DecodeStalls
+	m.CommitStalls = a.CommitStalls + b.CommitStalls
+	m.RenameStalls = a.RenameStalls + b.RenameStalls
+	m.WindowStalls = a.WindowStalls + b.WindowStalls
+
+	m.DynamicMix = cloneU64Map(b.DynamicMix)
+	for k, v := range a.DynamicMix {
+		m.DynamicMix[k] += v
+	}
+
+	m.Predictor.Predictions = a.Predictor.Predictions + b.Predictor.Predictions
+	m.Predictor.Correct = a.Predictor.Correct + b.Predictor.Correct
+	m.Predictor.Mispredicts = a.Predictor.Mispredicts + b.Predictor.Mispredicts
+	m.Predictor.BTBHits = a.Predictor.BTBHits + b.Predictor.BTBHits
+	m.Predictor.BTBMisses = a.Predictor.BTBMisses + b.Predictor.BTBMisses
+
+	m.Cache.Accesses = a.Cache.Accesses + b.Cache.Accesses
+	m.Cache.Hits = a.Cache.Hits + b.Cache.Hits
+	m.Cache.Misses = a.Cache.Misses + b.Cache.Misses
+	m.Cache.Evictions = a.Cache.Evictions + b.Cache.Evictions
+	m.Cache.Writebacks = a.Cache.Writebacks + b.Cache.Writebacks
+	m.Cache.BytesWritten = a.Cache.BytesWritten + b.Cache.BytesWritten
+
+	m.Memory.Reads = a.Memory.Reads + b.Memory.Reads
+	m.Memory.Writes = a.Memory.Writes + b.Memory.Writes
+	m.Memory.BytesRead = a.Memory.BytesRead + b.Memory.BytesRead
+	m.Memory.BytesWritten = a.Memory.BytesWritten + b.Memory.BytesWritten
+
+	m.Rename.Allocations = a.Rename.Allocations + b.Rename.Allocations
+	m.Rename.StallsEmpty = a.Rename.StallsEmpty + b.Rename.StallsEmpty
+
+	m.LSU = LSUStat{
+		Loads:          a.LSU.Loads + b.LSU.Loads,
+		Stores:         a.LSU.Stores + b.LSU.Stores,
+		Forwards:       a.LSU.Forwards + b.LSU.Forwards,
+		StallsUnknown:  a.LSU.StallsUnknown + b.LSU.StallsUnknown,
+		StallsPartial:  a.LSU.StallsPartial + b.LSU.StallsPartial,
+		BusBusyCycles:  a.LSU.BusBusyCycles + b.LSU.BusBusyCycles,
+		LoadBufStalls:  a.LSU.LoadBufStalls + b.LSU.LoadBufStalls,
+		StoreBufStalls: a.LSU.StoreBufStalls + b.LSU.StoreBufStalls,
+	}
+
+	if len(m.FUs) == 0 {
+		m.FUs = cloneFUs(a.FUs)
+	} else {
+		for i := range m.FUs {
+			var s FUStat
+			if i < len(a.FUs) && a.FUs[i].Name == m.FUs[i].Name {
+				s = a.FUs[i]
+			} else {
+				s = findFU(a.FUs, m.FUs[i].Name)
+			}
+			m.FUs[i].BusyCycles += s.BusyCycles
+			m.FUs[i].ExecCount += s.ExecCount
+		}
+	}
+
+	m.WallTimeSec = a.WallTimeSec + b.WallTimeSec
+	robSum := occSum(a.ROBOccupancy, a.Cycles, 1) + occSum(b.ROBOccupancy, b.Cycles, 1)
+	winSum := occSum(a.WindowOccup, a.Cycles, 4) + occSum(b.WindowOccup, b.Cycles, 4)
+	deriveRates(m, robSum, winSum)
+	return m
+}
+
+// deriveRates recomputes every derived float of r from its (already
+// combined) integer counters, mirroring Simulation.Report's formulas.
+// robSum/winSum are the reconstructed integer occupancy sums.
+func deriveRates(r *Report, robSum, winSum uint64) {
+	r.IPC, r.FlopsPerSec, r.ROBOccupancy, r.WindowOccup = 0, 0, 0, 0
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Committed) / float64(r.Cycles)
+		if r.WallTimeSec > 0 {
+			r.FlopsPerSec = float64(r.Flops) / r.WallTimeSec
+		}
+		r.ROBOccupancy = float64(robSum) / float64(r.Cycles)
+		r.WindowOccup = float64(winSum) / float64(r.Cycles*4)
+	}
+	r.PredAccuracy = r.Predictor.Accuracy()
+	r.CacheHitRate = r.Cache.HitRate()
+	for i := range r.FUs {
+		r.FUs[i].BusyPct = 0
+		if r.Cycles > 0 {
+			r.FUs[i].BusyPct = 100 * float64(r.FUs[i].BusyCycles) / float64(r.Cycles)
+		}
+	}
+}
+
+// occSum reconstructs the integer occupancy sum behind a mean-per-cycle
+// gauge (mean = sum/(cycles*div)). The core's sums are far below 2^53,
+// so the float round-trip is exact and Merge stays associative.
+func occSum(mean float64, cycles uint64, div uint64) uint64 {
+	return uint64(math.Round(mean * float64(cycles*div)))
+}
+
+func subU64(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+func findFU(fus []FUStat, name string) FUStat {
+	for _, fu := range fus {
+		if fu.Name == name {
+			return fu
+		}
+	}
+	return FUStat{}
+}
+
+func cloneU64Map(m map[string]uint64) map[string]uint64 {
+	c := make(map[string]uint64, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func cloneFUs(fus []FUStat) []FUStat {
+	if fus == nil {
+		return nil
+	}
+	return append([]FUStat(nil), fus...)
+}
+
+func cloneReport(r *Report) *Report {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.StaticMix = cloneU64Map(r.StaticMix)
+	c.DynamicMix = cloneU64Map(r.DynamicMix)
+	c.FUs = cloneFUs(r.FUs)
+	return &c
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"riscvsim/internal/cache"
+	"riscvsim/internal/memory"
+	"riscvsim/internal/predictor"
+	"riscvsim/internal/rename"
+)
+
+// intervalReport builds a synthetic interval report scaled by f, with
+// derived rates computed the way Simulation.Report would.
+func intervalReport(f uint64) *Report {
+	cycles := 1000 * f
+	r := &Report{
+		Architecture: "test-arch",
+		Cycles:       cycles,
+		Committed:    1300 * f,
+		Fetched:      1700 * f,
+		Squashed:     90 * f,
+		Flops:        17 * f,
+		ROBFlushes:   3 * f,
+		HaltReason:   "",
+		StaticMix:    map[string]uint64{"kArithmetic": 10, "kLoad": 5},
+		DynamicMix:   map[string]uint64{"kArithmetic": 900 * f, "kLoad": 400 * f},
+		FUs: []FUStat{
+			{Name: "FX0", Class: "FX", BusyCycles: 700 * f, ExecCount: 800 * f},
+			{Name: "L/S", Class: "LS", BusyCycles: 300 * f, ExecCount: 350 * f},
+		},
+		Predictor:    predictor.Stats{Predictions: 200 * f, Correct: 180 * f, Mispredicts: 20 * f, BTBHits: 11 * f, BTBMisses: 7 * f},
+		Cache:        cache.Stats{Accesses: 400 * f, Hits: 380 * f, Misses: 20 * f, Evictions: 6 * f, Writebacks: 4 * f, BytesWritten: 256 * f},
+		Memory:       memory.Stats{Reads: 30 * f, Writes: 12 * f, BytesRead: 960 * f, BytesWritten: 384 * f},
+		Rename:       rename.Stats{Allocations: 1200 * f, StallsEmpty: 2 * f, InUse: int(3 * f), Free: 61},
+		FetchStalls:  40 * f,
+		DecodeStalls: 30 * f,
+		CommitStalls: 20 * f,
+		RenameStalls: 10 * f,
+		WindowStalls: 5 * f,
+		WallTimeSec:  float64(cycles) / 1e8,
+	}
+	deriveRates(r, 12*cycles, 3*cycles)
+	return r
+}
+
+func floatsClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// reportsEqual compares two reports: integer fields exactly, floats to
+// 1e-9 relative (derived rates are recomputed float divisions).
+func reportsEqual(t *testing.T, ctx string, a, b *Report) {
+	t.Helper()
+	ja, _ := a.JSON()
+	jb, _ := b.JSON()
+	check := func(name string, x, y any) {
+		t.Helper()
+		switch xv := x.(type) {
+		case uint64:
+			if xv != y.(uint64) {
+				t.Errorf("%s: %s = %d, want %d\n%s\nvs\n%s", ctx, name, xv, y, ja, jb)
+			}
+		case float64:
+			if !floatsClose(xv, y.(float64)) {
+				t.Errorf("%s: %s = %v, want %v", ctx, name, xv, y)
+			}
+		case string:
+			if xv != y.(string) {
+				t.Errorf("%s: %s = %q, want %q", ctx, name, xv, y)
+			}
+		}
+	}
+	check("cycles", a.Cycles, b.Cycles)
+	check("committed", a.Committed, b.Committed)
+	check("fetched", a.Fetched, b.Fetched)
+	check("squashed", a.Squashed, b.Squashed)
+	check("flops", a.Flops, b.Flops)
+	check("robFlushes", a.ROBFlushes, b.ROBFlushes)
+	check("ipc", a.IPC, b.IPC)
+	check("wallTimeSec", a.WallTimeSec, b.WallTimeSec)
+	check("flopsPerSec", a.FlopsPerSec, b.FlopsPerSec)
+	check("haltReason", a.HaltReason, b.HaltReason)
+	check("exception", a.ExceptionMsg, b.ExceptionMsg)
+	check("predAccuracy", a.PredAccuracy, b.PredAccuracy)
+	check("cacheHitRate", a.CacheHitRate, b.CacheHitRate)
+	check("robOccupancy", a.ROBOccupancy, b.ROBOccupancy)
+	check("windowOccup", a.WindowOccup, b.WindowOccup)
+	check("fetchStalls", a.FetchStalls, b.FetchStalls)
+	check("decodeStalls", a.DecodeStalls, b.DecodeStalls)
+	check("commitStalls", a.CommitStalls, b.CommitStalls)
+	check("renameStalls", a.RenameStalls, b.RenameStalls)
+	check("windowStalls", a.WindowStalls, b.WindowStalls)
+	for k, v := range b.DynamicMix {
+		check("dynamicMix."+k, a.DynamicMix[k], v)
+	}
+	for k, v := range b.StaticMix {
+		check("staticMix."+k, a.StaticMix[k], v)
+	}
+	if len(a.FUs) != len(b.FUs) {
+		t.Fatalf("%s: %d FUs, want %d", ctx, len(a.FUs), len(b.FUs))
+	}
+	for i := range a.FUs {
+		check("fu.name", a.FUs[i].Name, b.FUs[i].Name)
+		check("fu.busyCycles", a.FUs[i].BusyCycles, b.FUs[i].BusyCycles)
+		check("fu.execCount", a.FUs[i].ExecCount, b.FUs[i].ExecCount)
+		check("fu.busyPct", a.FUs[i].BusyPct, b.FUs[i].BusyPct)
+	}
+	check("pred.predictions", a.Predictor.Predictions, b.Predictor.Predictions)
+	check("pred.correct", a.Predictor.Correct, b.Predictor.Correct)
+	check("pred.mispredicts", a.Predictor.Mispredicts, b.Predictor.Mispredicts)
+	check("cache.accesses", a.Cache.Accesses, b.Cache.Accesses)
+	check("cache.hits", a.Cache.Hits, b.Cache.Hits)
+	check("cache.misses", a.Cache.Misses, b.Cache.Misses)
+	check("cache.writebacks", a.Cache.Writebacks, b.Cache.Writebacks)
+	check("mem.reads", a.Memory.Reads, b.Memory.Reads)
+	check("mem.writes", a.Memory.Writes, b.Memory.Writes)
+	check("lsu.loads", a.LSU.Loads, b.LSU.Loads)
+	check("lsu.stores", a.LSU.Stores, b.LSU.Stores)
+	check("lsu.forwards", a.LSU.Forwards, b.LSU.Forwards)
+	check("rename.allocations", a.Rename.Allocations, b.Rename.Allocations)
+}
+
+// TestMergeAssociative: Merge(a, Merge(b, c)) == Merge(Merge(a, b), c)
+// on intervals of very different sizes.
+func TestMergeAssociative(t *testing.T) {
+	a, b, c := intervalReport(1), intervalReport(37), intervalReport(5000)
+	c.HaltReason = "pipeline empty"
+	left := Merge(Merge(a, b), c)
+	right := Merge(a, Merge(b, c))
+	reportsEqual(t, "associativity", left, right)
+}
+
+// TestMergeNilIdentity: nil is the fold seed.
+func TestMergeNilIdentity(t *testing.T) {
+	a := intervalReport(7)
+	reportsEqual(t, "nil left", Merge(nil, a), a)
+	reportsEqual(t, "nil right", Merge(a, nil), a)
+	if Merge(nil, nil) != nil {
+		t.Error("Merge(nil, nil) != nil")
+	}
+}
+
+// TestDiffMergeRoundTrip: Merge(prefix, Diff(full, prefix)) == full —
+// the split-at-any-boundary identity on synthetic snapshots where the
+// prefix is a strict prefix of the full run.
+func TestDiffMergeRoundTrip(t *testing.T) {
+	prefix := intervalReport(3)
+	full := intervalReport(11)
+	full.HaltReason = "pipeline empty"
+	got := Merge(prefix, Diff(full, prefix))
+	reportsEqual(t, "round trip", got, full)
+}
+
+// TestDiffSaturates: a misordered Diff degrades to zeros, not wraps.
+func TestDiffSaturates(t *testing.T) {
+	small, big := intervalReport(2), intervalReport(5)
+	d := Diff(small, big)
+	if d.Cycles != 0 || d.Committed != 0 {
+		t.Errorf("misordered diff: cycles=%d committed=%d, want 0", d.Cycles, d.Committed)
+	}
+}
+
+// TestMergeDoesNotAliasInputs: merged maps/slices are fresh copies.
+func TestMergeDoesNotAliasInputs(t *testing.T) {
+	a, b := intervalReport(2), intervalReport(3)
+	m := Merge(a, b)
+	m.DynamicMix["kArithmetic"] = 1
+	m.FUs[0].BusyCycles = 1
+	if a.DynamicMix["kArithmetic"] == 1 || b.DynamicMix["kArithmetic"] == 1 {
+		t.Error("merged DynamicMix aliases an input")
+	}
+	if a.FUs[0].BusyCycles == 1 || b.FUs[0].BusyCycles == 1 {
+		t.Error("merged FUs alias an input")
+	}
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLongStreamOutOfCorpus pins the corpus separation: the long-run
+// scaling workloads never enter Corpus(), so moving the pass-count knob
+// (or the bench variant) can never require re-baselining a golden row.
+func TestLongStreamOutOfCorpus(t *testing.T) {
+	for _, w := range Corpus() {
+		if strings.HasPrefix(w.Name, "long-stream") {
+			t.Errorf("long-run workload %q leaked into the corpus", w.Name)
+		}
+	}
+	if _, ok := ByName(LongStream(4).Name); ok {
+		t.Error("ByName resolves a long-run workload from the corpus")
+	}
+}
+
+// TestLongStreamScales: the pass knob scales committed work linearly and
+// the a0 checksum is pass-count independent (same final ramp every pass).
+func TestLongStreamScales(t *testing.T) {
+	var committed [2]uint64
+	for i, passes := range []uint64{4, 12} {
+		w := LongStream(passes)
+		m, err := NewMachine(nil, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(w.MaxCycles)
+		if !m.Halted() {
+			t.Fatalf("passes=%d did not halt in %d cycles", passes, w.MaxCycles)
+		}
+		a0, err := m.IntReg("a0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a0 != 2047 {
+			t.Errorf("passes=%d: a0 = %d, want 2047 (ramp tail)", passes, a0)
+		}
+		committed[i] = m.Committed()
+	}
+	// 4 → 12 passes triples the copy work; seed + checksum overhead is a
+	// constant few thousand instructions on top.
+	perPass := (committed[1] - committed[0]) / 8
+	if perPass < 14_000 || perPass > 18_000 {
+		t.Errorf("copy pass costs %d instructions, want ~16k (kernel drifted?)", perPass)
+	}
+	// LongStream(4) is the corpus memcpy-stream program — same committed
+	// count pins that the generator reproduces the golden kernel exactly.
+	mw, ok := ByName("memcpy-stream")
+	if !ok {
+		t.Fatal("memcpy-stream missing from corpus")
+	}
+	mm, err := NewMachine(nil, mw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.Run(mw.MaxCycles)
+	if committed[0] != mm.Committed() {
+		t.Errorf("LongStream(4) commits %d, memcpy-stream %d — generator drifted from the golden kernel",
+			committed[0], mm.Committed())
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+
+	"riscvsim/internal/config"
+	"riscvsim/internal/stats"
+)
+
+// TestSplitMergeEqualsSerial: for every corpus workload and several split
+// boundaries, slicing the run's statistics at the boundary (Diff) and
+// stitching the pieces back (Merge) reproduces the serial run's metrics
+// row exactly — every counter and every derived rate, because rates are
+// recomputed from exactly-summed integers. This is the identity
+// time-parallel simulation relies on to report serial-equivalent
+// statistics from per-interval deltas.
+func TestSplitMergeEqualsSerial(t *testing.T) {
+	cfg := config.Default()
+	for _, w := range Corpus() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			m, err := NewMachine(cfg, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Run(w.MaxCycles)
+			if !m.Halted() {
+				t.Fatalf("did not halt in %d cycles", w.MaxCycles)
+			}
+			full := m.Report()
+			total := m.Cycle()
+			serialRow := FromReport(w, full)
+
+			for _, frac := range []uint64{1, 4, 2, 10} { // 100/frac %
+				boundary := total / frac
+				mm, err := NewMachine(cfg, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mm.StepN(boundary)
+				prefix := mm.Report()
+				mm.Run(w.MaxCycles)
+				end := mm.Report()
+				merged := stats.Merge(prefix, stats.Diff(end, prefix))
+				row := FromReport(w, merged)
+				if diffs := DiffMetrics(serialRow, row); len(diffs) != 0 {
+					t.Errorf("split at %d/%d cycles: merged row drifts: %+v", boundary, total, diffs)
+				}
+			}
+		})
+	}
+}
+
+// TestThreeWayMergeAssociative: three real intervals of one run fold to
+// the same row regardless of association order.
+func TestThreeWayMergeAssociative(t *testing.T) {
+	cfg := config.Default()
+	w, ok := ByName("memcpy-stream")
+	if !ok {
+		t.Fatal("memcpy-stream missing from corpus")
+	}
+	m, err := NewMachine(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(w.MaxCycles)
+	total := m.Cycle()
+
+	mm, err := NewMachine(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.StepN(total / 4)
+	r1 := mm.Report()
+	mm.StepN(total/2 - total/4)
+	r2 := mm.Report()
+	mm.Run(w.MaxCycles)
+	full := mm.Report()
+
+	i1, i2, i3 := r1, stats.Diff(r2, r1), stats.Diff(full, r2)
+	left := stats.Merge(stats.Merge(i1, i2), i3)
+	right := stats.Merge(i1, stats.Merge(i2, i3))
+	if diffs := DiffMetrics(FromReport(w, left), FromReport(w, right)); len(diffs) != 0 {
+		t.Errorf("association order changes the row: %+v", diffs)
+	}
+	if diffs := DiffMetrics(FromReport(w, full), FromReport(w, left)); len(diffs) != 0 {
+		t.Errorf("three-way merge drifts from serial: %+v", diffs)
+	}
+}
+
+// TestMetricsMergeRow: the row-level Merge sums counters exactly and
+// recomputes rates from them; approximate fields (documented on Merge)
+// stay within round6 noise of the serial row.
+func TestMetricsMergeRow(t *testing.T) {
+	cfg := config.Default()
+	w, ok := ByName("axpy-stream")
+	if !ok {
+		t.Fatal("axpy-stream missing from corpus")
+	}
+	m, err := NewMachine(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(w.MaxCycles)
+	full := m.Report()
+	total := m.Cycle()
+	serialRow := FromReport(w, full)
+
+	mm, err := NewMachine(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.StepN(total / 3)
+	prefix := mm.Report()
+	mm.Run(w.MaxCycles)
+	end := mm.Report()
+
+	rowA := FromReport(w, prefix)
+	rowB := FromReport(w, stats.Diff(end, prefix))
+	got := rowA.Merge(rowB)
+
+	// Counters are exact.
+	if got.Cycles != serialRow.Cycles || got.Committed != serialRow.Committed ||
+		got.Fetched != serialRow.Fetched || got.Squashed != serialRow.Squashed ||
+		got.CacheAccesses != serialRow.CacheAccesses ||
+		got.ROBFlushes != serialRow.ROBFlushes {
+		t.Errorf("row counters drift: got %+v want %+v", got, serialRow)
+	}
+	// Rates recomputed from exact counters are exact.
+	if got.IPC != serialRow.IPC || got.CPI != serialRow.CPI || got.BranchMPKI != serialRow.BranchMPKI {
+		t.Errorf("row rates drift: ipc %v/%v cpi %v/%v mpki %v/%v",
+			got.IPC, serialRow.IPC, got.CPI, serialRow.CPI, got.BranchMPKI, serialRow.BranchMPKI)
+	}
+	// Weight-averaged fields are approximate to round6 noise.
+	closeEnough := func(a, b float64) bool { d := a - b; return d < 2e-6 && d > -2e-6 }
+	if !closeEnough(got.CacheMissRate, serialRow.CacheMissRate) {
+		t.Errorf("cacheMissRate %v, want ~%v", got.CacheMissRate, serialRow.CacheMissRate)
+	}
+	for name, pct := range serialRow.FUUtil {
+		if !closeEnough(got.FUUtil[name], pct) {
+			t.Errorf("fuUtil[%s] %v, want ~%v", name, got.FUUtil[name], pct)
+		}
+	}
+	if got.HaltReason != serialRow.HaltReason {
+		t.Errorf("haltReason %q, want %q", got.HaltReason, serialRow.HaltReason)
+	}
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Fast-forward orchestration: run a prefix of the simulation in the
 // functional fast-forward engine (core/blockplan.go — fused basic-block
@@ -80,7 +83,14 @@ func (m *Machine) noteModeSwitch(mode EngineMode) {
 	m.forceSnapshot()
 }
 
+// ErrRewindBarrier is the sentinel wrapped by every refusal to navigate
+// backward across a region without timing history (a fast-forwarded
+// prefix, a time-parallel run). API surfaces dispatch on it with
+// errors.Is to return a stable machine-readable code instead of matching
+// message text.
+var ErrRewindBarrier = errors.New("rewind barrier")
+
 // errBelowBarrier explains a refused rewind across a fast-forwarded region.
 func (m *Machine) errBelowBarrier(target uint64) error {
-	return fmt.Errorf("sim: cannot rewind to cycle %d: cycles below %d have no timing history (engine-mode switch; fast-forwarded regions cannot be replayed in detail)", target, m.ffBarrier)
+	return fmt.Errorf("sim: cannot rewind to cycle %d: cycles below %d have no timing history (engine-mode switch; fast-forwarded regions cannot be replayed in detail): %w", target, m.ffBarrier, ErrRewindBarrier)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -116,11 +117,15 @@ func ffSwitchover(t *testing.T, interval, target uint64) {
 		t.Errorf("GotoCycle(barrier %d): %v", barrier, err)
 	}
 
-	// Below the barrier: refused, with the fast-forward explanation.
+	// Below the barrier: refused with the stable sentinel and the
+	// fast-forward explanation.
 	for _, tgt := range []uint64{barrier - 1, 1, 0} {
 		err := m.GotoCycle(tgt)
 		if err == nil {
 			t.Fatalf("GotoCycle(%d) below barrier %d unexpectedly succeeded", tgt, barrier)
+		}
+		if !errors.Is(err, ErrRewindBarrier) {
+			t.Errorf("GotoCycle(%d) error %v does not wrap ErrRewindBarrier", tgt, err)
 		}
 		if !strings.Contains(err.Error(), "fast-forward") {
 			t.Errorf("GotoCycle(%d) error %q does not explain the fast-forwarded region", tgt, err)
@@ -131,8 +136,8 @@ func ffSwitchover(t *testing.T, interval, target uint64) {
 	if err := m.GotoCycle(barrier); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.StepBack(); err == nil {
-		t.Error("StepBack across the rewind barrier unexpectedly succeeded")
+	if err := m.StepBack(); !errors.Is(err, ErrRewindBarrier) {
+		t.Errorf("StepBack across the rewind barrier: err %v, want ErrRewindBarrier", err)
 	}
 }
 

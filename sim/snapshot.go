@@ -201,7 +201,7 @@ func (m *Machine) rewindTo(target uint64) error {
 		}
 	}
 	if m.ffBarrier > 0 {
-		return fmt.Errorf("sim: cannot replay to cycle %d: replay would cross the fast-forwarded region below cycle %d and no snapshot covers it", target, m.ffBarrier)
+		return fmt.Errorf("sim: cannot replay to cycle %d: replay would cross the fast-forwarded region below cycle %d and no snapshot covers it: %w", target, m.ffBarrier, ErrRewindBarrier)
 	}
 	ns, err := m.sim.ReplayTo(target)
 	if err != nil {
