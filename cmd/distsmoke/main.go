@@ -1,0 +1,162 @@
+// Command distsmoke drives the distributed tier's end-to-end failover
+// drill against a live router + replica deployment (the CI compose
+// stack, or any simrouter URL):
+//
+//  1. create a session through the router and step it k1 cycles
+//  2. checkpoint it (the write-through makes the shared store the
+//     session's authority)
+//  3. kill the replica that owns the session (-kill command template)
+//  4. step the same session k2 more cycles through the router — the
+//     new owner must rehydrate it from the store transparently
+//  5. checkpoint again and compare the state hash against an
+//     uninterrupted in-process run of k1+k2 cycles
+//
+// Exit status 0 means the failover continuation is bit-exact.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"riscvsim/internal/api"
+	"riscvsim/internal/client"
+	"riscvsim/internal/server"
+	"riscvsim/sim"
+)
+
+// loopProgram never halts, so every step budget executes in full and
+// cycle counts are deterministic across the reference and routed runs.
+const loopProgram = "loop: addi t0, t0, 1\nbeq x0, x0, loop\n"
+
+func main() {
+	var (
+		url  = flag.String("url", "http://127.0.0.1:8040", "simrouter base URL")
+		k1   = flag.Uint64("k1", 5000, "cycles to step before the checkpoint + kill")
+		k2   = flag.Uint64("k2", 3000, "cycles to step after the kill, across the failover")
+		kill = flag.String("kill", "", "command template that kills the owning replica; {name} expands to its ring name (e.g. 'docker compose -f deploy/docker-compose.yml kill {name}')")
+		wait = flag.Duration("wait", 60*time.Second, "deadline for the deployment to become reachable")
+	)
+	flag.Parse()
+	if *kill == "" {
+		fatalf("-kill is required (how do I kill the owning replica?)")
+	}
+
+	waitReachable(*url, *wait)
+
+	// The uninterrupted reference: same build path as the server.
+	ref, aerr := server.BuildMachine(&api.SimulateRequest{Code: loopProgram})
+	if aerr != nil {
+		fatalf("building reference machine: %v", aerr)
+	}
+	ref.EnableSnapshots(0)
+	ref.StepN(*k1 + *k2)
+	want := ref.StateHash()
+
+	cl := client.NewForURL(*url, true)
+	sess, err := cl.NewSession(&api.SessionNewRequest{SimulateRequest: api.SimulateRequest{Code: loopProgram}})
+	if err != nil {
+		fatalf("session create via router: %v", err)
+	}
+	id := sess.SessionID
+	fmt.Printf("distsmoke: session %s created\n", id)
+
+	if _, err := cl.Step(id, int64(*k1)); err != nil {
+		fatalf("step k1: %v", err)
+	}
+	if _, err := cl.Checkpoint(id); err != nil {
+		fatalf("checkpoint before kill: %v", err)
+	}
+	owner := ownerOf(*url, id)
+	fmt.Printf("distsmoke: stepped %d cycles, checkpointed; owner is %s — killing it\n", *k1, owner)
+
+	cmdline := strings.ReplaceAll(*kill, "{name}", owner)
+	cmd := exec.Command("sh", "-c", cmdline)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		fatalf("kill command %q: %v", cmdline, err)
+	}
+
+	st, err := cl.Step(id, int64(*k2))
+	if err != nil {
+		fatalf("step k2 after killing %s (failover did not engage): %v", owner, err)
+	}
+	if got, wantCycle := st.State.Cycle, *k1+*k2; got != wantCycle {
+		fatalf("post-failover cycle = %d, want %d (state regressed past the checkpoint)", got, wantCycle)
+	}
+	newOwner := ownerOf(*url, id)
+	if newOwner == owner {
+		fatalf("owner still %s after the kill", owner)
+	}
+
+	ck, err := cl.Checkpoint(id)
+	if err != nil {
+		fatalf("checkpoint after failover: %v", err)
+	}
+	m, err := sim.Restore(bytes.NewReader(ck.Checkpoint))
+	if err != nil {
+		fatalf("restoring failover checkpoint locally: %v", err)
+	}
+	if got := m.StateHash(); got != want {
+		fatalf("failover state hash %#x != uninterrupted reference %#x — the continuation is NOT bit-exact", got, want)
+	}
+	fmt.Printf("distsmoke: PASS — %s died, %s continued session %s to cycle %d, state hash %#x matches the uninterrupted run\n",
+		owner, newOwner, id, *k1+*k2, want)
+}
+
+func ownerOf(base, id string) string {
+	resp, err := http.Get(base + "/admin/owner?session=" + id)
+	if err != nil {
+		fatalf("GET /admin/owner: %v", err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Owner string `json:"owner"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.Owner == "" {
+		fatalf("GET /admin/owner: bad response (%v)", err)
+	}
+	return out.Owner
+}
+
+// waitReachable polls the router's ring until every replica reports
+// healthy (compose services can lag the router's first probes).
+func waitReachable(base string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/admin/ring")
+		if err == nil {
+			var ring struct {
+				Replicas []struct {
+					Healthy bool `json:"healthy"`
+				} `json:"replicas"`
+			}
+			jerr := json.NewDecoder(resp.Body).Decode(&ring)
+			resp.Body.Close()
+			if jerr == nil && len(ring.Replicas) > 0 {
+				all := true
+				for _, r := range ring.Replicas {
+					all = all && r.Healthy
+				}
+				if all {
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			fatalf("deployment at %s not fully healthy after %v", base, timeout)
+		}
+		time.Sleep(time.Second)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "distsmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http/httptest"
@@ -18,17 +19,23 @@ import (
 
 func main() {
 	var (
-		url       = flag.String("url", "", "target server URL (empty = spawn in-process servers)")
-		users     = flag.String("users", "30,100", "comma-separated user counts")
-		timeScale = flag.Float64("time-scale", 1.0, "scale factor for ramp-up and think time (1.0 = the paper's real-time pacing)")
-		noDocker  = flag.Bool("skip-docker", false, "skip the Docker-shim scenarios")
-		batch     = flag.Int("batch", 0, "run an HPC sweep of N simulations via POST /api/v1/batch vs sequential /simulate and exit")
-		seed      = flag.Int64("seed", 0, "deterministic user→program assignment seed (0 = round-robin); same plumbing as riscvsim -fuzz-seed")
+		url         = flag.String("url", "", "target server URL (empty = spawn in-process servers)")
+		users       = flag.String("users", "30,100", "comma-separated user counts")
+		timeScale   = flag.Float64("time-scale", 1.0, "scale factor for ramp-up and think time (1.0 = the paper's real-time pacing)")
+		noDocker    = flag.Bool("skip-docker", false, "skip the Docker-shim scenarios")
+		batch       = flag.Int("batch", 0, "run an HPC sweep of N simulations via POST /api/v1/batch vs sequential /simulate and exit")
+		multi       = flag.Int("multi", 0, "distributed mode: drive the scenarios through a consistent-hash router over N replicas (in-process when -url is empty, else -url must be a simrouter) and emit the capacity model")
+		capacityOut = flag.String("capacity-out", "", "with -multi, also write the capacity model JSON to this file")
+		seed        = flag.Int64("seed", 0, "deterministic user→program assignment seed (0 = round-robin); same plumbing as riscvsim -fuzz-seed")
 	)
 	flag.Parse()
 
 	if *batch > 0 {
 		runBatchComparison(*url, *batch)
+		return
+	}
+	if *multi > 0 {
+		runMulti(*url, *multi, *users, *timeScale, *seed, *capacityOut)
 		return
 	}
 
@@ -84,6 +91,54 @@ func main() {
 		runRow("Docker", tsDocker.URL, n)
 	}
 	tsDocker.Close()
+}
+
+// runMulti reproduces the deployment tier's capacity measurement: the
+// paper scenarios driven through the session router (docs/deployment.md)
+// instead of one server, reporting router-path latency, requests/s and
+// the sessions-per-GB storage figure.
+func runMulti(url string, replicas int, users string, timeScale float64, seed int64, capacityOut string) {
+	base := url
+	if base == "" {
+		cluster, err := loadgen.SpawnCluster(replicas, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		base = cluster.RouterURL
+	} else if n, err := loadgen.HealthyReplicas(base); err != nil {
+		fmt.Fprintf(os.Stderr, "loadtest: %s is not a simrouter (%v)\n", base, err)
+		os.Exit(1)
+	} else if n < replicas {
+		fmt.Fprintf(os.Stderr, "loadtest: router reports %d healthy replicas, want %d\n", n, replicas)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Distributed capacity model — %d replicas behind the session router\n\n", replicas)
+	var models []*loadgen.CapacityModel
+	for _, n := range splitInts(users) {
+		sc := loadgen.PaperScenario(n, timeScale)
+		sc.Seed = seed
+		m, err := loadgen.RunMulti(base, replicas, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: multi %d users: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println(m.String())
+		models = append(models, m)
+	}
+	if capacityOut != "" {
+		data, err := json.MarshalIndent(models, "", "  ")
+		if err == nil {
+			err = os.WriteFile(capacityOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: writing %s: %v\n", capacityOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncapacity model written to %s\n", capacityOut)
+	}
 }
 
 // runBatchComparison demonstrates the v1 batch endpoint: the same N-way

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,12 +28,15 @@ func main() {
 		sessionTTL  = flag.Duration("session-ttl", 15*time.Minute, "evict sessions idle longer than this (negative = never)")
 		spillDir    = flag.String("spill-dir", "auto",
 			"checkpoint evicted sessions into this directory and rehydrate them on the next touch; \"auto\" scopes a temp directory to -addr so instances don't share session namespaces (empty = evictions lose sessions)")
-		spillTTL    = flag.Duration("spill-ttl", 24*time.Hour, "garbage-collect spilled checkpoints older than this (negative = keep forever)")
-		debug       = flag.Bool("debug", false, "debug-level logging (session spill/eviction events)")
-		noGzip      = flag.Bool("no-gzip", false, "disable response compression")
-		dockerShim  = flag.Bool("docker-shim", false, "simulate containerized deployment overhead (Table I 'Docker' rows)")
-		proxyDelay  = flag.Duration("shim-delay", 2*time.Millisecond, "docker shim per-request overhead")
-		parallelism = flag.Int("shim-parallelism", 0, "docker shim concurrency cap (0 = NumCPU/2)")
+		spillTTL     = flag.Duration("spill-ttl", 24*time.Hour, "garbage-collect spilled checkpoints older than this (negative = keep forever)")
+		writeThrough = flag.Bool("write-through", false, "persist explicit checkpoints to the spill store (distributed tier: the store becomes the session's authority, so replicas sharing -spill-dir can fail over)")
+		assignedIDs  = flag.Bool("assigned-ids", false, "accept router-assigned session IDs via the "+"X-Riscvsim-Session-Id"+" header on create/restore (required behind simrouter)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, wait up to this long for in-flight requests before spilling sessions")
+		debug        = flag.Bool("debug", false, "debug-level logging (session spill/eviction events)")
+		noGzip       = flag.Bool("no-gzip", false, "disable response compression")
+		dockerShim   = flag.Bool("docker-shim", false, "simulate containerized deployment overhead (Table I 'Docker' rows)")
+		proxyDelay   = flag.Duration("shim-delay", 2*time.Millisecond, "docker shim per-request overhead")
+		parallelism  = flag.Int("shim-parallelism", 0, "docker shim concurrency cap (0 = NumCPU/2)")
 	)
 	flag.Parse()
 
@@ -45,12 +49,14 @@ func main() {
 	}
 
 	srv := server.New(server.Options{
-		MaxSessions: *maxSessions,
-		SessionTTL:  *sessionTTL,
-		DisableGzip: *noGzip,
-		SpillDir:    *spillDir,
-		SpillTTL:    *spillTTL,
-		Debug:       *debug,
+		MaxSessions:      *maxSessions,
+		SessionTTL:       *sessionTTL,
+		DisableGzip:      *noGzip,
+		SpillDir:         *spillDir,
+		SpillTTL:         *spillTTL,
+		WriteThrough:     *writeThrough,
+		AllowAssignedIDs: *assignedIDs,
+		Debug:            *debug,
 	})
 	var handler http.Handler = srv.Handler()
 	if *dockerShim {
@@ -67,17 +73,28 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Graceful restart: spill every live session to disk on SIGINT/TERM
-	// so the next process (same -spill-dir) resumes them transparently.
-	if *spillDir != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			n := srv.SpillSessions()
-			fmt.Printf("spilled %d live sessions to %s; shutting down\n", n, *spillDir)
-			os.Exit(0)
-		}()
+	// Graceful shutdown: drain in-flight requests first, THEN spill every
+	// live session so the next process (same -spill-dir) resumes them
+	// transparently. Spilling before the drain would race requests that
+	// still hold session machines — the spilled checkpoint could miss the
+	// work an in-flight step was doing (see TestShutdownDrainsBeforeSpill).
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		n, err := srv.Shutdown(ctx, s)
+		if err != nil {
+			fmt.Printf("drain ended early (%v); spilled %d live sessions to %s\n", err, n, *spillDir)
+			return
+		}
+		fmt.Printf("drained; spilled %d live sessions to %s; shutting down\n", n, *spillDir)
+	}()
+	if err := s.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatal(err)
 	}
-	log.Fatal(s.ListenAndServe())
+	<-done
 }

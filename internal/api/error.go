@@ -51,6 +51,23 @@ const (
 	// CodeInternal: the server failed to produce a response.
 	CodeInternal = "internal"
 
+	// Distributed-tier codes (docs/deployment.md).
+
+	// CodeSessionExists: a session create carried an assigned session ID
+	// (SessionIDHeader) that is already live on the node. The router
+	// retries the create with a fresh ID.
+	CodeSessionExists = "session_exists"
+	// CodeSessionMoved: the session's owner replica changed (a node
+	// died or the ring changed) and no checkpoint of it exists in the
+	// shared store — state past the last checkpoint is lost. Clients
+	// restart the session or restore a checkpoint they hold; the last
+	// explicit checkpoint is the durability boundary.
+	CodeSessionMoved = "session_moved"
+	// CodeNodeUnavailable: the router could not complete the request on
+	// any healthy replica (all down, or the forward kept failing).
+	// Transient by design — clients retry with backoff.
+	CodeNodeUnavailable = "node_unavailable"
+
 	// Checkpoint codes (POST /api/v1/session/{checkpoint,restore} and
 	// checkpoint-carrying simulate/batch requests).
 
@@ -66,6 +83,12 @@ const (
 	// CodeCheckpointTruncated: the checkpoint stream ended early.
 	CodeCheckpointTruncated = "checkpoint_truncated"
 )
+
+// SessionIDHeader carries a caller-assigned session ID on session
+// create/restore requests. Only servers running with AllowAssignedIDs
+// honor it; the consistent-hash router uses it so a session's owner
+// replica is computable from the ID before the session exists.
+const SessionIDHeader = "X-Riscvsim-Session-Id"
 
 // CheckpointError maps a sim.Restore / Machine.Checkpoint failure onto
 // the stable checkpoint error codes via the ckpt sentinel errors.

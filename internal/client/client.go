@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -97,12 +98,36 @@ func (c *Client) newRequest(path string, req any) (*http.Request, error) {
 	return hreq, nil
 }
 
+// APIError is a non-200 server response carrying the v1 envelope's
+// stable error code. Callers dispatch on Code via ErrorCode.
+type APIError struct {
+	Path    string
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %s: [%s] %s", e.Path, e.Code, e.Message)
+}
+
+// ErrorCode extracts the stable v1 error code from a client error, or
+// "" for transport errors and pre-v1 responses. Routed deployments
+// dispatch on api.CodeSessionMoved / api.CodeNodeUnavailable with it.
+func ErrorCode(err error) string {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return ""
+}
+
 // decodeError turns a non-200 response into an error carrying the v1
 // envelope's stable code when present.
 func decodeError(path string, status int, data []byte) error {
 	var env api.ErrorEnvelope
 	if json.Unmarshal(data, &env) == nil && env.Err.Message != "" {
-		return fmt.Errorf("client: %s: [%s] %s", path, env.Err.Code, env.Err.Message)
+		return &APIError{Path: path, Status: status, Code: env.Err.Code, Message: env.Err.Message}
 	}
 	// Pre-v1 servers used a bare string envelope.
 	var legacy struct {

@@ -1,0 +1,61 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunMultiCapacityModel(t *testing.T) {
+	c, err := SpawnCluster(3, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if n, err := HealthyReplicas(c.RouterURL); err != nil || n != 3 {
+		t.Fatalf("healthy replicas = %d, %v; want 3", n, err)
+	}
+	sc := Scenario{
+		Users:        4,
+		StepsPerUser: 5,
+		StepSize:     20,
+		RampUp:       20 * time.Millisecond,
+		ThinkTime:    time.Millisecond,
+		Gzip:         true,
+		Programs:     []string{ProgramA, ProgramB},
+	}
+	m, err := RunMulti(c.RouterURL, 3, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors != 0 {
+		t.Errorf("capacity run saw %d errors", m.Errors)
+	}
+	// 4 users × (1 create + 5 steps) requests.
+	if m.Requests != 4*6 {
+		t.Errorf("requests = %d, want 24", m.Requests)
+	}
+	if m.CheckpointBytes <= 0 || m.SessionsPerGB <= 0 {
+		t.Errorf("degenerate storage model: %d B/ckpt, %.0f sessions/GB", m.CheckpointBytes, m.SessionsPerGB)
+	}
+	if m.RequestsPerSec <= 0 || m.MedianMs < 0 {
+		t.Errorf("degenerate throughput model: %+v", m)
+	}
+}
+
+func TestClusterKillReplica(t *testing.T) {
+	c, err := SpawnCluster(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	names := c.ReplicaNames()
+	if len(names) != 2 {
+		t.Fatalf("replica names = %v", names)
+	}
+	if !c.KillReplica(names[0]) {
+		t.Fatal("kill refused")
+	}
+	if c.KillReplica(names[0]) {
+		t.Fatal("double kill accepted")
+	}
+}

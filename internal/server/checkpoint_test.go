@@ -326,7 +326,7 @@ func TestCheckpointEndpointErrorCodes(t *testing.T) {
 }
 
 func TestStoreTTLSweepSpills(t *testing.T) {
-	st := newSessionStore(8, time.Minute, t.TempDir(), 0, nil)
+	st := newSessionStore(8, time.Minute, dirStore(t, t.TempDir()), 0, false, nil)
 	m, err := sim.NewFromAsm(sim.DefaultConfig(), spillProgram, "")
 	if err != nil {
 		t.Fatal(err)
@@ -357,7 +357,7 @@ func TestStoreTTLSweepSpills(t *testing.T) {
 // after locking, re-fetch, and receive the rehydrated copy instead of
 // mutating the orphaned machine (whose state the spill already holds).
 func TestRetiredSessionIsMarkedGone(t *testing.T) {
-	st := newSessionStore(1, 0, t.TempDir(), 0, nil)
+	st := newSessionStore(1, 0, dirStore(t, t.TempDir()), 0, false, nil)
 	m, err := sim.NewFromAsm(sim.DefaultConfig(), spillProgram, "")
 	if err != nil {
 		t.Fatal(err)
@@ -400,10 +400,10 @@ func TestRetiredSessionIsMarkedGone(t *testing.T) {
 // checkpoints older than SpillTTL are removed at store startup.
 func TestSpillDirGarbageCollection(t *testing.T) {
 	dir := t.TempDir()
-	stale := dir + "/s00000001" + spillExt
-	freshFile := dir + "/s00000002" + spillExt
+	stale := dir + "/s00000001.ckpt"
+	freshFile := dir + "/s00000002.ckpt"
 	for _, p := range []string{stale, freshFile} {
-		if err := writeFileAtomic(p, []byte("x")); err != nil {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -411,7 +411,7 @@ func TestSpillDirGarbageCollection(t *testing.T) {
 	if err := os.Chtimes(stale, old, old); err != nil {
 		t.Fatal(err)
 	}
-	newSessionStore(4, 0, dir, 24*time.Hour, nil)
+	newSessionStore(4, 0, dirStore(t, dir), 24*time.Hour, false, nil)
 	if _, err := os.ReadFile(stale); err == nil {
 		t.Error("stale spill file survived GC")
 	}

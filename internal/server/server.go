@@ -31,6 +31,7 @@ import (
 
 	"riscvsim/internal/api"
 	"riscvsim/internal/isa"
+	"riscvsim/internal/store"
 	"riscvsim/sim"
 )
 
@@ -50,12 +51,31 @@ type Options struct {
 	// session evicted by LRU pressure or the idle TTL is checkpointed
 	// into this directory and rehydrated on its next touch (including
 	// after a server restart). Empty disables spilling; evictions then
-	// lose sessions (counted in the sessions_lost metric).
+	// lose sessions (counted in the sessions_lost metric). Ignored when
+	// Store is set.
 	SpillDir string
+	// Store is the checkpoint-store backend for session spill and
+	// rehydration (internal/store). It generalizes SpillDir — a
+	// directory is just the Dir backend — and is how the distributed
+	// tier shares one store across replicas. Takes precedence over
+	// SpillDir when both are set.
+	Store store.Store
 	// SpillTTL garbage-collects spilled checkpoints older than this so
-	// abandoned sessions cannot grow SpillDir without bound (0 =
+	// abandoned sessions cannot grow the store without bound (0 =
 	// default 24h; negative = keep forever).
 	SpillTTL time.Duration
+	// WriteThrough persists every explicit session checkpoint
+	// (POST /api/v1/session/checkpoint) into the checkpoint store, making
+	// the store the authority for the session's state: any replica
+	// sharing it can rehydrate the session, which is the distributed
+	// tier's failover contract (docs/deployment.md). Requires a store.
+	WriteThrough bool
+	// AllowAssignedIDs accepts a caller-chosen session ID (the
+	// api.SessionIDHeader request header) on session create/restore.
+	// The consistent-hash router assigns IDs so a session's owner
+	// replica is computable before the session exists; direct
+	// deployments leave this off so IDs stay server-generated.
+	AllowAssignedIDs bool
 	// Debug enables debug-level logging (session eviction/spill events).
 	Debug bool
 }
@@ -119,10 +139,21 @@ func New(opts Options) *Server {
 			log.Printf("[debug] "+format, args...)
 		}
 	}
+	backend := opts.Store
+	if backend == nil && opts.SpillDir != "" {
+		d, err := store.NewDir(opts.SpillDir)
+		if err != nil {
+			// A spill directory that cannot be created degrades to the
+			// no-spill behavior the option always had on I/O failure.
+			log.Printf("server: spill directory unusable, spilling disabled: %v", err)
+		} else {
+			backend = d
+		}
+	}
 	s := &Server{
 		opts:    opts,
 		mux:     http.NewServeMux(),
-		store:   newSessionStore(opts.MaxSessions, ttl, opts.SpillDir, spillTTL, debugf),
+		store:   newSessionStore(opts.MaxSessions, ttl, backend, spillTTL, opts.WriteThrough, debugf),
 		codecNs: make(map[string]*codecCounter),
 	}
 	for _, name := range api.CodecNames() {
@@ -197,10 +228,24 @@ func (s *Server) Handler() http.Handler {
 }
 
 // SpillSessions checkpoints every live interactive session into the
-// spill directory and drops it from memory (the graceful shutdown path:
-// a new server process with the same SpillDir picks the sessions back up
+// checkpoint store and drops it from memory (the graceful shutdown path:
+// a new server process with the same store picks the sessions back up
 // transparently). It returns how many sessions were processed.
 func (s *Server) SpillSessions() int { return s.store.SpillAll() }
+
+// Shutdown is the graceful-termination sequence: first drain the HTTP
+// server (no new connections, in-flight requests run to completion
+// within ctx's deadline), then spill every live session. The ordering
+// is the point — spilling before the drain raced in-flight handlers: a
+// request could mutate a machine after its spill was captured, or get a
+// spurious unknown_session as its session retired mid-operation. It
+// returns the number of sessions spilled and the drain error, if any
+// (context deadline exceeded when in-flight work outran the budget; the
+// spill still runs and captures whatever state the handlers reached).
+func (s *Server) Shutdown(ctx context.Context, hs *http.Server) (int, error) {
+	err := hs.Shutdown(ctx)
+	return s.store.SpillAll(), err
+}
 
 // Metrics returns the accumulated instrumentation.
 func (s *Server) Metrics() api.Metrics {
@@ -277,6 +322,12 @@ func statusForCode(code string) int {
 		return http.StatusBadRequest
 	case api.CodeUnknownSession:
 		return http.StatusNotFound
+	case api.CodeSessionExists:
+		return http.StatusConflict
+	case api.CodeSessionMoved:
+		return http.StatusGone
+	case api.CodeNodeUnavailable:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

@@ -25,9 +25,41 @@ func rewindError(err error) *api.Error {
 	return api.WrapError(api.CodeUnprocessable, err)
 }
 
+// assignedSessionID extracts a router-assigned session ID from the
+// request when the server accepts them (Options.AllowAssignedIDs). The
+// empty string means "generate one locally", the historical behavior.
+func (s *Server) assignedSessionID(r *http.Request) (string, *api.Error) {
+	if !s.opts.AllowAssignedIDs {
+		return "", nil
+	}
+	id := r.Header.Get(api.SessionIDHeader)
+	if id == "" {
+		return "", nil
+	}
+	if !validSessionID(id) {
+		return "", api.Errorf(api.CodeBadRequest, "assigned session id %q is not of the s%%08d form", id)
+	}
+	return id, nil
+}
+
+// addSession registers a machine under a fresh or assigned ID.
+func (s *Server) addSession(m *sim.Machine, assigned string) (string, *api.Error) {
+	if assigned == "" {
+		return s.store.Add(m), nil
+	}
+	if !s.store.AddWithID(assigned, m) {
+		return "", api.Errorf(api.CodeSessionExists, "session %q already exists on this node", assigned)
+	}
+	return assigned, nil
+}
+
 func (s *Server) handleSessionNew(w http.ResponseWriter, r *http.Request) (any, int, error) {
 	var req api.SessionNewRequest
 	if aerr := s.decode(w, r, &req); aerr != nil {
+		return nil, 0, aerr
+	}
+	assigned, aerr := s.assignedSessionID(r)
+	if aerr != nil {
 		return nil, 0, aerr
 	}
 	m, aerr := s.buildMachine(&req.SimulateRequest)
@@ -42,7 +74,10 @@ func (s *Server) handleSessionNew(w http.ResponseWriter, r *http.Request) (any, 
 	if m.SnapshotInterval() == 0 {
 		m.EnableSnapshots(0)
 	}
-	id := s.store.Add(m)
+	id, aerr := s.addSession(m, assigned)
+	if aerr != nil {
+		return nil, 0, aerr
+	}
 	return &api.SessionNewResponse{SessionID: id, State: m.State(false)}, 0, nil
 }
 
@@ -158,6 +193,12 @@ func (s *Server) handleSessionCheckpoint(w http.ResponseWriter, r *http.Request)
 		s.simNs.Add(uint64(time.Since(sstart)))
 		return nil, 0, api.WrapError(api.CodeInternal, err)
 	}
+	// Write-through policy (docs/deployment.md): the same bytes the
+	// client receives land in the checkpoint store, so any replica
+	// sharing it can serve the session from this point on. The store —
+	// not this process — is the session's authority after an explicit
+	// checkpoint.
+	s.store.WriteThrough(sess, buf.Bytes())
 	s.simNs.Add(uint64(time.Since(sstart)))
 	return &api.SessionCheckpointResponse{
 		SessionID:  req.SessionID,
@@ -177,6 +218,10 @@ func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) (a
 	if len(req.Checkpoint) == 0 {
 		return nil, 0, api.Errorf(api.CodeBadRequest, "restore: empty checkpoint")
 	}
+	assigned, aerr := s.assignedSessionID(r)
+	if aerr != nil {
+		return nil, 0, aerr
+	}
 	sstart := time.Now()
 	m, err := sim.Restore(bytes.NewReader(req.Checkpoint))
 	s.simNs.Add(uint64(time.Since(sstart)))
@@ -186,7 +231,10 @@ func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) (a
 	if m.SnapshotInterval() == 0 {
 		m.EnableSnapshots(0)
 	}
-	id := s.store.Add(m)
+	id, aerr := s.addSession(m, assigned)
+	if aerr != nil {
+		return nil, 0, aerr
+	}
 	return &api.SessionNewResponse{SessionID: id, State: m.State(false)}, 0, nil
 }
 

@@ -3,14 +3,13 @@ package server
 import (
 	"bytes"
 	"container/list"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
+	"riscvsim/internal/store"
 	"riscvsim/sim"
 )
 
@@ -24,6 +23,11 @@ type session struct {
 	// not mutate the orphaned machine (the spill already captured it) —
 	// it re-fetches through the store, rehydrating the spilled copy.
 	gone bool
+	// version (guarded by mu) is the session's checkpoint-store version
+	// counter: the newest version this node knows to be persisted. The
+	// next Put writes version+1, so the store's last-writer-wins check
+	// can order writes from different nodes (docs/deployment.md).
+	version uint64
 
 	// lastUsed is guarded by the owning store's mutex, not session.mu.
 	lastUsed time.Time
@@ -35,31 +39,41 @@ type session struct {
 // sessions past the TTL are swept opportunistically on every operation,
 // so no janitor goroutine is needed.
 //
-// With a spill directory configured, eviction is no longer lossy: the
-// evicted session's machine is checkpointed to disk, and the next touch
-// of its ID transparently rehydrates it (also across server restarts,
-// since the checkpoint format is self-contained). Without one, evictions
-// drop live sessions and are counted as lost.
+// With a checkpoint-store backend configured (internal/store; a local
+// directory, a shared volume, or the in-memory fake), eviction is no
+// longer lossy: the evicted session's machine is checkpointed into the
+// backend, and the next touch of its ID transparently rehydrates it
+// (also across server restarts, and — when the backend is shared — on a
+// different server replica). Without one, evictions drop live sessions
+// and are counted as lost.
 //
-// Locking: st.mu guards only the in-memory table. Serialization, file
+// writeThrough additionally persists every explicit checkpoint into the
+// backend, making the backend the authority for the session's state:
+// that is the distributed tier's failover contract (a replica dying
+// loses at most the work since the last checkpoint). In write-through
+// mode rehydration leaves the blob in place — another node may need it —
+// where the single-node spill semantics move it (memory <-> store).
+//
+// Locking: st.mu guards only the in-memory table. Serialization, store
 // I/O and machine reconstruction all run outside it (eviction removes
 // the session from the table under the lock, then spills it after
-// release), so one session's disk work never stalls the others. The
-// window between removal and the spill file appearing can surface as a
+// release), so one session's store work never stalls the others. The
+// window between removal and the blob appearing can surface as a
 // transient miss — the same outcome an eviction always had before
 // spilling existed.
 type sessionStore struct {
-	mu       sync.Mutex
-	max      int
-	ttl      time.Duration // 0 = no idle expiry
-	spillDir string        // "" = spilling disabled
-	spillTTL time.Duration // age at which spilled files are GC'd (0 = never)
-	byID     map[string]*list.Element
-	lru      *list.List // front = most recent, back = least recent
-	nextID   uint64
-	now      func() time.Time     // injectable clock for tests
-	debugf   func(string, ...any) // debug-level logger (may be nil)
-	lastGC   time.Time
+	mu           sync.Mutex
+	max          int
+	ttl          time.Duration // 0 = no idle expiry
+	backend      store.Store   // nil = spilling disabled
+	writeThrough bool
+	spillTTL     time.Duration // age at which stored blobs are GC'd (0 = never)
+	byID         map[string]*list.Element
+	lru          *list.List // front = most recent, back = least recent
+	nextID       uint64
+	now          func() time.Time     // injectable clock for tests
+	debugf       func(string, ...any) // debug-level logger (may be nil)
+	lastGC       time.Time
 
 	// Lifecycle counters, guarded by mu (served by /api/v1/metrics).
 	spilled    uint64
@@ -67,47 +81,43 @@ type sessionStore struct {
 	lost       uint64
 }
 
-func newSessionStore(max int, ttl time.Duration, spillDir string, spillTTL time.Duration, debugf func(string, ...any)) *sessionStore {
+func newSessionStore(max int, ttl time.Duration, backend store.Store, spillTTL time.Duration, writeThrough bool, debugf func(string, ...any)) *sessionStore {
 	st := &sessionStore{
-		max:      max,
-		ttl:      ttl,
-		spillDir: spillDir,
-		spillTTL: spillTTL,
-		byID:     make(map[string]*list.Element),
-		lru:      list.New(),
-		now:      time.Now,
-		debugf:   debugf,
+		max:          max,
+		ttl:          ttl,
+		backend:      backend,
+		writeThrough: writeThrough && backend != nil,
+		spillTTL:     spillTTL,
+		byID:         make(map[string]*list.Element),
+		lru:          list.New(),
+		now:          time.Now,
+		debugf:       debugf,
 	}
-	if spillDir != "" {
-		os.MkdirAll(spillDir, 0o755)
+	if backend != nil {
 		// Resume ID allocation past any checkpoints a previous process
-		// left behind, so fresh IDs never collide with spilled sessions.
-		if entries, err := os.ReadDir(spillDir); err == nil {
+		// left behind, so fresh IDs never collide with stored sessions.
+		if entries, err := backend.List(); err == nil {
 			for _, e := range entries {
-				name := strings.TrimSuffix(e.Name(), spillExt)
-				if name == e.Name() || !validSessionID(name) {
+				if !validSessionID(e.ID) {
 					continue
 				}
-				if n, err := strconv.ParseUint(name[1:], 10, 64); err == nil && n > st.nextID {
+				if n, err := strconv.ParseUint(e.ID[1:], 10, 64); err == nil && n > st.nextID {
 					st.nextID = n
 				}
 			}
 		}
 		st.lastGC = st.now()
-		st.gcSpillDir(st.lastGC)
+		st.gcBackend()
 	}
 	return st
 }
 
-// spillExt is the on-disk suffix of spilled session checkpoints.
-const spillExt = ".ckpt"
+// storeGCInterval bounds how often the opportunistic stored-blob age
+// sweep runs.
+const storeGCInterval = time.Hour
 
-// spillGCInterval bounds how often the opportunistic spill-directory
-// scan runs.
-const spillGCInterval = time.Hour
-
-// validSessionID guards disk lookups against path traversal: IDs are
-// always of the generated s%08d form.
+// validSessionID guards store lookups against malformed IDs: IDs are
+// always of the s%08d form (locally generated or router-assigned).
 func validSessionID(id string) bool {
 	if len(id) != 9 || id[0] != 's' {
 		return false
@@ -120,42 +130,27 @@ func validSessionID(id string) bool {
 	return true
 }
 
-func (st *sessionStore) spillPath(id string) string {
-	return filepath.Join(st.spillDir, id+spillExt)
-}
-
 func (st *sessionStore) logf(format string, args ...any) {
 	if st.debugf != nil {
 		st.debugf(format, args...)
 	}
 }
 
-// gcSpillDir deletes spilled checkpoints older than spillTTL so
-// abandoned sessions (spilled by the idle sweep, never touched again)
-// cannot grow the directory without bound. Runs at startup and then at
-// most once per spillGCInterval, amortized over Add calls; it touches
-// only immutable fields, so it needs no lock.
-func (st *sessionStore) gcSpillDir(now time.Time) {
-	if st.spillDir == "" || st.spillTTL <= 0 {
+// gcBackend expires stored checkpoints older than spillTTL (backends
+// that support age sweeps) so abandoned sessions cannot grow the store
+// without bound. Runs at startup and then at most once per
+// storeGCInterval, amortized over Add calls; it touches only immutable
+// fields, so it needs no lock.
+func (st *sessionStore) gcBackend() {
+	if st.backend == nil || st.spillTTL <= 0 {
 		return
 	}
-	entries, err := os.ReadDir(st.spillDir)
-	if err != nil {
+	sweeper, ok := st.backend.(store.Sweeper)
+	if !ok {
 		return
 	}
-	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), spillExt) {
-			continue
-		}
-		info, err := e.Info()
-		if err != nil {
-			continue
-		}
-		if now.Sub(info.ModTime()) > st.spillTTL {
-			if os.Remove(filepath.Join(st.spillDir, e.Name())) == nil {
-				st.logf("spill GC: removed %s (idle > %v)", e.Name(), st.spillTTL)
-			}
-		}
+	if n := sweeper.Sweep(st.spillTTL); n > 0 {
+		st.logf("store GC: removed %d blobs (idle > %v)", n, st.spillTTL)
 	}
 }
 
@@ -165,7 +160,7 @@ func (st *sessionStore) Add(m *sim.Machine) string {
 	st.mu.Lock()
 	now := st.now()
 	expired := st.sweepLocked(now)
-	runGC := st.spillDir != "" && st.spillTTL > 0 && now.Sub(st.lastGC) > spillGCInterval
+	runGC := st.backend != nil && st.spillTTL > 0 && now.Sub(st.lastGC) > storeGCInterval
 	if runGC {
 		st.lastGC = now
 	}
@@ -179,14 +174,45 @@ func (st *sessionStore) Add(m *sim.Machine) string {
 	st.retire(expired, "idle TTL")
 	st.retire(evicted, "LRU capacity")
 	if runGC {
-		st.gcSpillDir(now)
+		st.gcBackend()
 	}
 	return id
 }
 
+// AddWithID stores a new session under a caller-assigned ID (the
+// router's consistent-hash deployment assigns IDs so a session's owner
+// is computable before it exists; docs/deployment.md). It fails when
+// the ID is already live on this node. If the backend already holds a
+// blob under the ID, the session adopts its version so later writes
+// stay monotonic.
+func (st *sessionStore) AddWithID(id string, m *sim.Machine) bool {
+	var version uint64
+	if st.backend != nil {
+		if v, err := st.backend.Version(id); err == nil {
+			version = v
+		}
+	}
+	st.mu.Lock()
+	now := st.now()
+	expired := st.sweepLocked(now)
+	if _, exists := st.byID[id]; exists {
+		st.mu.Unlock()
+		st.retire(expired, "idle TTL")
+		return false
+	}
+	evicted := st.makeRoomLocked()
+	sess := &session{id: id, machine: m, lastUsed: now, version: version}
+	st.byID[id] = st.lru.PushFront(sess)
+	st.mu.Unlock()
+
+	st.retire(expired, "idle TTL")
+	st.retire(evicted, "LRU capacity")
+	return true
+}
+
 // Get looks up a session and marks it most recently used. A session that
-// was spilled to disk (eviction or a previous server process) is
-// transparently rehydrated.
+// was spilled into the backend (eviction, a previous server process, or
+// another replica sharing the store) is transparently rehydrated.
 func (st *sessionStore) Get(id string) (*session, bool) {
 	st.mu.Lock()
 	now := st.now()
@@ -204,22 +230,24 @@ func (st *sessionStore) Get(id string) (*session, bool) {
 	return st.rehydrate(id)
 }
 
-// rehydrate restores a spilled session from disk under its original ID.
-// File I/O and machine reconstruction run without the store lock; only
-// the table re-insertion takes it.
+// rehydrate restores a stored session from the backend under its
+// original ID. Store I/O and machine reconstruction run without the
+// store lock; only the table re-insertion takes it.
 func (st *sessionStore) rehydrate(id string) (*session, bool) {
-	if st.spillDir == "" || !validSessionID(id) {
+	if st.backend == nil || !validSessionID(id) {
 		return nil, false
 	}
-	path := st.spillPath(id)
-	data, err := os.ReadFile(path)
+	data, version, err := st.backend.Get(id)
 	if err != nil {
 		return nil, false
 	}
 	m, err := sim.Restore(bytes.NewReader(data))
 	if err != nil {
-		st.logf("session %s: spilled checkpoint unusable: %v", id, err)
-		os.Remove(path)
+		// A corrupted or truncated blob surfaces here through the ckpt
+		// sentinel errors; the session is unrecoverable either way, so
+		// drop the blob and treat the lookup as a miss — never panic.
+		st.logf("session %s: stored checkpoint unusable: %v", id, err)
+		st.backend.Delete(id)
 		return nil, false
 	}
 	// Interactive sessions keep interval snapshots for O(interval)
@@ -241,20 +269,53 @@ func (st *sessionStore) rehydrate(id string) (*session, bool) {
 		return sess, true
 	}
 	evicted := st.makeRoomLocked()
-	sess := &session{id: id, machine: m, lastUsed: st.now()}
+	sess := &session{id: id, machine: m, lastUsed: st.now(), version: version}
 	el := st.lru.PushFront(sess)
 	st.byID[id] = el
 	st.rehydrated++
 	st.mu.Unlock()
 
-	os.Remove(path)
+	if !st.writeThrough {
+		// Single-node spill semantics: the blob moves between memory
+		// and store. In write-through mode the store is the authority
+		// and the blob stays — another replica may rehydrate it too,
+		// with the version check ordering the eventual writes.
+		st.backend.Delete(id)
+	}
 	st.retire(evicted, "LRU capacity")
-	st.logf("session %s: rehydrated from spill at cycle %d", id, m.Cycle())
+	st.logf("session %s: rehydrated from store at cycle %d (v%d)", id, m.Cycle(), version)
 	return sess, true
 }
 
-// Remove deletes a session (and any spilled copy); it reports whether
-// the session existed in memory or on disk.
+// WriteThrough persists a just-taken checkpoint of the session into the
+// backend at the next version. The caller holds sess.mu (the checkpoint
+// handler does), which also guards the version counter. A stale write —
+// another node persisted a newer version meanwhile — is not an error:
+// last-writer-wins keeps the newer state, and this node's copy will be
+// superseded on the next ring-consistent touch.
+func (st *sessionStore) WriteThrough(sess *session, data []byte) {
+	if !st.writeThrough {
+		return
+	}
+	version := sess.version + 1
+	err := st.backend.Put(sess.id, version, data)
+	switch {
+	case err == nil:
+		sess.version = version
+		st.mu.Lock()
+		st.spilled++
+		st.mu.Unlock()
+		st.logf("session %s: checkpoint written through at cycle %d (v%d, %d bytes)",
+			sess.id, sess.machine.Cycle(), version, len(data))
+	case errors.Is(err, store.ErrStale):
+		st.logf("session %s: write-through superseded by a newer store version: %v", sess.id, err)
+	default:
+		st.logf("session %s: write-through failed: %v", sess.id, err)
+	}
+}
+
+// Remove deletes a session (and any stored copy); it reports whether
+// the session existed in memory or in the backend.
 func (st *sessionStore) Remove(id string) bool {
 	st.mu.Lock()
 	el, ok := st.byID[id]
@@ -263,8 +324,9 @@ func (st *sessionStore) Remove(id string) bool {
 		delete(st.byID, id)
 	}
 	st.mu.Unlock()
-	if st.spillDir != "" && validSessionID(id) {
-		if os.Remove(st.spillPath(id)) == nil {
+	if st.backend != nil && validSessionID(id) {
+		if _, err := st.backend.Version(id); err == nil {
+			st.backend.Delete(id)
 			ok = true
 		}
 	}
@@ -293,10 +355,10 @@ func (st *sessionStore) Sweep() int {
 	return len(expired)
 }
 
-// SpillAll retires every live session (spilling each to disk when a
-// spill directory is configured) and returns how many were processed.
-// It is the graceful-shutdown path: a restarted server with the same
-// spill directory rehydrates all of them on their next touch.
+// SpillAll retires every live session (spilling each into the backend
+// when one is configured) and returns how many were processed. It is
+// the graceful-shutdown path: a restarted server with the same backend
+// rehydrates all of them on their next touch.
 func (st *sessionStore) SpillAll() int {
 	st.mu.Lock()
 	var all []*session
@@ -357,13 +419,13 @@ func (st *sessionStore) makeRoomLocked() []*session {
 	return evicted
 }
 
-// retire spills each removed session to disk (or counts it lost when
-// spilling is unavailable). It runs WITHOUT the store lock: the only
-// locks taken are each session's own mutex (so a handler mid-step
-// finishes before serialization and the spill captures its result) and
-// a brief store-lock acquisition for the counters. sess.mu and st.mu
-// are never held together here, so no ordering cycle exists with the
-// handlers' store-then-session order.
+// retire spills each removed session into the backend (or counts it
+// lost when spilling is unavailable). It runs WITHOUT the store lock:
+// the only locks taken are each session's own mutex (so a handler
+// mid-step finishes before serialization and the spill captures its
+// result) and a brief store-lock acquisition for the counters. sess.mu
+// and st.mu are never held together here, so no ordering cycle exists
+// with the handlers' store-then-session order.
 func (st *sessionStore) retire(retired []*session, cause string) {
 	for _, sess := range retired {
 		st.retireOne(sess, cause)
@@ -371,24 +433,34 @@ func (st *sessionStore) retire(retired []*session, cause string) {
 }
 
 func (st *sessionStore) retireOne(sess *session, cause string) {
-	if st.spillDir == "" {
+	if st.backend == nil {
 		sess.mu.Lock()
 		sess.gone = true
 		sess.mu.Unlock()
 		st.mu.Lock()
 		st.lost++
 		st.mu.Unlock()
-		st.logf("session %s: evicted (%s) and lost — no spill directory", sess.id, cause)
+		st.logf("session %s: evicted (%s) and lost — no checkpoint store", sess.id, cause)
 		return
 	}
 	sess.mu.Lock()
 	var buf bytes.Buffer
 	err := sess.machine.Checkpoint(&buf)
 	cycle := sess.machine.Cycle()
+	version := sess.version + 1
+	if err == nil {
+		err = st.backend.Put(sess.id, version, buf.Bytes())
+		if err == nil {
+			sess.version = version
+		}
+	}
 	sess.gone = true
 	sess.mu.Unlock()
-	if err == nil {
-		err = writeFileAtomic(st.spillPath(sess.id), buf.Bytes())
+	if errors.Is(err, store.ErrStale) {
+		// Another node already persisted a newer version: nothing was
+		// lost, the authority simply lives elsewhere now.
+		st.logf("session %s: eviction spill superseded by a newer store version (%s)", sess.id, cause)
+		return
 	}
 	st.mu.Lock()
 	if err != nil {
@@ -401,19 +473,5 @@ func (st *sessionStore) retireOne(sess *session, cause string) {
 		st.logf("session %s: evicted (%s) and lost — spill failed: %v", sess.id, cause, err)
 		return
 	}
-	st.logf("session %s: spilled to disk at cycle %d (%s, %d bytes)", sess.id, cycle, cause, buf.Len())
-}
-
-// writeFileAtomic writes via a temp file + rename so a crash mid-write
-// never leaves a truncated checkpoint under a valid session ID.
-func writeFileAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	st.logf("session %s: spilled to store at cycle %d (%s, v%d, %d bytes)", sess.id, cycle, cause, version, buf.Len())
 }

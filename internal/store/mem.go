@@ -1,0 +1,112 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mem is the in-memory Store backend: the test fake, and a building
+// block for wrapping stores with fault injection. It implements the
+// same last-writer-wins version contract as Dir.
+type Mem struct {
+	mu   sync.Mutex
+	blob map[string]memEntry
+
+	// FailPuts, when set, makes every Put fail with the given error —
+	// tests use it to exercise the spill-failure (session lost) path.
+	FailPuts error
+}
+
+type memEntry struct {
+	version uint64
+	data    []byte
+}
+
+// NewMem builds an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{blob: make(map[string]memEntry)}
+}
+
+// Put implements Store.
+func (m *Mem) Put(id string, version uint64, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.FailPuts != nil {
+		return m.FailPuts
+	}
+	if cur, ok := m.blob[id]; ok && cur.version >= version {
+		return fmt.Errorf("store: %s version %d vs stored %d: %w", id, version, cur.version, ErrStale)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.blob[id] = memEntry{version: version, data: cp}
+	return nil
+}
+
+// Get implements Store.
+func (m *Mem) Get(id string) ([]byte, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.blob[id]
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	cp := make([]byte, len(e.data))
+	copy(cp, e.data)
+	return cp, e.version, nil
+}
+
+// Version implements Store.
+func (m *Mem) Version(id string) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.blob[id]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return e.version, nil
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.blob, id)
+	return nil
+}
+
+// List implements Store.
+func (m *Mem) List() ([]Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Entry, 0, len(m.blob))
+	for id, e := range m.blob {
+		out = append(out, Entry{ID: id, Version: e.version})
+	}
+	return out, nil
+}
+
+// Corrupt truncates the stored blob for id to n bytes without touching
+// its version — the test hook for the corrupted/truncated-checkpoint
+// rehydration path.
+func (m *Mem) Corrupt(id string, n int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.blob[id]
+	if !ok {
+		return false
+	}
+	if n > len(e.data) {
+		n = len(e.data)
+	}
+	e.data = e.data[:n]
+	m.blob[id] = e
+	return true
+}
+
+// Len returns the number of stored sessions.
+func (m *Mem) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blob)
+}
