@@ -27,7 +27,12 @@ func main() {
 		healthInterval = flag.Duration("health-interval", time.Second, "replica health probe spacing")
 		healthTimeout  = flag.Duration("health-timeout", 500*time.Millisecond, "one health probe's budget")
 		retries        = flag.Int("retries", 3, "re-forward attempts after a replica failure")
-		retryBackoff   = flag.Duration("retry-backoff", 100*time.Millisecond, "spacing between re-forward attempts")
+		retryBackoff   = flag.Duration("retry-backoff", 100*time.Millisecond, "base of the jittered exponential backoff between re-forward attempts")
+		retryBudget    = flag.Float64("retry-budget", 10, "aggregate retry token bucket: each retry spends one token, successful forwards earn retry-budget-ratio back; empty bucket = fail fast")
+		budgetRatio    = flag.Float64("retry-budget-ratio", 0.1, "retry tokens earned per successful forward")
+		breakerTrips   = flag.Int("breaker-threshold", 3, "consecutive forward failures that trip a replica's circuit breaker")
+		breakerCool    = flag.Duration("breaker-cooldown", 0, "how long a tripped breaker stays open before half-opening (0 = 2x health-interval)")
+		requestTimeout = flag.Duration("request-timeout", 0, "end-to-end deadline per forwarded request, streaming endpoints exempt (0 = none)")
 		debug          = flag.Bool("debug", false, "log routing decisions, health transitions and migrations")
 	)
 	flag.Parse()
@@ -37,19 +42,24 @@ func main() {
 		log.Fatalf("-replicas: %v", err)
 	}
 	rt, err := router.New(router.Options{
-		Replicas:       reps,
-		HealthInterval: *healthInterval,
-		HealthTimeout:  *healthTimeout,
-		Retries:        *retries,
-		RetryBackoff:   *retryBackoff,
-		Debug:          *debug,
+		Replicas:         reps,
+		HealthInterval:   *healthInterval,
+		HealthTimeout:    *healthTimeout,
+		Retries:          *retries,
+		RetryBackoff:     *retryBackoff,
+		RetryBudget:      *retryBudget,
+		RetryBudgetRatio: *budgetRatio,
+		BreakerThreshold: *breakerTrips,
+		BreakerCooldown:  *breakerCool,
+		RequestTimeout:   *requestTimeout,
+		Debug:            *debug,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Close()
 
-	fmt.Printf("session router listening on %s over %d replicas (admin: /admin/ring, /admin/owner)\n",
+	fmt.Printf("session router listening on %s over %d replicas (admin: /admin/ring, /admin/owner, /admin/metrics)\n",
 		*addr, len(reps))
 	s := &http.Server{
 		Addr:              *addr,

@@ -37,6 +37,11 @@ func main() {
 		dockerShim   = flag.Bool("docker-shim", false, "simulate containerized deployment overhead (Table I 'Docker' rows)")
 		proxyDelay   = flag.Duration("shim-delay", 2*time.Millisecond, "docker shim per-request overhead")
 		parallelism  = flag.Int("shim-parallelism", 0, "docker shim concurrency cap (0 = NumCPU/2)")
+
+		maxInFlight    = flag.Int("max-inflight", 0, "admission control: cap on concurrently executing simulation requests; beyond it requests queue briefly and are then shed with a typed 429 over_capacity (0 = unlimited)")
+		maxQueue       = flag.Int("max-queue", 0, "admission control: how many requests may wait for an in-flight slot (0 = 2x max-inflight)")
+		queueTimeout   = flag.Duration("queue-timeout", 0, "admission control: how long a queued request waits before being shed (0 = 1s)")
+		requestTimeout = flag.Duration("request-timeout", 0, "per-request simulation deadline; a request outrunning it gets a typed deadline_exceeded (0 = none)")
 	)
 	flag.Parse()
 
@@ -56,6 +61,10 @@ func main() {
 		SpillTTL:         *spillTTL,
 		WriteThrough:     *writeThrough,
 		AllowAssignedIDs: *assignedIDs,
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		QueueTimeout:     *queueTimeout,
+		RequestTimeout:   *requestTimeout,
 		Debug:            *debug,
 	})
 	var handler http.Handler = srv.Handler()

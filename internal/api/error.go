@@ -68,6 +68,22 @@ const (
 	// Transient by design — clients retry with backoff.
 	CodeNodeUnavailable = "node_unavailable"
 
+	// Overload-protection codes (docs/robustness.md).
+
+	// CodeOverCapacity: the node (or router) is at its admission limit —
+	// the in-flight simulation cap is reached and the bounded wait queue
+	// is full. The response carries a Retry-After header; clients back
+	// off and retry. Load is shed, never queued unboundedly, so the tier
+	// degrades to fast typed rejections instead of collapsing.
+	CodeOverCapacity = "over_capacity"
+	// CodeDeadlineExceeded: the per-request deadline elapsed before the
+	// operation completed. For session operations the session remains
+	// valid at whatever state the work reached — NOT the state before
+	// the request — so clients re-read the session state before issuing
+	// more work (a blind step retry would advance past the target). For
+	// stateless simulations no state survives and a retry is safe.
+	CodeDeadlineExceeded = "deadline_exceeded"
+
 	// Checkpoint codes (POST /api/v1/session/{checkpoint,restore} and
 	// checkpoint-carrying simulate/batch requests).
 

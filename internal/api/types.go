@@ -243,6 +243,16 @@ type SessionCheckpointResponse struct {
 	SessionID  string `json:"sessionId"`
 	Cycle      uint64 `json:"cycle"`
 	Checkpoint []byte `json:"checkpoint"`
+	// Durable reports whether this checkpoint is persisted in the
+	// shared checkpoint store (write-through deployments): true means any
+	// replica sharing the store can rehydrate the session from this
+	// point, so a replica crash loses at most the work since this
+	// response. False means the store write failed (or write-through is
+	// off) and the caller's copy of Checkpoint is the only one — the
+	// distributed tier's failover contract does NOT cover this
+	// checkpoint. The chaos harness (docs/robustness.md) checks the
+	// durability invariant against exactly this flag.
+	Durable bool `json:"durable"`
 }
 
 // SessionRestoreRequest opens a new interactive session from a
@@ -449,4 +459,11 @@ type Metrics struct {
 	SessionsSpilled    uint64 `json:"sessions_spilled"`
 	SessionsRehydrated uint64 `json:"sessions_rehydrated"`
 	SessionsLost       uint64 `json:"sessions_lost"`
+	// Overload-protection accounting (docs/robustness.md). InFlight is
+	// the current number of admitted simulation-bearing requests;
+	// Shed counts requests rejected with over_capacity; DeadlineExceeded
+	// counts requests that ran out of their per-request deadline.
+	InFlight         int64  `json:"inFlight"`
+	Shed             uint64 `json:"shed"`
+	DeadlineExceeded uint64 `json:"deadlineExceeded"`
 }

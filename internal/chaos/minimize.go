@@ -1,0 +1,53 @@
+package chaos
+
+import "fmt"
+
+// Minimize shrinks a failing schedule to (close to) its shortest
+// failing prefix by binary-searching the prefix length, re-running the
+// whole harness — fresh cluster, fresh store, same seed — at each
+// probe. Because every fault decision is a pure function of
+// (seed, site, occurrence), a prefix replays the original run's fault
+// stream exactly as far as it goes; the only thing that shrinks is the
+// op schedule.
+//
+// It returns the smallest failing prefix found and its Result. The
+// fault stream is deterministic but goroutine interleaving is not, so
+// a borderline schedule can need more than one attempt to re-fail:
+// the initial reproduction gets reproAttempts tries. If the full
+// schedule still passes every one (a violation the plan cannot pin),
+// it returns (nil, nil, error) so callers report the original seed
+// instead of a bogus minimization. The returned Result is always from
+// an actually-failing run, whatever the probe path.
+const reproAttempts = 3
+
+func Minimize(cfg Config, sched Schedule) (Schedule, *Result, error) {
+	var full *Result
+	for try := 0; try < reproAttempts; try++ {
+		res, err := Run(cfg, sched)
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.Failed() {
+			full = res
+			break
+		}
+	}
+	if full == nil {
+		return nil, nil, fmt.Errorf("chaos: schedule for seed %d did not fail in %d re-runs; not minimizable", cfg.Seed, reproAttempts)
+	}
+	lo, hi := 1, len(sched) // invariant: prefix of hi fails
+	best := full
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		res, err := Run(cfg, sched[:mid])
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.Failed() {
+			hi, best = mid, res
+		} else {
+			lo = mid + 1
+		}
+	}
+	return sched[:hi], best, nil
+}

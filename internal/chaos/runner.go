@@ -1,0 +1,273 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"riscvsim/internal/api"
+	"riscvsim/internal/client"
+	"riscvsim/internal/seeds"
+	"riscvsim/internal/server"
+	"riscvsim/sim"
+)
+
+// loopProgram is the schedule's workload: a tight infinite loop, one
+// architectural event per cycle forever, so a reference machine can be
+// advanced to ANY cycle a checkpoint reports and compared bit-exactly.
+const loopProgram = "loop: addi t0, t0, 1\nbeq x0, x0, loop\n"
+
+// Op kinds. A schedule is a flat list of these, derived from the seed.
+const (
+	OpCreate     = "create"     // start a session (loopProgram)
+	OpStep       = "step"       // advance a session N cycles
+	OpCheckpoint = "checkpoint" // explicit checkpoint (durability point)
+	OpKill       = "kill"       // kill a replica process abruptly
+	OpRevive     = "revive"     // restart a killed replica, same address
+)
+
+// Op is one schedule entry.
+type Op struct {
+	Kind    string
+	Session int    // session slot for create/step/checkpoint
+	Steps   int64  // cycles for step
+	Replica string // target for kill/revive
+}
+
+// Schedule is a deterministic op sequence.
+type Schedule []Op
+
+// BuildSchedule derives the op schedule for a seed: ~sessions session
+// slots driven through nOps operations over the named replicas. Same
+// (seed, nOps, sessions, replicas) → same schedule, always.
+func BuildSchedule(seed int64, nOps, sessions int, replicas []string) Schedule {
+	if sessions <= 0 {
+		sessions = 4
+	}
+	rng := rand.New(rand.NewSource(seeds.Mix(seed)))
+	sched := make(Schedule, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.10:
+			sched = append(sched, Op{Kind: OpCreate, Session: rng.Intn(sessions)})
+		case r < 0.55:
+			sched = append(sched, Op{Kind: OpStep, Session: rng.Intn(sessions), Steps: int64(50 + rng.Intn(2000))})
+		case r < 0.80:
+			sched = append(sched, Op{Kind: OpCheckpoint, Session: rng.Intn(sessions)})
+		case r < 0.90:
+			sched = append(sched, Op{Kind: OpKill, Replica: replicas[rng.Intn(len(replicas))]})
+		default:
+			sched = append(sched, Op{Kind: OpRevive, Replica: replicas[rng.Intn(len(replicas))]})
+		}
+	}
+	return sched
+}
+
+// sessionTrack is the runner's model of one session slot: what the
+// tier has durably acknowledged for it.
+type sessionTrack struct {
+	id         string
+	ackedCycle uint64 // cycle of the last durable-acked checkpoint
+	ackedCkpt  []byte // that checkpoint's bytes (client's copy)
+	lastCycle  uint64 // highest cycle any successful response reported
+}
+
+// Result is one chaos schedule's outcome.
+type Result struct {
+	Seed       int64
+	Ops        int
+	Counts     map[string]int // ops executed per kind
+	Outcomes   map[string]int // "ok" plus typed error codes seen
+	Violations []string       // invariant violations (empty = pass)
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary is a one-line human rendering.
+func (r *Result) Summary() string {
+	state := "PASS"
+	if r.Failed() {
+		state = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+	}
+	return fmt.Sprintf("seed=%d ops=%d outcomes=%v %s", r.Seed, r.Ops, r.Outcomes, state)
+}
+
+// Run executes one chaos schedule under cfg and checks the tier's
+// invariants. The error return is for harness-level failures (cluster
+// would not start); invariant violations land in the Result.
+func Run(cfg Config, sched Schedule) (*Result, error) {
+	plan := NewPlan(cfg)
+	cl, err := SpawnCluster(plan)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	return runOn(plan, cl, sched)
+}
+
+// runOn drives sched against a freshly spawned cluster.
+func runOn(plan *Plan, cl *Cluster, sched Schedule) (*Result, error) {
+	cfg := plan.Config()
+	res := &Result{
+		Seed:     cfg.Seed,
+		Ops:      len(sched),
+		Counts:   make(map[string]int),
+		Outcomes: make(map[string]int),
+	}
+	api2 := client.NewForURL(cl.RouterURL, false)
+	api2.SetRetryPolicy(client.RetryPolicy{MaxRetries: 4, BaseBackoff: 20 * time.Millisecond, MaxBackoff: 250 * time.Millisecond})
+
+	sessions := make(map[int]*sessionTrack)
+	record := func(err error) bool {
+		if err == nil {
+			res.Outcomes["ok"]++
+			return true
+		}
+		if code := client.ErrorCode(err); code != "" {
+			res.Outcomes[code]++
+			return false
+		}
+		// Untyped client-visible outcome: the tier leaked a raw failure
+		// past the router. This is itself an invariant violation.
+		res.Outcomes["untyped"]++
+		res.Violations = append(res.Violations, fmt.Sprintf("untyped client-visible outcome: %v", err))
+		return false
+	}
+
+	for _, op := range sched {
+		res.Counts[op.Kind]++
+		switch op.Kind {
+		case OpCreate:
+			if sessions[op.Session] != nil {
+				continue // slot occupied; creates are idempotent per slot
+			}
+			resp, err := api2.NewSession(&api.SessionNewRequest{
+				SimulateRequest: api.SimulateRequest{Code: loopProgram},
+			})
+			if record(err) {
+				sessions[op.Session] = &sessionTrack{id: resp.SessionID}
+			}
+		case OpStep:
+			tr := sessions[op.Session]
+			if tr == nil {
+				continue
+			}
+			resp, err := api2.Step(tr.id, op.Steps)
+			if record(err) && resp.State != nil && resp.State.Cycle > tr.lastCycle {
+				tr.lastCycle = resp.State.Cycle
+			}
+		case OpCheckpoint:
+			tr := sessions[op.Session]
+			if tr == nil {
+				continue
+			}
+			resp, err := api2.Checkpoint(tr.id)
+			if record(err) {
+				if resp.Cycle > tr.lastCycle {
+					tr.lastCycle = resp.Cycle
+				}
+				if resp.Durable && resp.Cycle >= tr.ackedCycle {
+					// The tier's durability promise starts here: this
+					// checkpoint is in the shared store, so no replica
+					// death may lose progress below this cycle.
+					tr.ackedCycle = resp.Cycle
+					tr.ackedCkpt = resp.Checkpoint
+				}
+			}
+		case OpKill:
+			// Never take the last replica down: the tier's contract
+			// assumes a quorum of one, and an empty cluster would turn
+			// every outcome into node_unavailable noise.
+			if cl.AliveCount() > 1 {
+				cl.Kill(op.Replica)
+			}
+		case OpRevive:
+			cl.Revive(op.Replica)
+		default:
+			return nil, fmt.Errorf("chaos: unknown op kind %q", op.Kind)
+		}
+	}
+
+	// Settle: faults off, every replica back, router probes caught up.
+	// Invariants are then checked against a healthy tier — anything
+	// still broken is real damage, not an ongoing fault.
+	plan.Disable()
+	for _, name := range cl.ReplicaNames() {
+		cl.Revive(name)
+	}
+	settleDeadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(settleDeadline) {
+		healthy := 0
+		for _, re := range cl.Router().Metrics().Replicas {
+			if re.Healthy {
+				healthy++
+			}
+		}
+		if healthy == len(cl.ReplicaNames()) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	verify(res, api2, sessions)
+	res.Violations = append(res.Violations, cl.Store.Violations()...)
+	return res, nil
+}
+
+// verify checks the post-settle invariants for every session that ever
+// received a durable checkpoint ack:
+//
+//  1. Reachability — the session must still answer (a durable-acked
+//     session may never become unknown/moved once the tier is healthy).
+//  2. No lost progress — its current cycle must be >= the acked cycle.
+//  3. Bit-exactness — the acked checkpoint must rehydrate to a machine
+//     whose StateHash equals a reference machine stepped to the same
+//     cycle locally.
+func verify(res *Result, api2 *client.Client, sessions map[int]*sessionTrack) {
+	for slot, tr := range sessions {
+		if tr == nil || tr.ackedCkpt == nil {
+			continue
+		}
+		resp, err := api2.Step(tr.id, 1)
+		if err != nil {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"acked checkpoint lost: session %s (slot %d) durable-acked at cycle %d but unreachable after settle: %v",
+				tr.id, slot, tr.ackedCycle, err))
+			continue
+		}
+		if resp.State == nil || resp.State.Cycle <= tr.ackedCycle {
+			got := uint64(0)
+			if resp.State != nil {
+				got = resp.State.Cycle
+			}
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"acked progress lost: session %s (slot %d) at cycle %d after a step, below durable ack %d",
+				tr.id, slot, got, tr.ackedCycle))
+		}
+		if msg := checkBitExact(tr); msg != "" {
+			res.Violations = append(res.Violations, msg)
+		}
+	}
+}
+
+// checkBitExact replays the acked checkpoint locally against a
+// reference machine advanced to the same cycle.
+func checkBitExact(tr *sessionTrack) string {
+	restored, err := sim.Restore(bytes.NewReader(tr.ackedCkpt))
+	if err != nil {
+		return fmt.Sprintf("acked checkpoint corrupt: session %s cycle %d: %v", tr.id, tr.ackedCycle, err)
+	}
+	ref, aerr := server.BuildMachine(&api.SimulateRequest{Code: loopProgram})
+	if aerr != nil {
+		return fmt.Sprintf("chaos: reference build failed: %v", aerr)
+	}
+	ref.StepN(tr.ackedCycle)
+	if got, want := restored.StateHash(), ref.StateHash(); got != want {
+		return fmt.Sprintf("rehydration not bit-exact: session %s cycle %d: restored hash %016x, reference %016x",
+			tr.id, tr.ackedCycle, got, want)
+	}
+	return ""
+}

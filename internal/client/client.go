@@ -18,9 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"time"
 
 	"riscvsim/internal/api"
@@ -33,6 +35,35 @@ type Client struct {
 	http  *http.Client
 	gzip  bool
 	codec string // codec negotiated via Accept/Content-Type
+	retry RetryPolicy
+}
+
+// RetryPolicy makes the client ride out transient tier conditions
+// (docs/robustness.md): node_unavailable (a replica died mid-failover)
+// and over_capacity / 503 (admission shed) responses are retried with
+// capped jittered exponential backoff, honoring a Retry-After header
+// when the server sent one. Terminal conditions — session_moved,
+// unknown_session, every validation error — never retry. The zero
+// value disables retries (the historical behavior).
+type RetryPolicy struct {
+	// MaxRetries caps re-sends after the first attempt (0 = no retries).
+	MaxRetries int
+	// BaseBackoff is the first retry's nominal delay (default 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth and any Retry-After hint
+	// (default 2s).
+	MaxBackoff time.Duration
+}
+
+// SetRetryPolicy installs a retry policy on the client.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	c.retry = p
 }
 
 // New builds a client for the given host/port. useGzip compresses request
@@ -105,6 +136,9 @@ type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the server's backoff hint (429/503 shed responses),
+	// zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -123,11 +157,19 @@ func ErrorCode(err error) string {
 }
 
 // decodeError turns a non-200 response into an error carrying the v1
-// envelope's stable code when present.
-func decodeError(path string, status int, data []byte) error {
+// envelope's stable code (and the Retry-After hint) when present.
+func decodeError(path string, status int, header http.Header, data []byte) error {
+	var retryAfter time.Duration
+	if header != nil {
+		if s := header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+	}
 	var env api.ErrorEnvelope
 	if json.Unmarshal(data, &env) == nil && env.Err.Message != "" {
-		return &APIError{Path: path, Status: status, Code: env.Err.Code, Message: env.Err.Message}
+		return &APIError{Path: path, Status: status, Code: env.Err.Code, Message: env.Err.Message, RetryAfter: retryAfter}
 	}
 	// Pre-v1 servers used a bare string envelope.
 	var legacy struct {
@@ -139,8 +181,54 @@ func decodeError(path string, status int, data []byte) error {
 	return fmt.Errorf("client: %s: HTTP %d", path, status)
 }
 
-// post sends a JSON request and decodes the JSON response.
+// Retryable reports whether an error is a transient tier condition a
+// client may safely re-send the same request for: the request was shed
+// or could not be placed, so no simulation work happened.
+// session_moved, unknown_session, deadline_exceeded (session state
+// advanced!) and validation errors are terminal.
+func Retryable(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	switch ae.Code {
+	case api.CodeNodeUnavailable, api.CodeOverCapacity:
+		return true
+	}
+	// A shedding proxy in front of an old server may 429/503 without a
+	// typed envelope.
+	return ae.Code == "" && (ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable)
+}
+
+// retryDelay computes attempt's backoff (0-based): the server's
+// Retry-After hint when given, else jittered exponential from
+// BaseBackoff — both capped at MaxBackoff.
+func (c *Client) retryDelay(attempt int, err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		return min(ae.RetryAfter, c.retry.MaxBackoff)
+	}
+	d := c.retry.BaseBackoff
+	for i := 0; i < attempt && d < c.retry.MaxBackoff; i++ {
+		d *= 2
+	}
+	d = min(d, c.retry.MaxBackoff)
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// post sends a JSON request and decodes the JSON response, retrying
+// transient typed failures under the client's RetryPolicy.
 func (c *Client) post(path string, req, resp any) error {
+	err := c.postOnce(path, req, resp)
+	for attempt := 0; attempt < c.retry.MaxRetries && Retryable(err); attempt++ {
+		time.Sleep(c.retryDelay(attempt, err))
+		err = c.postOnce(path, req, resp)
+	}
+	return err
+}
+
+// postOnce sends one JSON request and decodes the JSON response.
+func (c *Client) postOnce(path string, req, resp any) error {
 	hreq, err := c.newRequest(path, req)
 	if err != nil {
 		return err
@@ -155,7 +243,7 @@ func (c *Client) post(path string, req, resp any) error {
 		return fmt.Errorf("client: reading %s response: %w", path, err)
 	}
 	if hresp.StatusCode != http.StatusOK {
-		return decodeError(path, hresp.StatusCode, data)
+		return decodeError(path, hresp.StatusCode, hresp.Header, data)
 	}
 	if resp == nil {
 		return nil
@@ -214,7 +302,7 @@ func (c *Client) Stream(req *api.StreamRequest, fn func(*api.StreamEvent) error)
 	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(hresp.Body)
-		return nil, decodeError(path, hresp.StatusCode, data)
+		return nil, decodeError(path, hresp.StatusCode, hresp.Header, data)
 	}
 	dec := json.NewDecoder(bufio.NewReader(hresp.Body))
 	var last *api.StreamEvent
@@ -277,7 +365,7 @@ func (c *Client) StreamTrace(req *api.TraceStreamRequest, fn func(*api.TraceStre
 	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(hresp.Body)
-		return nil, decodeError(path, hresp.StatusCode, data)
+		return nil, decodeError(path, hresp.StatusCode, hresp.Header, data)
 	}
 	dec := json.NewDecoder(bufio.NewReader(hresp.Body))
 	var last *api.TraceStreamEvent
@@ -319,7 +407,7 @@ func (c *Client) SessionLog(id string, sinceCycle uint64) (*api.SessionLogRespon
 		return nil, fmt.Errorf("client: reading %s response: %w", path, err)
 	}
 	if hresp.StatusCode != http.StatusOK {
-		return nil, decodeError(path, hresp.StatusCode, data)
+		return nil, decodeError(path, hresp.StatusCode, hresp.Header, data)
 	}
 	var resp api.SessionLogResponse
 	if err := json.Unmarshal(data, &resp); err != nil {

@@ -1,0 +1,165 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"riscvsim/internal/api"
+)
+
+// TestRetryableClassification pins the retryable-vs-terminal contract:
+// only conditions where no simulation work happened (shed, placement
+// failure) may be blindly re-sent. Everything that implies state moved
+// or the request itself is wrong is terminal.
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		retryable bool
+	}{
+		{"node_unavailable", &APIError{Code: api.CodeNodeUnavailable, Status: 502}, true},
+		{"over_capacity", &APIError{Code: api.CodeOverCapacity, Status: 429}, true},
+		{"untyped 429", &APIError{Status: http.StatusTooManyRequests}, true},
+		{"untyped 503", &APIError{Status: http.StatusServiceUnavailable}, true},
+		{"session_moved", &APIError{Code: api.CodeSessionMoved, Status: 410}, false},
+		{"unknown_session", &APIError{Code: api.CodeUnknownSession, Status: 404}, false},
+		// deadline_exceeded left the session at whatever state the work
+		// reached; a blind retry of a step would double-execute.
+		{"deadline_exceeded", &APIError{Code: api.CodeDeadlineExceeded, Status: 504}, false},
+		{"bad_request", &APIError{Code: api.CodeBadRequest, Status: 400}, false},
+		{"build_failed", &APIError{Code: api.CodeBuildFailed, Status: 422}, false},
+		{"internal", &APIError{Code: api.CodeInternal, Status: 500}, false},
+		{"untyped 500", &APIError{Status: 500}, false},
+		{"transport error", errors.New("dial tcp: connection refused"), false},
+		{"wrapped retryable", fmt.Errorf("step: %w", &APIError{Code: api.CodeOverCapacity, Status: 429}), true},
+		{"nil", nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Retryable(tc.err); got != tc.retryable {
+				t.Fatalf("Retryable(%v) = %v, want %v", tc.err, got, tc.retryable)
+			}
+		})
+	}
+}
+
+// shedThenServe sheds the first n requests with the given code/status,
+// then serves real simulations.
+func shedThenServe(t *testing.T, n int, status int, code string, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(api.ErrorEnvelope{Err: api.Error{Code: code, Message: "shed"}})
+			return
+		}
+		json.NewEncoder(w).Encode(api.SimulateResponse{Cycles: 42})
+	})
+	return httptest.NewServer(h), &calls
+}
+
+// TestClientRetriesOverCapacity: a shed 429 over_capacity with
+// Retry-After is retried and eventually succeeds.
+func TestClientRetriesOverCapacity(t *testing.T) {
+	ts, calls := shedThenServe(t, 2, http.StatusTooManyRequests, api.CodeOverCapacity, "0")
+	defer ts.Close()
+	c := NewForURL(ts.URL, false)
+	c.SetRetryPolicy(RetryPolicy{MaxRetries: 3, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	resp, err := c.Simulate(&api.SimulateRequest{Code: "nop\n"})
+	if err != nil {
+		t.Fatalf("simulate after retries: %v", err)
+	}
+	if resp.Cycles != 42 {
+		t.Fatalf("cycles = %d, want 42", resp.Cycles)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 shed + 1 success)", got)
+	}
+}
+
+// TestClientRetryExhaustionSurfacesTypedError: when every attempt is
+// shed, the final typed error (with its code) reaches the caller.
+func TestClientRetryExhaustionSurfacesTypedError(t *testing.T) {
+	ts, calls := shedThenServe(t, 1000, http.StatusServiceUnavailable, api.CodeNodeUnavailable, "")
+	defer ts.Close()
+	c := NewForURL(ts.URL, false)
+	c.SetRetryPolicy(RetryPolicy{MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	_, err := c.Simulate(&api.SimulateRequest{Code: "nop\n"})
+	if ErrorCode(err) != api.CodeNodeUnavailable {
+		t.Fatalf("err = %v, want node_unavailable", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestClientNoRetryOnTerminal: a terminal typed error is never re-sent,
+// even with a generous retry policy.
+func TestClientNoRetryOnTerminal(t *testing.T) {
+	for _, code := range []string{api.CodeSessionMoved, api.CodeDeadlineExceeded, api.CodeBadRequest} {
+		t.Run(code, func(t *testing.T) {
+			ts, calls := shedThenServe(t, 1000, http.StatusBadRequest, code, "")
+			defer ts.Close()
+			c := NewForURL(ts.URL, false)
+			c.SetRetryPolicy(RetryPolicy{MaxRetries: 5, BaseBackoff: time.Millisecond})
+			_, err := c.Simulate(&api.SimulateRequest{Code: "nop\n"})
+			if ErrorCode(err) != code {
+				t.Fatalf("err = %v, want %s", err, code)
+			}
+			if got := calls.Load(); got != 1 {
+				t.Fatalf("server saw %d calls, want exactly 1 (no retries on terminal %s)", got, code)
+			}
+		})
+	}
+}
+
+// TestRetryAfterHintRespected: the server's Retry-After hint is used
+// (capped at MaxBackoff) in preference to the exponential schedule.
+func TestRetryAfterHintRespected(t *testing.T) {
+	c := NewForURL("http://unused", false)
+	c.SetRetryPolicy(RetryPolicy{MaxRetries: 1, BaseBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond})
+	hinted := &APIError{Code: api.CodeOverCapacity, Status: 429, RetryAfter: 30 * time.Millisecond}
+	if d := c.retryDelay(0, hinted); d != 30*time.Millisecond {
+		t.Fatalf("retryDelay with hint = %v, want 30ms", d)
+	}
+	huge := &APIError{Code: api.CodeOverCapacity, Status: 429, RetryAfter: time.Hour}
+	if d := c.retryDelay(0, huge); d != 50*time.Millisecond {
+		t.Fatalf("retryDelay with oversized hint = %v, want MaxBackoff 50ms", d)
+	}
+	// Without a hint: jittered exponential stays within (0, MaxBackoff].
+	plain := &APIError{Code: api.CodeOverCapacity, Status: 429}
+	for attempt := 0; attempt < 10; attempt++ {
+		d := c.retryDelay(attempt, plain)
+		if d <= 0 || d > 50*time.Millisecond {
+			t.Fatalf("retryDelay(attempt=%d) = %v outside (0, 50ms]", attempt, d)
+		}
+	}
+}
+
+// TestDecodeErrorParsesRetryAfter pins the header parse.
+func TestDecodeErrorParsesRetryAfter(t *testing.T) {
+	h := http.Header{}
+	h.Set("Retry-After", "2")
+	body, _ := json.Marshal(api.ErrorEnvelope{Err: api.Error{Code: api.CodeOverCapacity, Message: "shed"}})
+	err := decodeError("/api/v1/simulate", 429, h, body)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("decodeError returned %T, want *APIError", err)
+	}
+	if ae.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want 2s", ae.RetryAfter)
+	}
+	if ae.Code != api.CodeOverCapacity {
+		t.Fatalf("Code = %q", ae.Code)
+	}
+}

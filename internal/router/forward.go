@@ -61,10 +61,43 @@ func writeAPIError(w http.ResponseWriter, status int, code, format string, args 
 	json.NewEncoder(w).Encode(api.ErrorEnvelope{Err: api.Error{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
+// streamingPath reports whether the endpoint streams its response
+// (NDJSON). Streams relay incrementally — no response buffering, and no
+// router deadline: they pace themselves and end on client disconnect.
+func streamingPath(path string) bool {
+	return strings.HasSuffix(path, "/session/stream") || strings.HasSuffix(path, "/session/trace")
+}
+
+// writeForwardFailure terminates a failed forward with its typed error.
+// A failure caused by the router's own request deadline becomes the
+// typed deadline_exceeded (504); everything else keeps the given code,
+// and transient rejections carry a Retry-After hint so clients back off
+// instead of hammering (docs/robustness.md).
+func (rt *Router) writeForwardFailure(w http.ResponseWriter, ctxErr error, status int, code, format string, args ...any) {
+	if errors.Is(ctxErr, context.DeadlineExceeded) {
+		rt.deadlineHits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeAPIError(w, http.StatusGatewayTimeout, api.CodeDeadlineExceeded, "router: request deadline exceeded")
+		return
+	}
+	if code == api.CodeNodeUnavailable && status != http.StatusBadGateway {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeAPIError(w, status, code, format, args...)
+}
+
 // handleAPI dispatches one /api/v1/* request onto the replica that must
 // serve it: the rendezvous owner for session-scoped endpoints,
 // round-robin for stateless ones.
 func (rt *Router) handleAPI(w http.ResponseWriter, r *http.Request) {
+	rt.forwards.Add(1)
+	rt.inFlight.Add(1)
+	defer rt.inFlight.Add(-1)
+	if rt.opts.RequestTimeout > 0 && !streamingPath(r.URL.Path) {
+		ctx, cancel := context.WithTimeout(r.Context(), rt.opts.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	body, ok := rt.readBody(w, r)
 	if !ok {
 		return
@@ -236,35 +269,63 @@ func errorCode(inflated []byte) string {
 }
 
 // forwardStateless round-robins a session-less request (simulate,
-// batch, compile, schema...) over healthy replicas, retrying dial
-// failures on the next one.
+// batch, compile, schema...) over available replicas. Non-streaming
+// responses are buffered before anything reaches the client, so a
+// mid-body failure (a replica killed while responding) is still
+// retryable under the same probe-confirmed rule as a failed dial —
+// the client sees either a complete response or a typed error, never a
+// truncated body.
 func (rt *Router) forwardStateless(w http.ResponseWriter, r *http.Request, body []byte) {
 	var lastErr error
 	for attempt := 0; attempt <= rt.opts.Retries; attempt++ {
 		target := rt.nextHealthy()
 		if target == nil {
-			writeAPIError(w, http.StatusServiceUnavailable, api.CodeNodeUnavailable, "no healthy replica")
+			rt.writeForwardFailure(w, r.Context().Err(), http.StatusServiceUnavailable, api.CodeNodeUnavailable, "no healthy replica")
 			return
 		}
 		resp, err := rt.forwardOnce(target, r, body, "")
 		if err == nil {
-			relay(w, resp)
-			return
+			if streamingPath(r.URL.Path) {
+				target.br.onSuccess()
+				rt.budget.credit()
+				relay(w, resp)
+				return
+			}
+			raw, _, berr := bufferResponse(resp)
+			if berr == nil {
+				target.br.onSuccess()
+				rt.budget.credit()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					rt.shedRelayed.Add(1)
+				}
+				relayBytes(w, resp.StatusCode, resp.Header, raw)
+				return
+			}
+			err = berr
 		}
+		target.br.onFailure()
 		if !rt.retryable(target, err, r.Context().Err()) {
-			writeAPIError(w, http.StatusBadGateway, api.CodeNodeUnavailable, "forward to %s failed: %v", target.name, err)
+			rt.writeForwardFailure(w, r.Context().Err(), http.StatusBadGateway, api.CodeNodeUnavailable, "forward to %s failed: %v", target.name, err)
 			return
 		}
+		if !rt.budget.spend() {
+			rt.retriesDenied.Add(1)
+			rt.writeForwardFailure(w, r.Context().Err(), http.StatusServiceUnavailable, api.CodeNodeUnavailable, "retry budget exhausted: %v", err)
+			return
+		}
+		rt.retries.Add(1)
 		lastErr = err
-		time.Sleep(rt.opts.RetryBackoff)
+		time.Sleep(rt.backoff(attempt))
 	}
-	writeAPIError(w, http.StatusServiceUnavailable, api.CodeNodeUnavailable, "retries exhausted: %v", lastErr)
+	rt.writeForwardFailure(w, r.Context().Err(), http.StatusServiceUnavailable, api.CodeNodeUnavailable, "retries exhausted: %v", lastErr)
 }
 
 // forwardSession routes a session-scoped request to the session's
 // rendezvous owner. A dial failure marks the owner down and re-resolves
 // — the replacement owner rehydrates the session from the shared store
-// if a write-through checkpoint exists.
+// if a write-through checkpoint exists. Non-streaming responses are
+// buffered before anything reaches the client (see forwardStateless);
+// only session/stream and session/trace relay incrementally.
 func (rt *Router) forwardSession(w http.ResponseWriter, r *http.Request, body []byte, id string) {
 	if id == "" {
 		writeAPIError(w, http.StatusBadRequest, api.CodeBadRequest, "router: no session id in request")
@@ -274,32 +335,65 @@ func (rt *Router) forwardSession(w http.ResponseWriter, r *http.Request, body []
 	for attempt := 0; attempt <= rt.opts.Retries; attempt++ {
 		target := rt.owner(id)
 		if target == nil {
-			writeAPIError(w, http.StatusServiceUnavailable, api.CodeNodeUnavailable, "no healthy replica")
+			rt.writeForwardFailure(w, r.Context().Err(), http.StatusServiceUnavailable, api.CodeNodeUnavailable, "no healthy replica")
 			return
 		}
 		resp, err := rt.forwardOnce(target, r, body, "")
 		if err == nil {
-			rt.finishSession(w, r, id, target, resp)
-			return
+			if streamingPath(r.URL.Path) {
+				target.br.onSuccess()
+				rt.budget.credit()
+				rt.finishSessionStream(w, r, id, target, resp)
+				return
+			}
+			raw, inflated, berr := bufferResponse(resp)
+			if berr == nil {
+				target.br.onSuccess()
+				rt.budget.credit()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					rt.shedRelayed.Add(1)
+				}
+				rt.finishSession(w, r, id, target, resp.StatusCode, resp.Header, raw, inflated)
+				return
+			}
+			err = berr
 		}
+		target.br.onFailure()
 		if !rt.retryable(target, err, r.Context().Err()) {
-			writeAPIError(w, http.StatusBadGateway, api.CodeNodeUnavailable, "forward to %s failed: %v", target.name, err)
+			rt.writeForwardFailure(w, r.Context().Err(), http.StatusBadGateway, api.CodeNodeUnavailable, "forward to %s failed: %v", target.name, err)
 			return
 		}
+		if !rt.budget.spend() {
+			rt.retriesDenied.Add(1)
+			rt.writeForwardFailure(w, r.Context().Err(), http.StatusServiceUnavailable, api.CodeNodeUnavailable, "retry budget exhausted: %v", err)
+			return
+		}
+		rt.retries.Add(1)
 		lastErr = err
 		rt.debugf("router: session %s: owner %s unreachable, re-resolving", id, target.name)
-		time.Sleep(rt.opts.RetryBackoff)
+		time.Sleep(rt.backoff(attempt))
 	}
-	writeAPIError(w, http.StatusServiceUnavailable, api.CodeNodeUnavailable, "retries exhausted: %v", lastErr)
+	rt.writeForwardFailure(w, r.Context().Err(), http.StatusServiceUnavailable, api.CodeNodeUnavailable, "retries exhausted: %v", lastErr)
 }
 
-// finishSession interprets a session-op response. 2xx updates the
-// session table; unknown_session disambiguates between an expired
+// finishSessionStream is finishSession for the incrementally-relayed
+// streaming endpoints: update the session table, then stream.
+func (rt *Router) finishSessionStream(w http.ResponseWriter, r *http.Request, id string, target *replica, resp *http.Response) {
+	if resp.StatusCode < 400 {
+		rt.mu.Lock()
+		rt.sessions[id] = sessionRecord{owner: target.name, epoch: rt.epoch.Load()}
+		rt.mu.Unlock()
+	}
+	relay(w, resp)
+}
+
+// finishSession interprets a buffered session-op response. 2xx updates
+// the session table; unknown_session disambiguates between an expired
 // session (pass the 404 through) and one orphaned by a ring change with
 // no checkpoint to rehydrate from (rewrite to session_moved so the
 // client learns the state is gone past its last checkpoint).
-func (rt *Router) finishSession(w http.ResponseWriter, r *http.Request, id string, target *replica, resp *http.Response) {
-	if resp.StatusCode < 400 {
+func (rt *Router) finishSession(w http.ResponseWriter, r *http.Request, id string, target *replica, status int, header http.Header, raw, inflated []byte) {
+	if status < 400 {
 		closed := strings.HasSuffix(r.URL.Path, "/session/close")
 		rt.mu.Lock()
 		if closed {
@@ -308,12 +402,7 @@ func (rt *Router) finishSession(w http.ResponseWriter, r *http.Request, id strin
 			rt.sessions[id] = sessionRecord{owner: target.name, epoch: rt.epoch.Load()}
 		}
 		rt.mu.Unlock()
-		relay(w, resp)
-		return
-	}
-	raw, inflated, err := bufferResponse(resp)
-	if err != nil {
-		writeAPIError(w, http.StatusBadGateway, api.CodeNodeUnavailable, "reading %s response: %v", target.name, err)
+		relayBytes(w, status, header, raw)
 		return
 	}
 	if errorCode(inflated) == api.CodeUnknownSession {
@@ -329,7 +418,7 @@ func (rt *Router) finishSession(w http.ResponseWriter, r *http.Request, id strin
 			return
 		}
 	}
-	relayBytes(w, resp.StatusCode, resp.Header, raw)
+	relayBytes(w, status, header, raw)
 }
 
 // forwardCreate serves session/new and session/restore: draw a random
@@ -341,23 +430,38 @@ func (rt *Router) forwardCreate(w http.ResponseWriter, r *http.Request, body []b
 		id := newSessionID()
 		target := rt.owner(id)
 		if target == nil {
-			writeAPIError(w, http.StatusServiceUnavailable, api.CodeNodeUnavailable, "no healthy replica")
+			rt.writeForwardFailure(w, r.Context().Err(), http.StatusServiceUnavailable, api.CodeNodeUnavailable, "no healthy replica")
 			return
 		}
 		resp, err := rt.forwardOnce(target, r, body, id)
+		var raw, inflated []byte
+		if err == nil {
+			// A mid-body failure joins the retry path: the create retries
+			// under a FRESH id, so even if the replica created the session
+			// before dying, nothing double-executes — the orphan just ages
+			// out via the session TTL.
+			raw, inflated, err = bufferResponse(resp)
+		}
 		if err != nil {
+			target.br.onFailure()
 			if !rt.retryable(target, err, r.Context().Err()) {
-				writeAPIError(w, http.StatusBadGateway, api.CodeNodeUnavailable, "forward to %s failed: %v", target.name, err)
+				rt.writeForwardFailure(w, r.Context().Err(), http.StatusBadGateway, api.CodeNodeUnavailable, "forward to %s failed: %v", target.name, err)
 				return
 			}
+			if !rt.budget.spend() {
+				rt.retriesDenied.Add(1)
+				rt.writeForwardFailure(w, r.Context().Err(), http.StatusServiceUnavailable, api.CodeNodeUnavailable, "retry budget exhausted: %v", err)
+				return
+			}
+			rt.retries.Add(1)
 			lastErr = err
-			time.Sleep(rt.opts.RetryBackoff)
+			time.Sleep(rt.backoff(attempt))
 			continue
 		}
-		raw, inflated, berr := bufferResponse(resp)
-		if berr != nil {
-			writeAPIError(w, http.StatusBadGateway, api.CodeNodeUnavailable, "reading %s response: %v", target.name, berr)
-			return
+		target.br.onSuccess()
+		rt.budget.credit()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rt.shedRelayed.Add(1)
 		}
 		if resp.StatusCode == http.StatusConflict && errorCode(inflated) == api.CodeSessionExists {
 			rt.debugf("router: session id %s collided on %s, redrawing", id, target.name)
@@ -382,7 +486,7 @@ func (rt *Router) forwardCreate(w http.ResponseWriter, r *http.Request, body []b
 		relayBytes(w, resp.StatusCode, resp.Header, raw)
 		return
 	}
-	writeAPIError(w, http.StatusServiceUnavailable, api.CodeNodeUnavailable, "session create kept failing: %v", lastErr)
+	rt.writeForwardFailure(w, r.Context().Err(), http.StatusServiceUnavailable, api.CodeNodeUnavailable, "session create kept failing: %v", lastErr)
 }
 
 // ---- migration ----
@@ -477,6 +581,7 @@ type RingEntry struct {
 	Name    string `json:"name"`
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"` // closed | half-open | open
 }
 
 // RingResponse is the /admin/ring document.
@@ -501,10 +606,52 @@ func (rt *Router) handleRing(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Unlock()
 	out := RingResponse{Epoch: rt.epoch.Load(), Sessions: n}
 	for _, rep := range rt.replicas {
-		out.Replicas = append(out.Replicas, RingEntry{Name: rep.name, URL: rep.baseURL, Healthy: rep.healthy.Load()})
+		out.Replicas = append(out.Replicas, RingEntry{
+			Name: rep.name, URL: rep.baseURL,
+			Healthy: rep.healthy.Load(), Breaker: rep.br.stateName(),
+		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
+}
+
+// RouterMetrics is the /admin/metrics document: the router's robustness
+// counters and per-replica breaker states (docs/robustness.md). The
+// chaos tests assert these move under injected faults.
+type RouterMetrics struct {
+	Forwards         uint64      `json:"forwards"`
+	Retries          uint64      `json:"retries"`
+	RetriesDenied    uint64      `json:"retriesDenied"`
+	Shed             uint64      `json:"shed"` // 429 over_capacity responses relayed
+	DeadlineExceeded uint64      `json:"deadlineExceeded"`
+	InFlight         int64       `json:"inFlight"`
+	Epoch            uint64      `json:"epoch"`
+	Replicas         []RingEntry `json:"replicas"`
+}
+
+// Metrics snapshots the robustness counters.
+func (rt *Router) Metrics() RouterMetrics {
+	m := RouterMetrics{
+		Forwards:         rt.forwards.Load(),
+		Retries:          rt.retries.Load(),
+		RetriesDenied:    rt.retriesDenied.Load(),
+		Shed:             rt.shedRelayed.Load(),
+		DeadlineExceeded: rt.deadlineHits.Load(),
+		InFlight:         rt.inFlight.Load(),
+		Epoch:            rt.epoch.Load(),
+	}
+	for _, rep := range rt.replicas {
+		m.Replicas = append(m.Replicas, RingEntry{
+			Name: rep.name, URL: rep.baseURL,
+			Healthy: rep.healthy.Load(), Breaker: rep.br.stateName(),
+		})
+	}
+	return m
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rt.Metrics())
 }
 
 func (rt *Router) handleOwner(w http.ResponseWriter, r *http.Request) {

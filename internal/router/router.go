@@ -88,8 +88,27 @@ type Options struct {
 	// dial errors retry: the request never reached the replica, so a
 	// retry cannot double-execute it. Mid-response failures do not.
 	Retries int
-	// RetryBackoff spaces retries (default 100ms).
+	// RetryBackoff is the base of the jittered exponential retry
+	// backoff (default 100ms, capped at maxBackoff).
 	RetryBackoff time.Duration
+	// RetryBudget caps the aggregate retry token bucket (default 10):
+	// successful forwards earn RetryBudgetRatio tokens each, every retry
+	// spends one, and an empty bucket fails fast instead of amplifying
+	// overload (docs/robustness.md).
+	RetryBudget float64
+	// RetryBudgetRatio is the earn rate per successful forward (default
+	// 0.1: at most ~10% of steady-state traffic can be retries).
+	RetryBudgetRatio float64
+	// BreakerThreshold trips a replica's circuit breaker after this many
+	// consecutive forward failures (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// half-opening for trial traffic (default 2x HealthInterval).
+	BreakerCooldown time.Duration
+	// RequestTimeout bounds each forwarded request end-to-end (0 = no
+	// deadline). Streaming endpoints (session/stream, session/trace) are
+	// exempt — they pace themselves and end on client disconnect.
+	RequestTimeout time.Duration
 	// MaxBodyBytes bounds buffered request bodies (default 4 MiB,
 	// matching the replicas' own limit).
 	MaxBodyBytes int64
@@ -101,6 +120,14 @@ type replica struct {
 	name    string
 	baseURL string
 	healthy atomic.Bool
+	br      *breaker
+}
+
+// available reports whether the replica may receive traffic: the health
+// probe says it is up AND its circuit breaker admits the request (a
+// half-open breaker admits it as a trial).
+func (r *replica) available() bool {
+	return r.healthy.Load() && r.br.allow()
 }
 
 type sessionRecord struct {
@@ -125,6 +152,16 @@ type Router struct {
 	sessions map[string]sessionRecord
 
 	rebalanceMu sync.Mutex // one migration sweep at a time
+
+	budget *retryBudget
+
+	// Robustness counters (served by /admin/metrics).
+	forwards      atomic.Uint64 // requests entering handleAPI
+	retries       atomic.Uint64 // re-forwards actually performed
+	retriesDenied atomic.Uint64 // retries refused by the empty budget
+	shedRelayed   atomic.Uint64 // 429 over_capacity responses relayed
+	deadlineHits  atomic.Uint64 // requests cut by RequestTimeout
+	inFlight      atomic.Int64  // currently forwarding
 
 	mux    *http.ServeMux
 	stop   chan struct{}
@@ -151,6 +188,18 @@ func New(opts Options) (*Router, error) {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 100 * time.Millisecond
 	}
+	if opts.RetryBudget <= 0 {
+		opts.RetryBudget = 10
+	}
+	if opts.RetryBudgetRatio <= 0 {
+		opts.RetryBudgetRatio = 0.1
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 2 * opts.HealthInterval
+	}
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 4 << 20
 	}
@@ -170,12 +219,18 @@ func New(opts Options) (*Router, error) {
 		stop:     make(chan struct{}),
 		debugf:   debugf,
 	}
+	rt.budget = newRetryBudget(opts.RetryBudget, opts.RetryBudgetRatio)
 	for _, r := range opts.Replicas {
-		rt.replicas = append(rt.replicas, &replica{name: r.Name, baseURL: strings.TrimRight(r.URL, "/")})
+		rt.replicas = append(rt.replicas, &replica{
+			name:    r.Name,
+			baseURL: strings.TrimRight(r.URL, "/"),
+			br:      newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		})
 	}
 	rt.mux.HandleFunc(api.V1Prefix+"/", rt.handleAPI)
 	rt.mux.HandleFunc("GET /admin/ring", rt.handleRing)
 	rt.mux.HandleFunc("GET /admin/owner", rt.handleOwner)
+	rt.mux.HandleFunc("GET /admin/metrics", rt.handleMetrics)
 	rt.probeAll()
 	rt.stopWG.Add(1)
 	go rt.healthLoop()
@@ -205,13 +260,17 @@ func rendezvousScore(session, replicaName string) uint64 {
 	return h.Sum64()
 }
 
-// owner returns the healthy replica with the top rendezvous score for
-// the session, or nil when every replica is down.
+// owner returns the available replica with the top rendezvous score for
+// the session, or nil when every replica is down or breaker-excluded.
+// The breaker participates in placement on purpose: a replica that
+// keeps failing forwards loses its sessions to the next rendezvous
+// choice exactly like a dead one, and wins them back through the
+// half-open trial when it recovers.
 func (rt *Router) owner(session string) *replica {
 	var best *replica
 	var bestScore uint64
 	for _, r := range rt.replicas {
-		if !r.healthy.Load() {
+		if !r.available() {
 			continue
 		}
 		s := rendezvousScore(session, r.name)
@@ -222,14 +281,14 @@ func (rt *Router) owner(session string) *replica {
 	return best
 }
 
-// nextHealthy round-robins over healthy replicas for session-less
+// nextHealthy round-robins over available replicas for session-less
 // endpoints (simulate, batch, compile...).
 func (rt *Router) nextHealthy() *replica {
 	n := len(rt.replicas)
 	start := int(rt.rr.Add(1))
 	for i := 0; i < n; i++ {
 		r := rt.replicas[(start+i)%n]
-		if r.healthy.Load() {
+		if r.available() {
 			return r
 		}
 	}
@@ -282,6 +341,17 @@ func (rt *Router) probeAll() {
 		go func(r *replica) {
 			defer wg.Done()
 			up := rt.probe(r)
+			if !up {
+				// A failed probe trips the breaker too, so a node that
+				// flaps back up re-earns traffic through the half-open
+				// trial instead of getting the full load at once.
+				r.br.trip()
+			} else if !r.healthy.Load() {
+				// Probe-confirmed recovery: half-open right away so the
+				// rebalance sweep (and trial traffic) can reach the node
+				// without waiting out the breaker cooldown.
+				r.br.halfOpen()
+			}
 			if r.healthy.Swap(up) != up {
 				mu.Lock()
 				changed = true
@@ -320,6 +390,7 @@ func (rt *Router) probe(r *replica) bool {
 // the next probe tick, so the retry path re-resolves owners against an
 // up-to-date ring.
 func (rt *Router) markDown(r *replica) {
+	r.br.trip()
 	if r.healthy.Swap(false) {
 		rt.epoch.Add(1)
 		rt.debugf("router: replica %s marked down (dial failure)", r.name)

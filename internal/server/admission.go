@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"riscvsim/internal/api"
+)
+
+// admission is the server's overload valve (docs/robustness.md): a
+// fixed pool of in-flight slots for simulation-bearing requests plus a
+// bounded wait queue. A request that finds no free slot waits — briefly,
+// bounded by queueTimeout and the queue depth cap — and is then shed
+// with a typed over_capacity rejection instead of piling up. Shedding is
+// cheap (no simulation work has started), so an overloaded node degrades
+// to fast 429s and recovers the moment the burst passes; nothing queues
+// unboundedly, nothing collapses.
+//
+// A zero-valued admission (slots == nil) admits everything — the knob is
+// off by default and single-node deployments keep their old behavior.
+type admission struct {
+	slots        chan struct{} // cap == max in-flight; nil = unlimited
+	maxQueue     int64         // waiters allowed beyond the slot cap
+	queueTimeout time.Duration // how long a queued request may wait
+
+	waiting  atomic.Int64
+	inFlight atomic.Int64
+	shed     atomic.Uint64
+}
+
+// newAdmission sizes the valve. maxInFlight <= 0 disables admission
+// control entirely.
+func newAdmission(maxInFlight, maxQueue int, queueTimeout time.Duration) *admission {
+	a := &admission{}
+	if maxInFlight <= 0 {
+		return a
+	}
+	a.slots = make(chan struct{}, maxInFlight)
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	a.maxQueue = int64(maxQueue)
+	if queueTimeout <= 0 {
+		queueTimeout = time.Second
+	}
+	a.queueTimeout = queueTimeout
+	return a
+}
+
+// acquire admits one request, queuing it (bounded) when the pool is
+// full. It returns a typed over_capacity error when the request must be
+// shed, and a release func (call exactly once) on success.
+func (a *admission) acquire(ctx context.Context) (func(), *api.Error) {
+	if a.slots == nil {
+		a.inFlight.Add(1)
+		return func() { a.inFlight.Add(-1) }, nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.inFlight.Add(1)
+		return a.release, nil
+	default:
+	}
+	// Pool full: join the bounded queue, or shed immediately when even
+	// the queue is at capacity.
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		a.shed.Add(1)
+		return nil, overCapacityError()
+	}
+	t := time.NewTimer(a.queueTimeout)
+	defer func() {
+		t.Stop()
+		a.waiting.Add(-1)
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.inFlight.Add(1)
+		return a.release, nil
+	case <-t.C:
+		a.shed.Add(1)
+		return nil, overCapacityError()
+	case <-ctx.Done():
+		a.shed.Add(1)
+		return nil, overCapacityError()
+	}
+}
+
+func (a *admission) release() {
+	a.inFlight.Add(-1)
+	<-a.slots
+}
+
+// overCapacityError is the typed shed rejection.
+func overCapacityError() *api.Error {
+	return api.Errorf(api.CodeOverCapacity,
+		"server at capacity: in-flight simulation limit reached and the admission queue is full; retry after the Retry-After interval")
+}
+
+// retryAfterSeconds is the Retry-After hint on shed responses: long
+// enough that a retrying client skips the current burst, short enough
+// that throughput recovers within one health-probe interval.
+const retryAfterSeconds = 1
+
+// setRetryAfter stamps the backoff hint onto a shed (or deadline)
+// response.
+func setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+}

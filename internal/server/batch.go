@@ -38,7 +38,7 @@ func (s *Server) fanOut(ctx context.Context, reqs []api.SimulateRequest) ([]api.
 				if i >= n {
 					return
 				}
-				results[i] = s.runBatchItem(i, &reqs[i])
+				results[i] = s.runBatchItem(ctx, i, &reqs[i])
 			}
 		}()
 	}
@@ -104,12 +104,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (any, int, 
 // into a per-item error: unlike handler goroutines, worker goroutines
 // get no recovery from net/http, so without this one crafted entry
 // could kill the whole process.
-func (s *Server) runBatchItem(i int, req *api.SimulateRequest) (res api.BatchResult) {
+func (s *Server) runBatchItem(ctx context.Context, i int, req *api.SimulateRequest) (res api.BatchResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = api.BatchResult{Index: i, Error: api.Errorf(api.CodeInternal, "simulation panicked: %v", r)}
 		}
 	}()
-	resp, aerr := s.runSimulate(req)
+	resp, aerr := s.runSimulate(ctx, req)
 	return api.BatchResult{Index: i, Response: resp, Error: aerr}
 }

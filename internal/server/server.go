@@ -76,6 +76,25 @@ type Options struct {
 	// replica is computable before the session exists; direct
 	// deployments leave this off so IDs stay server-generated.
 	AllowAssignedIDs bool
+	// MaxInFlight caps concurrently executing simulation-bearing
+	// requests (simulate, batch, suite, session create/step/goto/
+	// checkpoint/restore, streams). Beyond it requests wait in a bounded
+	// queue and are then shed with a typed 429 over_capacity response
+	// carrying Retry-After, so overload degrades to fast rejections
+	// instead of collapse (docs/robustness.md). 0 disables admission
+	// control (the historical behavior).
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for an in-flight slot
+	// (only meaningful with MaxInFlight > 0; default 2x MaxInFlight).
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits before being
+	// shed (default 1s).
+	QueueTimeout time.Duration
+	// RequestTimeout is the per-request simulation deadline: a request
+	// whose simulation work outruns it gets a typed deadline_exceeded
+	// response (sessions keep whatever state the work reached). 0
+	// disables the deadline.
+	RequestTimeout time.Duration
 	// Debug enables debug-level logging (session eviction/spill events).
 	Debug bool
 }
@@ -97,6 +116,7 @@ type Server struct {
 	mux  *http.ServeMux
 
 	store *sessionStore
+	adm   *admission
 
 	// instrumentation counters (atomics: handlers run concurrently)
 	reqCount     atomic.Uint64
@@ -108,6 +128,7 @@ type Server struct {
 	suiteReqs    atomic.Uint64
 	suiteRuns    atomic.Uint64
 	streamEvents atomic.Uint64
+	deadlineHits atomic.Uint64
 	codecNs      map[string]*codecCounter // fixed key set; values are atomic
 }
 
@@ -150,10 +171,15 @@ func New(opts Options) *Server {
 			backend = d
 		}
 	}
+	maxQueue := opts.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = 2 * opts.MaxInFlight
+	}
 	s := &Server{
 		opts:    opts,
 		mux:     http.NewServeMux(),
 		store:   newSessionStore(opts.MaxSessions, ttl, backend, spillTTL, opts.WriteThrough, debugf),
+		adm:     newAdmission(opts.MaxInFlight, maxQueue, opts.QueueTimeout),
 		codecNs: make(map[string]*codecCounter),
 	}
 	for _, name := range api.CodecNames() {
@@ -168,29 +194,34 @@ func (s *Server) routes() {
 	// The v1 surface. Method-scoped patterns: mutations are POST,
 	// reads are GET. v1Only marks endpoints born after the versioning
 	// (no pre-v1 path existed).
+	// Simulation-bearing endpoints pass through the admission valve
+	// (s.admitted): they hold an in-flight slot for their whole handler
+	// and get the per-request deadline. Cheap metadata endpoints
+	// (schema, metrics, health, parse/check, render, log paging) bypass
+	// it so an overloaded node stays observable and debuggable.
 	routes := []struct {
 		method, path string
 		handler      http.HandlerFunc
 		v1Only       bool
 	}{
-		{http.MethodPost, "/simulate", s.wrap(s.handleSimulate), false},
-		{http.MethodPost, "/batch", s.wrap(s.handleBatch), true},
-		{http.MethodPost, "/suite", s.wrap(s.handleSuite), true},
+		{http.MethodPost, "/simulate", s.wrap(s.admitted(s.handleSimulate)), false},
+		{http.MethodPost, "/batch", s.wrap(s.admitted(s.handleBatch)), true},
+		{http.MethodPost, "/suite", s.wrap(s.admitted(s.handleSuite)), true},
 		{http.MethodPost, "/compile", s.wrap(s.handleCompile), false},
 		{http.MethodPost, "/parseAsm", s.wrap(s.handleParseAsm), false},
 		{http.MethodPost, "/checkConfig", s.wrap(s.handleCheckConfig), false},
 		{http.MethodGet, "/schema", s.wrap(s.handleSchema), false},
 		{http.MethodGet, "/instructionDescriptions", s.handleInstructionDescriptions, false},
-		{http.MethodPost, "/session/new", s.wrap(s.handleSessionNew), false},
-		{http.MethodPost, "/session/step", s.wrap(s.handleSessionStep), false},
-		{http.MethodPost, "/session/goto", s.wrap(s.handleSessionGoto), false},
+		{http.MethodPost, "/session/new", s.wrap(s.admitted(s.handleSessionNew)), false},
+		{http.MethodPost, "/session/step", s.wrap(s.admitted(s.handleSessionStep)), false},
+		{http.MethodPost, "/session/goto", s.wrap(s.admitted(s.handleSessionGoto)), false},
 		{http.MethodPost, "/session/close", s.wrap(s.handleSessionClose), false},
 		{http.MethodGet, "/session/render", s.wrap(s.handleSessionRender), false},
-		{http.MethodPost, "/session/stream", s.handleSessionStream, true},
-		{http.MethodPost, "/session/trace", s.handleSessionTrace, true},
+		{http.MethodPost, "/session/stream", s.admitStream(s.handleSessionStream), true},
+		{http.MethodPost, "/session/trace", s.admitStream(s.handleSessionTrace), true},
 		{http.MethodGet, "/session/{id}/log", s.wrap(s.handleSessionLog), true},
-		{http.MethodPost, "/session/checkpoint", s.wrap(s.handleSessionCheckpoint), true},
-		{http.MethodPost, "/session/restore", s.wrap(s.handleSessionRestore), true},
+		{http.MethodPost, "/session/checkpoint", s.wrap(s.admitted(s.handleSessionCheckpoint)), true},
+		{http.MethodPost, "/session/restore", s.wrap(s.admitted(s.handleSessionRestore)), true},
 		{http.MethodGet, "/metrics", s.wrap(s.handleMetrics), false},
 		{http.MethodGet, "/health", s.handleHealth, false},
 	}
@@ -260,6 +291,9 @@ func (s *Server) Metrics() api.Metrics {
 		SuiteRequests:    s.suiteReqs.Load(),
 		SuiteWorkloads:   s.suiteRuns.Load(),
 		StreamEvents:     s.streamEvents.Load(),
+		InFlight:         s.adm.inFlight.Load(),
+		Shed:             s.adm.shed.Load(),
+		DeadlineExceeded: s.deadlineHits.Load(),
 		Codecs:           make(map[string]api.CodecMetrics, len(s.codecNs)),
 	}
 	m.SessionsSpilled, m.SessionsRehydrated, m.SessionsLost = s.store.Counters()
@@ -328,6 +362,10 @@ func statusForCode(code string) int {
 		return http.StatusGone
 	case api.CodeNodeUnavailable:
 		return http.StatusServiceUnavailable
+	case api.CodeOverCapacity:
+		return http.StatusTooManyRequests
+	case api.CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}
@@ -354,6 +392,10 @@ func (s *Server) wrap(h handlerFunc) http.HandlerFunc {
 		if err != nil {
 			ae := api.WrapError(api.CodeBadRequest, err)
 			resp = &api.ErrorEnvelope{Err: *ae}
+			if ae.Code == api.CodeOverCapacity || ae.Code == api.CodeDeadlineExceeded {
+				// Both are transient: tell retrying clients when.
+				setRetryAfter(w)
+			}
 			if status == 0 {
 				status = statusForCode(ae.Code)
 			}
@@ -377,6 +419,82 @@ func (s *Server) wrap(h handlerFunc) http.HandlerFunc {
 		s.reqCount.Add(1)
 		s.totalNs.Add(uint64(time.Since(start)))
 	}
+}
+
+// admitted gates a handler behind the admission valve: it holds an
+// in-flight slot for the handler's whole run and applies the per-request
+// simulation deadline (Options.RequestTimeout) through the request
+// context. Shed requests return the typed over_capacity error before any
+// decoding or simulation work happens.
+func (s *Server) admitted(h handlerFunc) handlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) (any, int, error) {
+		release, aerr := s.adm.acquire(r.Context())
+		if aerr != nil {
+			return nil, 0, aerr
+		}
+		defer release()
+		if s.opts.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		return h(w, r)
+	}
+}
+
+// admitStream is admitted for the raw streaming handlers that live
+// outside wrap. A stream holds its slot for its whole life — it is
+// simulation work — but gets no deadline: streams pace themselves and
+// end on client disconnect.
+func (s *Server) admitStream(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, aerr := s.adm.acquire(r.Context())
+		if aerr != nil {
+			setRetryAfter(w)
+			s.writeError(w, aerr)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// deadlineChunk is the cycle granularity at which a long simulation
+// checks its request deadline: small enough that a deadline lands within
+// ~a millisecond of wall time, large enough that the check is free.
+const deadlineChunk = 200_000
+
+// runMachine advances m by up to n cycles, honoring the request
+// context's deadline, and books the time into simNs. Without a deadline
+// it is one plain run; with one, the run proceeds in deadlineChunk
+// slices so a runaway program cannot hold its admission slot past the
+// deadline. The machine keeps whatever state it reached either way —
+// for a session that state is real and the typed deadline_exceeded
+// error tells the client so.
+func (s *Server) runMachine(ctx context.Context, m *sim.Machine, n uint64) (uint64, *api.Error) {
+	sstart := time.Now()
+	defer func() { s.simNs.Add(uint64(time.Since(sstart))) }()
+	if ctx.Done() == nil {
+		return m.Run(n), nil
+	}
+	var total uint64
+	for total < n {
+		if ctx.Err() != nil {
+			s.deadlineHits.Add(1)
+			return total, api.Errorf(api.CodeDeadlineExceeded,
+				"request deadline exceeded after %d of %d cycles (state reached is kept)", total, n)
+		}
+		chunk := n - total
+		if chunk > deadlineChunk {
+			chunk = deadlineChunk
+		}
+		ran := m.Run(chunk)
+		total += ran
+		if m.Halted() || m.Paused() || ran < chunk {
+			break
+		}
+	}
+	return total, nil
 }
 
 // writeError emits the error envelope outside wrap (streaming paths).
@@ -541,7 +659,7 @@ func TraceResultOf(ring *sim.TraceRing) *api.TraceResult {
 
 // runSimulate executes one SimulateRequest start-to-finish: the shared
 // core of /api/v1/simulate and each /api/v1/batch entry.
-func (s *Server) runSimulate(req *api.SimulateRequest) (*api.SimulateResponse, *api.Error) {
+func (s *Server) runSimulate(ctx context.Context, req *api.SimulateRequest) (*api.SimulateResponse, *api.Error) {
 	if req.Parallelism >= 2 {
 		return s.runSimulateParallel(req)
 	}
@@ -563,9 +681,9 @@ func (s *Server) runSimulate(req *api.SimulateRequest) (*api.SimulateResponse, *
 	if steps == 0 || steps > maxBatchCycles {
 		steps = maxBatchCycles
 	}
-	sstart := time.Now()
-	m.Run(steps)
-	s.simNs.Add(uint64(time.Since(sstart)))
+	if _, aerr := s.runMachine(ctx, m, steps); aerr != nil {
+		return nil, aerr
+	}
 	resp := &api.SimulateResponse{
 		Halted:     m.Halted(),
 		HaltReason: m.HaltReason(),
@@ -644,7 +762,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, in
 	if aerr := s.decode(w, r, &req); aerr != nil {
 		return nil, 0, aerr
 	}
-	resp, aerr := s.runSimulate(&req)
+	resp, aerr := s.runSimulate(r.Context(), &req)
 	if aerr != nil {
 		return nil, 0, aerr
 	}

@@ -121,26 +121,31 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) (any,
 		return nil, 0, aerr
 	}
 	defer sess.mu.Unlock()
-	sstart := time.Now()
 	switch {
 	case req.Steps >= 0:
 		n := req.Steps
 		if n > maxInteractiveStep {
 			n = maxInteractiveStep
 		}
-		sess.machine.StepN(uint64(n))
+		// runMachine books simNs and honors the request deadline; the
+		// session keeps the state the run reached, and the typed
+		// deadline_exceeded error tells the client to re-read it.
+		if _, aerr := s.runMachine(r.Context(), sess.machine, uint64(n)); aerr != nil {
+			return nil, 0, aerr
+		}
 	default:
+		sstart := time.Now()
 		back := -req.Steps
 		target := int64(sess.machine.Cycle()) - back
 		if target < 0 {
 			target = 0
 		}
-		if err := sess.machine.GotoCycle(uint64(target)); err != nil {
-			s.simNs.Add(uint64(time.Since(sstart)))
+		err := sess.machine.GotoCycle(uint64(target))
+		s.simNs.Add(uint64(time.Since(sstart)))
+		if err != nil {
 			return nil, 0, rewindError(err)
 		}
 	}
-	s.simNs.Add(uint64(time.Since(sstart)))
 	return &api.SessionStateResponse{State: sess.machine.State(req.IncludeLog)}, 0, nil
 }
 
@@ -197,13 +202,21 @@ func (s *Server) handleSessionCheckpoint(w http.ResponseWriter, r *http.Request)
 	// client receives land in the checkpoint store, so any replica
 	// sharing it can serve the session from this point on. The store —
 	// not this process — is the session's authority after an explicit
-	// checkpoint.
-	s.store.WriteThrough(sess, buf.Bytes())
+	// checkpoint. Durable tells the client whether that happened: only a
+	// durable ack is covered by the failover contract (and held against
+	// the chaos harness's checkpoint-loss invariant, docs/robustness.md).
+	// Cycle is captured before the write-through: a stale write makes
+	// WriteThrough converge sess.machine on the store's newer copy, and
+	// the response must describe the bytes in Checkpoint, not the
+	// adopted state.
+	cycle := sess.machine.Cycle()
+	durable := s.store.WriteThrough(sess, buf.Bytes())
 	s.simNs.Add(uint64(time.Since(sstart)))
 	return &api.SessionCheckpointResponse{
 		SessionID:  req.SessionID,
-		Cycle:      sess.machine.Cycle(),
+		Cycle:      cycle,
 		Checkpoint: buf.Bytes(),
+		Durable:    durable,
 	}, 0, nil
 }
 

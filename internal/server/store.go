@@ -223,11 +223,56 @@ func (st *sessionStore) Get(id string) (*session, bool) {
 		st.lru.MoveToFront(el)
 		st.mu.Unlock()
 		st.retire(expired, "idle TTL")
+		st.fence(sess)
 		return sess, true
 	}
 	st.mu.Unlock()
 	st.retire(expired, "idle TTL")
 	return st.rehydrate(id)
+}
+
+// fence converges an in-memory session on the store when another node
+// has persisted a strictly newer version — the split-brain case where a
+// health flap briefly gave two replicas the same session. Without it, a
+// replica that fell behind keeps serving (and advancing) stale state it
+// rehydrated before the other node's durable checkpoint landed, which
+// is client-visible loss of acked progress. Only write-through mode
+// fences: there the store is the session's authority by contract, and
+// every touch pays one backend.Version probe for it (a map lookup on
+// Mem, a readdir on Dir). Equal versions — the common case, the local
+// copy simply advanced past its own last checkpoint — pass untouched.
+// Transient probe/read/restore failures skip the fence; the next touch
+// retries. Un-checkpointed local progress is discarded on adoption,
+// which is exactly the tier's durability boundary ("a replica losing a
+// session loses at most the work since the last checkpoint").
+func (st *sessionStore) fence(sess *session) {
+	if !st.writeThrough {
+		return
+	}
+	v, err := st.backend.Version(sess.id)
+	if err != nil {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if v <= sess.version || sess.gone {
+		return
+	}
+	data, v2, err := st.backend.Get(sess.id)
+	if err != nil || v2 <= sess.version {
+		return
+	}
+	m, err := sim.Restore(bytes.NewReader(data))
+	if err != nil {
+		return
+	}
+	if m.SnapshotInterval() == 0 {
+		m.EnableSnapshots(0)
+	}
+	st.logf("session %s: local copy stale (v%d < store v%d), converging on store state at cycle %d",
+		sess.id, sess.version, v2, m.Cycle())
+	sess.machine = m
+	sess.version = v2
 }
 
 // rehydrate restores a stored session from the backend under its
@@ -243,12 +288,21 @@ func (st *sessionStore) rehydrate(id string) (*session, bool) {
 	}
 	m, err := sim.Restore(bytes.NewReader(data))
 	if err != nil {
-		// A corrupted or truncated blob surfaces here through the ckpt
-		// sentinel errors; the session is unrecoverable either way, so
-		// drop the blob and treat the lookup as a miss — never panic.
-		st.logf("session %s: stored checkpoint unusable: %v", id, err)
-		st.backend.Delete(id)
-		return nil, false
+		// A bad read may be transient (a torn page, an NFS hiccup, an
+		// injected chaos fault) — re-read once before concluding the blob
+		// itself is corrupt. Only a reproducible failure deletes it:
+		// deleting on a transient fault would turn a recoverable read
+		// error into the loss of an acknowledged checkpoint.
+		data2, version2, err2 := st.backend.Get(id)
+		if err2 == nil {
+			m, err = sim.Restore(bytes.NewReader(data2))
+			version = version2
+		}
+		if err != nil {
+			st.logf("session %s: stored checkpoint unusable: %v", id, err)
+			st.backend.Delete(id)
+			return nil, false
+		}
 	}
 	// Interactive sessions keep interval snapshots for O(interval)
 	// rewind (see handleSessionNew); re-enable them after rehydration so
@@ -293,9 +347,15 @@ func (st *sessionStore) rehydrate(id string) (*session, bool) {
 // another node persisted a newer version meanwhile — is not an error:
 // last-writer-wins keeps the newer state, and this node's copy will be
 // superseded on the next ring-consistent touch.
-func (st *sessionStore) WriteThrough(sess *session, data []byte) {
+//
+// It reports whether the checkpoint is durably in the store — the
+// Durable flag of the checkpoint response, which is what the failover
+// contract (and the chaos harness's checkpoint-loss invariant) keys on.
+// A stale or failed write returns false: the client's copy of the bytes
+// is its only guarantee then.
+func (st *sessionStore) WriteThrough(sess *session, data []byte) bool {
 	if !st.writeThrough {
-		return
+		return false
 	}
 	version := sess.version + 1
 	err := st.backend.Put(sess.id, version, data)
@@ -307,10 +367,34 @@ func (st *sessionStore) WriteThrough(sess *session, data []byte) {
 		st.mu.Unlock()
 		st.logf("session %s: checkpoint written through at cycle %d (v%d, %d bytes)",
 			sess.id, sess.machine.Cycle(), version, len(data))
+		return true
 	case errors.Is(err, store.ErrStale):
 		st.logf("session %s: write-through superseded by a newer store version: %v", sess.id, err)
+		// This copy of the session is stale: another node persisted a
+		// newer version (a health flap briefly gave two replicas the
+		// session). Adopting only the version NUMBER here would be a
+		// durability bug — our next checkpoint would carry this node's
+		// older machine state under a newer version, silently rolling
+		// the store's cycle back past state another client call already
+		// got a durable ack for. Converge on the store's copy instead:
+		// replace the machine with the newer state. If the read or the
+		// restore fails (transient), keep our version unchanged so
+		// subsequent writes keep failing stale (acks stay non-durable)
+		// and adoption is retried — stale state must never win.
+		if data, v, gerr := st.backend.Get(sess.id); gerr == nil && v > sess.version {
+			if m, rerr := sim.Restore(bytes.NewReader(data)); rerr == nil {
+				if m.SnapshotInterval() == 0 {
+					m.EnableSnapshots(0)
+				}
+				sess.machine = m
+				sess.version = v
+				st.logf("session %s: converged on store v%d at cycle %d", sess.id, v, m.Cycle())
+			}
+		}
+		return false
 	default:
 		st.logf("session %s: write-through failed: %v", sess.id, err)
+		return false
 	}
 }
 

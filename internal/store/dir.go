@@ -112,11 +112,21 @@ func (d *Dir) Put(id string, version uint64, data []byte) error {
 	}
 	path := d.file(id, version)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	// Crash durability, not just crash atomicity: fsync the parent
+	// directory so the rename itself survives a power cut. Without it a
+	// kill between rename and the metadata flush can roll the directory
+	// back to a state where the acknowledged blob never existed — exactly
+	// the acknowledged-checkpoint-loss invariant the chaos harness checks
+	// (docs/robustness.md).
+	if err := syncDir(d.path); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	// Best-effort cleanup of superseded versions; a racing writer's
@@ -131,6 +141,39 @@ func (d *Dir) Put(id string, version uint64, data []byte) error {
 		}
 	}
 	return nil
+}
+
+// writeFileSync is os.WriteFile plus an fsync before close, so the
+// blob's *contents* are on stable storage before the rename publishes
+// its name. Rename-over-unsynced-data is the classic way to turn a
+// crash into a zero-length file under a valid name.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(path string) error {
+	dir, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = dir.Sync()
+	if cerr := dir.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Get implements Store.
